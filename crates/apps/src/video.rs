@@ -1,0 +1,358 @@
+//! 360° video streaming (§7.2, Appendix D).
+//!
+//! The paper streams YouTube 360° videos through Puffer with the ABR
+//! replaced by BBA (buffer-based adaptation): the chosen bitrate depends
+//! only on the playback buffer level. Chunks are 2 s long, encoded at
+//! {100, 50, 10, 5} Mbps; sessions run 3 minutes; QoE per chunk is
+//!
+//! `QoE_k = B_k − λ·|B_k − B_{k−1}| − μ·T_k`  (λ = 1, μ = 100)
+//!
+//! with `B` in Mbps and `T_k` the rebuffering time (s) incurred while
+//! downloading chunk `k`.
+
+use serde::{Deserialize, Serialize};
+use wheels_sim_core::time::{SimDuration, SimTime};
+
+use crate::link::LinkSampler;
+
+/// Chunk duration (s).
+pub const CHUNK_S: f64 = 2.0;
+/// Encoded bitrates, highest first (Mbps).
+pub const BITRATES_MBPS: [f64; 4] = [100.0, 50.0, 10.0, 5.0];
+/// Session length (s).
+pub const SESSION_S: u64 = 180;
+/// QoE smoothness weight λ.
+pub const LAMBDA: f64 = 1.0;
+/// QoE rebuffering weight μ.
+pub const MU: f64 = 100.0;
+
+/// BBA reservoir: below this buffer level, pick the lowest bitrate.
+const BBA_RESERVOIR_S: f64 = 5.0;
+/// BBA cushion: above reservoir + cushion, pick the highest bitrate.
+const BBA_CUSHION_S: f64 = 15.0;
+/// Maximum client buffer.
+const MAX_BUFFER_S: f64 = 30.0;
+
+/// BBA: map buffer level to a bitrate (Mbps).
+pub fn bba_pick(buffer_s: f64) -> f64 {
+    if buffer_s <= BBA_RESERVOIR_S {
+        return *BITRATES_MBPS.last().unwrap();
+    }
+    if buffer_s >= BBA_RESERVOIR_S + BBA_CUSHION_S {
+        return BITRATES_MBPS[0];
+    }
+    // Linear map across the cushion onto the (ascending) bitrate ladder.
+    let f = (buffer_s - BBA_RESERVOIR_S) / BBA_CUSHION_S;
+    let ladder: Vec<f64> = BITRATES_MBPS.iter().rev().copied().collect();
+    let lo = ladder[0];
+    let hi = *ladder.last().unwrap();
+    let target = lo + (hi - lo) * f;
+    // Highest encoded rate not exceeding the target.
+    ladder
+        .iter()
+        .rev()
+        .find(|b| **b <= target)
+        .copied()
+        .unwrap_or(lo)
+}
+
+/// Per-chunk record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChunkRecord {
+    /// Chosen bitrate (Mbps).
+    pub bitrate_mbps: f64,
+    /// Rebuffer time while downloading this chunk (s).
+    pub rebuffer_s: f64,
+    /// QoE contribution of this chunk.
+    pub qoe: f64,
+}
+
+/// Result of one 3-minute session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoStats {
+    /// Per-chunk records, in playback order.
+    pub chunks: Vec<ChunkRecord>,
+    /// Fraction of session time on high-speed 5G.
+    pub high_speed_5g_fraction: f64,
+    /// Handovers observed during the session.
+    pub handovers: usize,
+}
+
+impl VideoStats {
+    /// Average QoE over chunks (the paper's per-run metric).
+    pub fn avg_qoe(&self) -> f64 {
+        if self.chunks.is_empty() {
+            return -MU; // total stall
+        }
+        self.chunks.iter().map(|c| c.qoe).sum::<f64>() / self.chunks.len() as f64
+    }
+
+    /// Average bitrate (Mbps).
+    pub fn avg_bitrate(&self) -> f64 {
+        if self.chunks.is_empty() {
+            return 0.0;
+        }
+        self.chunks.iter().map(|c| c.bitrate_mbps).sum::<f64>() / self.chunks.len() as f64
+    }
+
+    /// Total rebuffer time as a percentage of the session.
+    pub fn rebuffer_pct(&self) -> f64 {
+        let total: f64 = self.chunks.iter().map(|c| c.rebuffer_s).sum();
+        total / SESSION_S as f64 * 100.0
+    }
+}
+
+/// Bitrate-selection algorithm (ablations compare BBA against a naive
+/// fixed ladder rung).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Abr {
+    /// Buffer-based adaptation (the paper's choice).
+    Bba,
+    /// Always pick the ladder rung closest to a fixed target (Mbps).
+    Fixed(f64),
+}
+
+impl Abr {
+    fn pick(self, buffer_s: f64) -> f64 {
+        match self {
+            Abr::Bba => bba_pick(buffer_s),
+            Abr::Fixed(target) => BITRATES_MBPS
+                .iter()
+                .copied()
+                .min_by(|a, b| (a - target).abs().total_cmp(&(b - target).abs()))
+                .unwrap(),
+        }
+    }
+}
+
+/// The streaming client.
+pub struct VideoRun;
+
+impl VideoRun {
+    /// Play a session starting at `start` over `link` with BBA.
+    pub fn execute(link: &mut dyn LinkSampler, start: SimTime) -> VideoStats {
+        Self::execute_with_abr(link, start, Abr::Bba)
+    }
+
+    /// Play a session with an explicit ABR algorithm.
+    pub fn execute_with_abr(link: &mut dyn LinkSampler, start: SimTime, abr: Abr) -> VideoStats {
+        let end = start + SimDuration::from_secs(SESSION_S);
+        let mut now = start;
+        let mut buffer_s = 0.0f64;
+        let mut chunks: Vec<ChunkRecord> = Vec::new();
+        let mut last_bitrate: Option<f64> = None;
+        let mut hs5g_ms = 0u64;
+        let mut total_ms = 0u64;
+        let mut handovers = 0usize;
+        let mut was_in_ho = false;
+
+        while now < end {
+            // Pause downloading while the client buffer is full; playback
+            // keeps draining.
+            while buffer_s > MAX_BUFFER_S - CHUNK_S && now < end {
+                buffer_s = (buffer_s - 0.1).max(0.0);
+                now += SimDuration::from_millis(100);
+                total_ms += 100;
+            }
+            if now >= end {
+                break;
+            }
+
+            let bitrate = abr.pick(buffer_s);
+            let chunk_bytes = bitrate * 1e6 / 8.0 * CHUNK_S;
+
+            // Download the chunk in 100 ms slices; playback drains the
+            // buffer concurrently and stalls at zero.
+            let mut remaining = chunk_bytes;
+            let mut rebuffer_s = 0.0;
+            while remaining > 0.0 && now < end {
+                let slice_s = 0.1;
+                match link.sample(now) {
+                    Some(s) => {
+                        if s.on_high_speed_5g {
+                            hs5g_ms += 100;
+                        }
+                        if s.in_handover {
+                            if !was_in_ho {
+                                handovers += 1;
+                            }
+                            was_in_ho = true;
+                        } else {
+                            was_in_ho = false;
+                            remaining -= s.dl.bytes_in_ms(100);
+                        }
+                    }
+                    None => was_in_ho = false,
+                }
+                // Playback drains whatever is buffered.
+                if buffer_s > 0.0 {
+                    buffer_s = (buffer_s - slice_s).max(0.0);
+                } else {
+                    rebuffer_s += slice_s;
+                }
+                total_ms += 100;
+                now += SimDuration::from_millis(100);
+            }
+            if remaining > 0.0 {
+                // Session ended mid-download; account the stall.
+                if rebuffer_s > 0.0 {
+                    let prev = last_bitrate.unwrap_or(bitrate);
+                    chunks.push(ChunkRecord {
+                        bitrate_mbps: bitrate,
+                        rebuffer_s,
+                        qoe: bitrate - LAMBDA * (bitrate - prev).abs() - MU * rebuffer_s,
+                    });
+                }
+                break;
+            }
+
+            buffer_s = (buffer_s + CHUNK_S).min(MAX_BUFFER_S);
+            let prev = last_bitrate.unwrap_or(bitrate);
+            chunks.push(ChunkRecord {
+                bitrate_mbps: bitrate,
+                rebuffer_s,
+                qoe: bitrate - LAMBDA * (bitrate - prev).abs() - MU * rebuffer_s,
+            });
+            last_bitrate = Some(bitrate);
+        }
+
+        VideoStats {
+            chunks,
+            high_speed_5g_fraction: if total_ms == 0 {
+                0.0
+            } else {
+                hs5g_ms as f64 / total_ms as f64
+            },
+            handovers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{ConstantLink, LinkState};
+    use wheels_sim_core::units::DataRate;
+
+    fn link(dl_mbps: f64) -> ConstantLink {
+        ConstantLink(LinkState {
+            dl: DataRate::from_mbps(dl_mbps),
+            ul: DataRate::from_mbps(10.0),
+            rtt_ms: 50.0,
+            in_handover: false,
+            on_high_speed_5g: dl_mbps > 200.0,
+        })
+    }
+
+    #[test]
+    fn bba_boundaries() {
+        assert_eq!(bba_pick(0.0), 5.0);
+        assert_eq!(bba_pick(BBA_RESERVOIR_S), 5.0);
+        assert_eq!(bba_pick(BBA_RESERVOIR_S + BBA_CUSHION_S), 100.0);
+        assert_eq!(bba_pick(100.0), 100.0);
+        // Mid-cushion picks an intermediate rung.
+        let mid = bba_pick(BBA_RESERVOIR_S + BBA_CUSHION_S / 2.0);
+        assert!((10.0..=50.0).contains(&mid), "mid {mid}");
+    }
+
+    #[test]
+    fn bba_monotone_in_buffer() {
+        let mut last = 0.0;
+        for b in 0..40 {
+            let r = bba_pick(b as f64);
+            assert!(r >= last, "buffer {b}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn fast_link_reaches_top_bitrate_and_positive_qoe() {
+        let stats = VideoRun::execute(&mut link(400.0), SimTime::EPOCH);
+        assert!(stats.avg_qoe() > 50.0, "qoe {}", stats.avg_qoe());
+        assert!(
+            stats.chunks.iter().any(|c| c.bitrate_mbps == 100.0),
+            "never reached 100 Mbps"
+        );
+        assert!(stats.rebuffer_pct() < 2.0);
+    }
+
+    #[test]
+    fn best_static_qoe_near_paper() {
+        // Fig. 15a: best static run QoE ≈ 96.3 (bitrate 100, no stalls).
+        let mut best = ConstantLink(LinkState::best_static());
+        let stats = VideoRun::execute(&mut best, SimTime::EPOCH);
+        let qoe = stats.avg_qoe();
+        assert!((85.0..=100.0).contains(&qoe), "qoe {qoe}");
+    }
+
+    #[test]
+    fn slow_link_rebuffers_and_goes_negative() {
+        // 3 Mbps cannot even sustain the 5 Mbps floor.
+        let stats = VideoRun::execute(&mut link(3.0), SimTime::EPOCH);
+        assert!(stats.avg_qoe() < 0.0, "qoe {}", stats.avg_qoe());
+        assert!(stats.rebuffer_pct() > 10.0, "rebuffer {}", stats.rebuffer_pct());
+        // Stuck at the lowest bitrate.
+        assert!(stats.chunks.iter().all(|c| c.bitrate_mbps == 5.0));
+    }
+
+    #[test]
+    fn qoe_formula_matches_definition() {
+        let stats = VideoRun::execute(&mut link(30.0), SimTime::EPOCH);
+        let mut prev = stats.chunks[0].bitrate_mbps;
+        for c in &stats.chunks {
+            let expect = c.bitrate_mbps - (c.bitrate_mbps - prev).abs() - 100.0 * c.rebuffer_s;
+            assert!((c.qoe - expect).abs() < 1e-9);
+            prev = c.bitrate_mbps;
+        }
+    }
+
+    #[test]
+    fn moderate_link_picks_middle_rungs() {
+        // 30 Mbps: should stabilize around 10 Mbps chunks (50 is too big).
+        let stats = VideoRun::execute(&mut link(30.0), SimTime::EPOCH);
+        let avg = stats.avg_bitrate();
+        assert!((5.0..50.0).contains(&avg), "avg bitrate {avg}");
+        assert!(stats.rebuffer_pct() < 10.0);
+    }
+
+    #[test]
+    fn dead_link_yields_stall_qoe() {
+        let mut dead = |_t: SimTime| -> Option<LinkState> { None };
+        let stats = VideoRun::execute(&mut dead, SimTime::EPOCH);
+        // One abandoned chunk with heavy stall, or empty chunks.
+        assert!(stats.avg_qoe() <= -MU + 1.0, "qoe {}", stats.avg_qoe());
+    }
+
+    #[test]
+    fn handover_pulses_counted() {
+        let mut s = |t: SimTime| {
+            let in_ho = t.as_millis() % 10_000 < 200;
+            Some(LinkState {
+                dl: DataRate::from_mbps(20.0),
+                ul: DataRate::from_mbps(5.0),
+                rtt_ms: 60.0,
+                in_handover: in_ho,
+                on_high_speed_5g: false,
+            })
+        };
+        let stats = VideoRun::execute(&mut s, SimTime::EPOCH);
+        assert!(
+            (12..=20).contains(&stats.handovers),
+            "handovers {}",
+            stats.handovers
+        );
+        // Buffering absorbs short interruptions: QoE stays positive.
+        assert!(stats.avg_qoe() > 0.0, "qoe {}", stats.avg_qoe());
+    }
+
+    #[test]
+    fn session_duration_respected() {
+        let stats = VideoRun::execute(&mut link(100.0), SimTime::EPOCH);
+        // ~90 chunks of 2 s playback in 180 s, plus the buffer head.
+        assert!(
+            (60..=106).contains(&stats.chunks.len()),
+            "chunks {}",
+            stats.chunks.len()
+        );
+    }
+}

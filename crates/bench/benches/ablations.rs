@@ -1,0 +1,240 @@
+//! Ablations of the design choices DESIGN.md calls out. Each bench prints
+//! the baseline-vs-ablated comparison once, then measures the ablated
+//! variant's cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wheels_apps::arcav::accuracy;
+use wheels_apps::link::{ConstantLink, LinkState};
+use wheels_apps::video::{Abr, VideoRun};
+use wheels_bench::print_once;
+use wheels_geo::route::Route;
+use wheels_radio::ca::{aggregate, CarrierAllocation, CarrierComponent};
+use wheels_radio::tech::{Direction, Technology};
+use wheels_ran::cells::Deployment;
+use wheels_ran::operator::Operator;
+use wheels_ran::policy::{TrafficDemand, UpgradePolicy};
+use wheels_ran::session::{PollCtx, RanSession};
+use wheels_sim_core::rng::SimRng;
+use wheels_sim_core::time::{SimDuration, SimTime};
+use wheels_sim_core::units::{DataRate, Db, Distance, Speed};
+use wheels_transport::tcp::CubicFlow;
+
+/// Fraction of an ICMP-only drive served by 5G, under a given policy.
+fn passive_5g_fraction(eager: bool) -> f64 {
+    let route = Route::standard();
+    let dep = Deployment::generate(&route, Operator::TMobile, &mut SimRng::seed(11));
+    let mut session = RanSession::new(&dep, TrafficDemand::IcmpOnly, SimRng::seed(12));
+    if eager {
+        session.set_policy(UpgradePolicy::eager(Operator::TMobile));
+    }
+    let speed = Speed::from_mph(65.0);
+    let mut t = SimTime::from_hours(30);
+    let mut odo = Distance::from_km(300.0);
+    let mut five_g = 0u32;
+    let mut n = 0u32;
+    for _ in 0..3600 {
+        let ctx = PollCtx {
+            odo,
+            speed,
+            zone: route.zone_at(odo),
+            tz: route.timezone_at(odo),
+        };
+        if let Some(s) = session.poll(t, ctx) {
+            n += 1;
+            five_g += s.tech.is_5g() as u32;
+        }
+        t += SimDuration::from_millis(500);
+        odo += speed.distance_in_ms(500);
+    }
+    five_g as f64 / n.max(1) as f64
+}
+
+fn ablation_upgrade_policy(c: &mut Criterion) {
+    let baseline = passive_5g_fraction(false);
+    let eager = passive_5g_fraction(true);
+    print_once(
+        "ablation: upgrade policy",
+        &format!(
+            "passive (ICMP-only) 5G share — traffic-aware policy: {:.1}%, eager: {:.1}%\n\
+             (eager collapses the Fig. 1 passive/active gap)",
+            baseline * 100.0,
+            eager * 100.0
+        ),
+    );
+    assert!(
+        eager > baseline + 0.2,
+        "eager {eager} should dwarf baseline {baseline}"
+    );
+    c.bench_function("ablation_upgrade_policy_eager_drive", |b| {
+        b.iter(|| std::hint::black_box(passive_5g_fraction(true)))
+    });
+}
+
+/// Max RTT over a constrained link for a given bottleneck buffer.
+fn max_rtt_for_buffer(bdp_mult: f64, min_bytes: f64) -> f64 {
+    let mut f = CubicFlow::with_buffer(bdp_mult, min_bytes);
+    let link = DataRate::from_mbps(2.0);
+    let mut max = 0.0f64;
+    for _ in 0..4000 {
+        let t = f.advance(10.0, link, 60.0);
+        max = max.max(t.rtt_ms);
+    }
+    max
+}
+
+fn ablation_bufferbloat(c: &mut Criterion) {
+    let bloated = max_rtt_for_buffer(4.0, 750_000.0);
+    let tight = max_rtt_for_buffer(1.0, 30_000.0);
+    print_once(
+        "ablation: bottleneck buffer",
+        &format!(
+            "max RTT at 2 Mbps — carrier buffer (4xBDP, 750 KB floor): {bloated:.0} ms, \
+             1xBDP/30 KB: {tight:.0} ms\n(the Fig. 3b multi-second RTT tail needs the big buffer)"
+        ),
+    );
+    assert!(bloated > tight * 4.0);
+    c.bench_function("ablation_buffer_sweep", |b| {
+        b.iter(|| std::hint::black_box(max_rtt_for_buffer(1.0, 30_000.0)))
+    });
+}
+
+fn ablation_bba(c: &mut Criterion) {
+    // A variable link where adaptation matters.
+    let mut varying = |t: SimTime| -> Option<LinkState> {
+        let phase = (t.as_millis() / 15_000) % 3;
+        let mbps = [40.0, 8.0, 70.0][phase as usize];
+        Some(LinkState {
+            dl: DataRate::from_mbps(mbps),
+            ul: DataRate::from_mbps(10.0),
+            rtt_ms: 60.0,
+            in_handover: false,
+            on_high_speed_5g: false,
+        })
+    };
+    let bba = VideoRun::execute_with_abr(&mut varying, SimTime::EPOCH, Abr::Bba);
+    let fixed = VideoRun::execute_with_abr(&mut varying, SimTime::EPOCH, Abr::Fixed(50.0));
+    print_once(
+        "ablation: ABR",
+        &format!(
+            "video QoE on a varying link — BBA: {:.1} (rebuffer {:.1}%), fixed-50Mbps: {:.1} (rebuffer {:.1}%)",
+            bba.avg_qoe(),
+            bba.rebuffer_pct(),
+            fixed.avg_qoe(),
+            fixed.rebuffer_pct()
+        ),
+    );
+    assert!(bba.avg_qoe() > fixed.avg_qoe());
+    c.bench_function("ablation_bba_session", |b| {
+        b.iter(|| {
+            VideoRun::execute_with_abr(
+                &mut varying,
+                std::hint::black_box(SimTime::EPOCH),
+                Abr::Bba,
+            )
+        })
+    });
+}
+
+fn ablation_carrier_aggregation(c: &mut Criterion) {
+    let with_ca = CarrierAllocation {
+        primary: CarrierComponent {
+            tech: Technology::LteA,
+            count: 4,
+        },
+        secondaries: vec![],
+    };
+    let without = CarrierAllocation::single(Technology::LteA);
+    let r_ca = aggregate(&with_ca, Direction::Downlink, Db(14.0), 0.6);
+    let r_1 = aggregate(&without, Direction::Downlink, Db(14.0), 0.6);
+    print_once(
+        "ablation: carrier aggregation",
+        &format!(
+            "LTE-A DL at 14 dB, 60% share — 4 CC: {:.0} Mbps, 1 CC: {:.0} Mbps",
+            r_ca.rate.as_mbps(),
+            r_1.rate.as_mbps()
+        ),
+    );
+    assert!(r_ca.rate.as_mbps() > r_1.rate.as_mbps() * 2.0);
+    c.bench_function("ablation_ca_aggregate4", |b| {
+        b.iter(|| {
+            aggregate(
+                &with_ca,
+                Direction::Downlink,
+                std::hint::black_box(Db(14.0)),
+                0.6,
+            )
+        })
+    });
+}
+
+fn ablation_local_tracking(c: &mut Criterion) {
+    // With tracking: the Table 5 decay. Without: accuracy falls to the
+    // stale-box floor immediately after one frame of staleness.
+    let with_tracking: f64 = (0..10)
+        .map(|k| accuracy::tracking_decay_model(k as f64, false))
+        .sum::<f64>()
+        / 10.0;
+    let without: f64 = (0..10)
+        .map(|k| if k == 0 { 38.45 } else { 11.5 })
+        .sum::<f64>()
+        / 10.0;
+    print_once(
+        "ablation: local tracking",
+        &format!(
+            "mean mAP over staleness 0–9 frames — with tracking: {with_tracking:.1}, without: {without:.1}"
+        ),
+    );
+    assert!(with_tracking > without + 5.0);
+    c.bench_function("ablation_tracking_model", |b| {
+        b.iter(|| accuracy::tracking_decay_model(std::hint::black_box(5.0), false))
+    });
+}
+
+fn ablation_edge(c: &mut Criterion) {
+    // Edge vs cloud for the AR app on an otherwise identical link.
+    let mk = |rtt: f64| {
+        ConstantLink(LinkState {
+            dl: DataRate::from_mbps(80.0),
+            ul: DataRate::from_mbps(12.0),
+            rtt_ms: rtt,
+            in_handover: false,
+            on_high_speed_5g: true,
+        })
+    };
+    let cfg = wheels_apps::arcav::AppConfig::ar();
+    let mut edge = mk(20.0);
+    let mut cloud = mk(70.0);
+    let e = wheels_apps::arcav::OffloadRun::execute(&cfg, &mut edge, SimTime::EPOCH, true);
+    let cl = wheels_apps::arcav::OffloadRun::execute(&cfg, &mut cloud, SimTime::EPOCH, true);
+    print_once(
+        "ablation: edge servers",
+        &format!(
+            "AR E2E median — edge-like RTT: {:.0} ms, cloud-like RTT: {:.0} ms",
+            e.median_e2e_ms().unwrap_or(f64::NAN),
+            cl.median_e2e_ms().unwrap_or(f64::NAN)
+        ),
+    );
+    assert!(e.median_e2e_ms().unwrap() < cl.median_e2e_ms().unwrap());
+    c.bench_function("ablation_edge_ar_run", |b| {
+        b.iter(|| {
+            let mut l = mk(20.0);
+            wheels_apps::arcav::OffloadRun::execute(
+                &cfg,
+                &mut l,
+                std::hint::black_box(SimTime::EPOCH),
+                true,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    ablation_upgrade_policy,
+    ablation_bufferbloat,
+    ablation_bba,
+    ablation_carrier_aggregation,
+    ablation_local_tracking,
+    ablation_edge
+);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Benches regenerating the application figures (Figs. 13–16 and 18–22).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wheels_bench::{print_once, World};
+
+fn bench_apps(c: &mut Criterion) {
+    let world = World::quick();
+    let mut g = c.benchmark_group("app_figures");
+    g.sample_size(10);
+    for id in ["fig13", "fig14", "fig15", "fig16", "fig18", "fig21", "fig22"] {
+        let out = wheels_experiments::run_by_id(world, id).expect("registered");
+        print_once(id, &out);
+        g.bench_function(id, |b| {
+            b.iter(|| wheels_experiments::run_by_id(world, std::hint::black_box(id)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

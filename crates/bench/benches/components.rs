@@ -1,0 +1,119 @@
+//! Microbenchmarks of the simulator's hot paths: per-poll costs determine
+//! how fast the full 8-day campaign regenerates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wheels_geo::route::Route;
+use wheels_radio::ca::{aggregate, CarrierAllocation};
+use wheels_radio::channel::LinkChannel;
+use wheels_radio::linkbudget::BeamProfile;
+use wheels_radio::tech::{Direction, Technology};
+use wheels_ran::cells::Deployment;
+use wheels_ran::operator::Operator;
+use wheels_ran::policy::TrafficDemand;
+use wheels_ran::session::{PollCtx, RanSession};
+use wheels_sim_core::rng::SimRng;
+use wheels_sim_core::stats::Cdf;
+use wheels_sim_core::time::{SimDuration, SimTime};
+use wheels_sim_core::units::{DataRate, Db, Distance, Speed};
+use wheels_transport::tcp::CubicFlow;
+
+fn bench_components(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components");
+
+    // Channel sampling: the innermost radio loop.
+    {
+        let mut rng = SimRng::seed(1);
+        let mut ch = LinkChannel::new(Technology::Nr5gMid, BeamProfile::neutral(), &mut rng);
+        g.bench_function("channel_sample", |b| {
+            b.iter(|| {
+                ch.sample(
+                    &mut rng,
+                    std::hint::black_box(Distance::from_km(1.2)),
+                    Distance::from_m(15.0),
+                    500,
+                    Speed::from_mph(65.0),
+                )
+            })
+        });
+    }
+
+    // Carrier aggregation math.
+    {
+        let alloc = CarrierAllocation::single(Technology::Nr5gMid);
+        g.bench_function("ca_aggregate", |b| {
+            b.iter(|| {
+                aggregate(
+                    &alloc,
+                    Direction::Downlink,
+                    std::hint::black_box(Db(14.0)),
+                    0.5,
+                )
+            })
+        });
+    }
+
+    // One fluid-TCP tick.
+    {
+        let mut flow = CubicFlow::new();
+        let link = DataRate::from_mbps(80.0);
+        g.bench_function("cubic_tick", |b| {
+            b.iter(|| flow.advance(10.0, std::hint::black_box(link), 60.0))
+        });
+    }
+
+    // Route geometry queries.
+    {
+        let route = Route::standard();
+        g.bench_function("route_zone_at", |b| {
+            let mut km = 0.0f64;
+            b.iter(|| {
+                km = (km + 37.7) % 5700.0;
+                route.zone_at(std::hint::black_box(Distance::from_km(km)))
+            })
+        });
+    }
+
+    // A full serving-session poll (the campaign's dominant cost).
+    {
+        let route = Route::standard();
+        let dep = Deployment::generate(&route, Operator::TMobile, &mut SimRng::seed(2));
+        let mut session = RanSession::new(&dep, TrafficDemand::BackloggedDownlink, SimRng::seed(3));
+        let mut t = SimTime::from_hours(30);
+        let mut odo = Distance::from_km(500.0);
+        g.bench_function("session_poll", |b| {
+            b.iter(|| {
+                t += SimDuration::from_millis(100);
+                odo += Distance::from_m(3.0);
+                if odo.as_km() > 5600.0 {
+                    odo = Distance::from_km(500.0);
+                }
+                session.poll(
+                    t,
+                    PollCtx {
+                        odo,
+                        speed: Speed::from_mph(65.0),
+                        zone: route.zone_at(odo),
+                        tz: route.timezone_at(odo),
+                    },
+                )
+            })
+        });
+    }
+
+    // CDF construction + quantiles (the analysis hot path).
+    {
+        let mut rng = SimRng::seed(4);
+        let data: Vec<f64> = (0..10_000).map(|_| rng.uniform(0.0, 500.0)).collect();
+        g.bench_function("cdf_10k_samples", |b| {
+            b.iter(|| {
+                let c = Cdf::from_samples(std::hint::black_box(&data).iter().copied());
+                (c.median(), c.quantile(0.9))
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

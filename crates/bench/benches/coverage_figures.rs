@@ -1,0 +1,21 @@
+//! Benches regenerating the coverage figures (Figs. 1–2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wheels_bench::{print_once, World};
+
+fn bench_coverage(c: &mut Criterion) {
+    let world = World::quick();
+    let mut g = c.benchmark_group("coverage_figures");
+    g.sample_size(10);
+    for id in ["fig1", "fig2"] {
+        let out = wheels_experiments::run_by_id(world, id).expect("registered");
+        print_once(id, &out);
+        g.bench_function(id, |b| {
+            b.iter(|| wheels_experiments::run_by_id(world, std::hint::black_box(id)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_coverage);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Benches regenerating the extension analyses (the paper's stated future
+//! work and recommendations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wheels_bench::{print_once, World};
+
+fn bench_extensions(c: &mut Criterion) {
+    let world = World::quick();
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    for id in ["ext-multipath", "ext-multivariate"] {
+        let out = wheels_experiments::run_by_id(world, id).expect("registered");
+        print_once(id, &out);
+        g.bench_function(id, |b| {
+            b.iter(|| wheels_experiments::run_by_id(world, std::hint::black_box(id)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

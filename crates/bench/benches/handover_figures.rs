@@ -1,0 +1,21 @@
+//! Benches regenerating the handover figures (Figs. 11–12).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wheels_bench::{print_once, World};
+
+fn bench_handover(c: &mut Criterion) {
+    let world = World::quick();
+    let mut g = c.benchmark_group("handover_figures");
+    g.sample_size(10);
+    for id in ["fig11", "fig12"] {
+        let out = wheels_experiments::run_by_id(world, id).expect("registered");
+        print_once(id, &out);
+        g.bench_function(id, |b| {
+            b.iter(|| wheels_experiments::run_by_id(world, std::hint::black_box(id)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_handover);
+criterion_main!(benches);

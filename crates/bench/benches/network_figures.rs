@@ -1,0 +1,21 @@
+//! Benches regenerating the network-performance figures (Figs. 3–10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wheels_bench::{print_once, World};
+
+fn bench_network(c: &mut Criterion) {
+    let world = World::quick();
+    let mut g = c.benchmark_group("network_figures");
+    g.sample_size(10);
+    for id in ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"] {
+        let out = wheels_experiments::run_by_id(world, id).expect("registered");
+        print_once(id, &out);
+        g.bench_function(id, |b| {
+            b.iter(|| wheels_experiments::run_by_id(world, std::hint::black_box(id)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_network);
+criterion_main!(benches);

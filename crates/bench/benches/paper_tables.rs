@@ -1,0 +1,21 @@
+//! Benches regenerating Tables 1–5 of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wheels_bench::{print_once, World};
+
+fn bench_tables(c: &mut Criterion) {
+    let world = World::quick();
+    let mut g = c.benchmark_group("paper_tables");
+    g.sample_size(10);
+    for id in ["table1", "table2", "table3", "table4", "table5"] {
+        let out = wheels_experiments::run_by_id(world, id).expect("registered");
+        print_once(id, &out);
+        g.bench_function(id, |b| {
+            b.iter(|| wheels_experiments::run_by_id(world, std::hint::black_box(id)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

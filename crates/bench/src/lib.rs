@@ -1,0 +1,38 @@
+//! # wheels-bench
+//!
+//! The benchmark harness. Each Criterion bench target regenerates part of
+//! the paper's evaluation and measures how long the regeneration takes:
+//!
+//! - `paper_tables` — Tables 1–5.
+//! - `coverage_figures` — Figs. 1–2.
+//! - `network_figures` — Figs. 3–10.
+//! - `handover_figures` — Figs. 11–12.
+//! - `app_figures` — Figs. 13–16 and 18–22.
+//! - `components` — microbenchmarks of the simulator's hot paths
+//!   (channel sampling, CUBIC ticks, session polls, route queries).
+//! - `ablations` — the DESIGN.md design-choice probes (upgrade policy,
+//!   buffer sizing, BBA, CA, local tracking).
+//!
+//! Each experiment bench prints its regenerated rows once (to stderr) so
+//! `cargo bench` output doubles as a reproduction log.
+//!
+//! The shared world is built once per bench binary at Quick scale; use the
+//! `repro` binary with `--standard`/`--full` for the higher-fidelity runs
+//! recorded in EXPERIMENTS.md.
+
+/// Re-export for bench targets.
+pub use wheels_experiments::world::{Scale, World};
+
+/// Print an experiment's output once per process (so Criterion's repeated
+/// iterations don't spam).
+pub fn print_once(id: &str, text: &str) {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    use std::sync::OnceLock;
+    static PRINTED: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    let set = PRINTED.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut set = set.lock().unwrap();
+    if set.insert(id.to_string()) {
+        eprintln!("\n----- {id} -----\n{text}");
+    }
+}

@@ -1,0 +1,15 @@
+//! The analysis pipeline behind §4–§7.
+//!
+//! - [`coverage`] — miles-weighted technology shares, overall and broken
+//!   down by direction, timezone, and speed bin (Figs. 1–2).
+//! - [`correlation`] — the Table 2 Pearson matrix between 500 ms
+//!   throughput and the cross-layer KPIs.
+//! - [`handover`] — handover statistics and the ΔT₁/ΔT₂ impact analysis
+//!   (Figs. 11–12).
+//! - [`diversity`] — operator-pair concurrent throughput differences and
+//!   the HT/LT technology bins (Fig. 6).
+
+pub mod correlation;
+pub mod coverage;
+pub mod diversity;
+pub mod handover;

@@ -1,0 +1,759 @@
+//! The drive-test campaign (§3).
+//!
+//! Three phones — one per operator — run the test suite round-robin while
+//! the car drives: 30 s downlink nuttcp, 30 s uplink nuttcp, 20 s RTT,
+//! then the four apps (AR and CAV each with and without compression, a 3
+//! minute 360° video session, a 1 minute cloud-gaming session), then the
+//! cycle repeats. Static baselines run at the city stopovers. The output
+//! is the consolidated [`Dataset`].
+//!
+//! The three operators run **concurrently on the same clock** (the paper
+//! strapped all phones into the same car), which is what makes the Fig. 6
+//! operator-diversity analysis possible: for any time bin, all three
+//! operators were measured at the same place under the same conditions.
+
+use wheels_apps::arcav::{AppConfig, OffloadRun};
+use wheels_apps::gaming::GamingRun;
+use wheels_apps::link::LinkState;
+use wheels_apps::video::VideoRun;
+use wheels_geo::route::Route;
+use wheels_geo::trace::{DrivePlan, DriveTrace};
+use wheels_radio::tech::Direction;
+use wheels_ran::cells::Deployment;
+use wheels_ran::operator::Operator;
+use wheels_ran::policy::TrafficDemand;
+use wheels_ran::session::{PollCtx, RanSession};
+use wheels_sim_core::rng::SimRng;
+use wheels_sim_core::time::{SimDuration, SimTime};
+use wheels_transport::servers::ServerFleet;
+
+use crate::measure::{self, VehicleCtx};
+use crate::records::{AppRun, Dataset, TaggedHandover, TestKind, TestRun};
+use crate::staticprobe;
+
+/// Gap between consecutive tests in a cycle.
+const TEST_GAP: SimDuration = SimDuration(3_000);
+/// Approximate TCP/app-layer efficiency over the radio goodput when apps
+/// move data without a dedicated fluid-TCP model.
+const APP_TCP_EFF: f64 = 0.85;
+/// Synthetic XCAL volume per logged 500 ms record.
+const LOG_BYTES_PER_SAMPLE: f64 = 2600.0;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Stop after this many round-robin cycles per operator (None = the
+    /// whole trip).
+    pub max_cycles: Option<usize>,
+    /// Run the app tests (AR/CAV/video/gaming) in each cycle.
+    pub include_apps: bool,
+    /// Run the static baselines at city stopovers.
+    pub include_static: bool,
+    /// Start at this index into the drive trace.
+    pub start_at_sample: usize,
+    /// Idle gap inserted after each cycle (seconds). Zero = continuous
+    /// testing (the paper's actual protocol); larger values subsample the
+    /// trip uniformly, which keeps scaled-down runs spanning all four
+    /// timezones.
+    pub cycle_stride_s: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 2022,
+            max_cycles: None,
+            include_apps: true,
+            include_static: true,
+            start_at_sample: 0,
+            cycle_stride_s: 0,
+        }
+    }
+}
+
+/// The campaign: route, trace, per-operator deployments, servers.
+pub struct Campaign {
+    /// The LA→Boston route.
+    pub route: Route,
+    /// The 8-day drive trace.
+    pub trace: DriveTrace,
+    /// Deployments in `Operator::ALL` order.
+    pub deployments: Vec<Deployment>,
+    /// The cloud/edge server fleet.
+    pub fleet: ServerFleet,
+}
+
+impl Campaign {
+    /// Build the standard campaign world from a seed.
+    pub fn standard(seed: u64) -> Self {
+        let route = Route::standard();
+        let rng = SimRng::seed(seed);
+        let trace = DrivePlan::default().generate(&route, &mut rng.split("trace"));
+        let deployments = Operator::ALL
+            .into_iter()
+            .map(|op| Deployment::generate(&route, op, &mut rng.split(op.label())))
+            .collect();
+        Campaign {
+            route,
+            trace,
+            deployments,
+            fleet: ServerFleet::standard(),
+        }
+    }
+
+    /// The deployment of one operator.
+    pub fn deployment(&self, op: Operator) -> &Deployment {
+        self.deployments
+            .iter()
+            .find(|d| d.operator == op)
+            .expect("all operators deployed")
+    }
+
+    /// Run the full campaign for all three operators (in parallel threads,
+    /// all on the same simulated clock) and merge the shards.
+    pub fn run(&self, cfg: &CampaignConfig) -> Dataset {
+        let mut shards: Vec<Dataset> = Vec::new();
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = Operator::ALL
+                .iter()
+                .map(|op| s.spawn(move |_| self.run_operator(*op, cfg)))
+                .collect();
+            for h in handles {
+                shards.push(h.join().expect("operator shard panicked"));
+            }
+        })
+        .expect("campaign scope");
+        let mut out = Dataset::default();
+        for shard in shards {
+            out.merge(shard);
+        }
+        out
+    }
+
+    /// Run the campaign for one operator.
+    pub fn run_operator(&self, op: Operator, cfg: &CampaignConfig) -> Dataset {
+        let dep = self.deployment(op);
+        let op_idx = Operator::ALL.iter().position(|o| *o == op).unwrap();
+        let rng = SimRng::seed(cfg.seed).split(&format!("campaign/{}", op.label()));
+        let mut runner = OpRunner {
+            route: &self.route,
+            trace: &self.trace,
+            fleet: &self.fleet,
+            session: RanSession::new(dep, TrafficDemand::BackloggedDownlink, rng.split("ran")),
+            rng,
+            ds: Dataset::default(),
+            next_id: (op_idx as u32 + 1) * 1_000_000,
+            op,
+            ho_mark: 0,
+        };
+
+        // Static baselines at each city stopover.
+        if cfg.include_static {
+            runner.run_static_stops(dep);
+        }
+
+        // The round-robin driving campaign.
+        let samples = self.trace.samples();
+        if samples.is_empty() {
+            return runner.ds;
+        }
+        let mut t = samples[cfg.start_at_sample.min(samples.len() - 1)].t;
+        let trace_end = self.trace.samples().last().unwrap().t;
+        let mut cycles = 0usize;
+        while t < trace_end {
+            if let Some(max) = cfg.max_cycles {
+                if cycles >= max {
+                    break;
+                }
+            }
+            match self.trace.sample_at(t) {
+                None => {
+                    // Overnight gap: jump to the next active sample.
+                    let idx = samples.partition_point(|s| s.t <= t);
+                    if idx >= samples.len() {
+                        break;
+                    }
+                    t = samples[idx].t;
+                    continue;
+                }
+                Some(s) if s.static_stop => {
+                    t += SimDuration::from_secs(30);
+                    continue;
+                }
+                Some(_) => {}
+            }
+            t = runner.run_cycle(t, cfg.include_apps);
+            t += SimDuration::from_secs(cfg.cycle_stride_s);
+            cycles += 1;
+        }
+
+        // Table 1 accounting.
+        runner.ds.unique_cells.push((op, runner.session.unique_cell_count()));
+        let runtime_ms: u64 = runner
+            .ds
+            .runs
+            .iter()
+            .map(|r| r.end.since(r.start).as_millis())
+            .sum();
+        runner.ds.runtime_min.push((op, runtime_ms as f64 / 60_000.0));
+        runner.ds.log_bytes +=
+            (runtime_ms as f64 / measure::SAMPLE_MS as f64) * LOG_BYTES_PER_SAMPLE;
+        // Tag all handovers not already attributed to a test.
+        let events = runner.session.events();
+        for e in &events[runner.ho_mark..] {
+            runner.ds.handovers.push(TaggedHandover {
+                event: *e,
+                operator: op,
+                test_id: None,
+                direction: None,
+            });
+        }
+        runner.ds
+    }
+}
+
+/// Per-operator campaign state.
+struct OpRunner<'a> {
+    route: &'a Route,
+    trace: &'a DriveTrace,
+    fleet: &'a ServerFleet,
+    session: RanSession<'a>,
+    rng: SimRng,
+    ds: Dataset,
+    next_id: u32,
+    op: Operator,
+    ho_mark: usize,
+}
+
+impl<'a> OpRunner<'a> {
+    fn alloc_id(&mut self) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Tag handovers recorded since the last mark to `test_id`.
+    fn drain_handovers(&mut self, test_id: u32, direction: Option<Direction>) -> u32 {
+        let events = self.session.events();
+        let new = &events[self.ho_mark..];
+        let n = new.len() as u32;
+        for e in new {
+            self.ds.handovers.push(TaggedHandover {
+                event: *e,
+                operator: self.op,
+                test_id: Some(test_id),
+                direction,
+            });
+        }
+        self.ho_mark = events.len();
+        n
+    }
+
+    fn run_static_stops(&mut self, dep: &'a Deployment) {
+        // Group static samples into per-city stops.
+        let mut stops: Vec<(SimTime, f64)> = Vec::new();
+        for s in self.trace.static_samples() {
+            match stops.last() {
+                Some((_, odo_km)) if (s.odo.as_km() - odo_km).abs() < 5.0 => {}
+                _ => stops.push((s.t, s.odo.as_km())),
+            }
+        }
+        for (i, (t, odo_km)) in stops.iter().enumerate() {
+            let mut rng = self.rng.split(&format!("static/{i}"));
+            staticprobe::run_city(
+                dep,
+                self.route,
+                self.fleet,
+                wheels_sim_core::units::Distance::from_km(*odo_km),
+                *t,
+                &mut self.next_id,
+                &mut rng,
+                &mut self.ds,
+            );
+        }
+    }
+
+    /// Run one round-robin cycle starting at `t`; returns the end time.
+    fn run_cycle(&mut self, t: SimTime, include_apps: bool) -> SimTime {
+        let mut t = t;
+        t = self.run_tput(t, Direction::Downlink);
+        t = self.run_tput(t, Direction::Uplink);
+        t = self.run_rtt(t);
+        if include_apps {
+            for compressed in [false, true] {
+                t = self.run_offload(t, TestKind::Ar, AppConfig::ar(), compressed);
+                t = self.run_offload(t, TestKind::Cav, AppConfig::cav(), compressed);
+            }
+            t = self.run_video(t);
+            t = self.run_gaming(t);
+        }
+        t
+    }
+
+    fn current_path(&self, t: SimTime) -> wheels_transport::servers::NetPath {
+        match self.trace.sample_at(t) {
+            Some(s) => self.fleet.path(self.op, self.route, s.odo),
+            None => self.fleet.cloud_path(self.route, wheels_sim_core::units::Distance::ZERO),
+        }
+    }
+
+    fn run_tput(&mut self, start: SimTime, dir: Direction) -> SimTime {
+        let id = self.alloc_id();
+        let path = self.current_path(start);
+        self.session.set_demand(match dir {
+            Direction::Downlink => TrafficDemand::BackloggedDownlink,
+            Direction::Uplink => TrafficDemand::BackloggedUplink,
+        });
+        let trace = self.trace;
+        let session = &mut self.session;
+        let out = measure::measure_tput(
+            &mut |t| {
+                let s = trace.sample_at(t)?;
+                session.poll(
+                    t,
+                    PollCtx {
+                        odo: s.odo,
+                        speed: s.speed,
+                        zone: s.zone,
+                        tz: s.tz,
+                    },
+                )
+            },
+            &mut |t| {
+                trace.sample_at(t).map(|s| VehicleCtx {
+                    speed_mph: s.speed.as_mph(),
+                    zone: s.zone,
+                    tz: s.tz,
+                })
+            },
+            dir,
+            start,
+            id,
+            self.op,
+            path,
+            true,
+        );
+        let end = start + measure::TPUT_TEST;
+        match dir {
+            Direction::Downlink => self.ds.rx_bytes += out.bytes,
+            Direction::Uplink => self.ds.tx_bytes += out.bytes,
+        }
+        self.ds.tput.extend(out.samples);
+        self.ds.coverage.extend(out.coverage);
+        let hos = self.drain_handovers(id, Some(dir));
+        self.ds.runs.push(TestRun {
+            id,
+            kind: match dir {
+                Direction::Downlink => TestKind::DownlinkTput,
+                Direction::Uplink => TestKind::UplinkTput,
+            },
+            operator: self.op,
+            start,
+            end,
+            miles: self.trace.distance_in_window(start, end).as_miles(),
+            tz: self
+                .trace
+                .sample_at(start)
+                .map(|s| s.tz)
+                .unwrap_or(wheels_sim_core::time::Timezone::Pacific),
+            server: path.kind,
+            hs5g_fraction: out.hs5g_fraction,
+            handovers: hos,
+            driving: true,
+        });
+        end + TEST_GAP
+    }
+
+    fn run_rtt(&mut self, start: SimTime) -> SimTime {
+        let id = self.alloc_id();
+        let path = self.current_path(start);
+        self.session.set_demand(TrafficDemand::IcmpOnly);
+        let trace = self.trace;
+        let session = &mut self.session;
+        let (samples, coverage, hs5g) = measure::measure_rtt(
+            &mut |t| {
+                let s = trace.sample_at(t)?;
+                session.poll(
+                    t,
+                    PollCtx {
+                        odo: s.odo,
+                        speed: s.speed,
+                        zone: s.zone,
+                        tz: s.tz,
+                    },
+                )
+            },
+            &mut |t| {
+                trace.sample_at(t).map(|s| VehicleCtx {
+                    speed_mph: s.speed.as_mph(),
+                    zone: s.zone,
+                    tz: s.tz,
+                })
+            },
+            start,
+            id,
+            self.op,
+            path,
+            true,
+            self.rng.split(&format!("rtt/{id}")),
+        );
+        let end = start + measure::RTT_TEST;
+        self.ds.rtt.extend(samples);
+        self.ds.coverage.extend(coverage);
+        let hos = self.drain_handovers(id, None);
+        self.ds.runs.push(TestRun {
+            id,
+            kind: TestKind::Rtt,
+            operator: self.op,
+            start,
+            end,
+            miles: self.trace.distance_in_window(start, end).as_miles(),
+            tz: self
+                .trace
+                .sample_at(start)
+                .map(|s| s.tz)
+                .unwrap_or(wheels_sim_core::time::Timezone::Pacific),
+            server: path.kind,
+            hs5g_fraction: hs5g,
+            handovers: hos,
+            driving: true,
+        });
+        end + TEST_GAP
+    }
+
+    /// Adapt the phone into the apps' link abstraction for one test.
+    ///
+    /// XCAL keeps logging during the app tests, so every 500 ms bin the
+    /// sampler touches also yields a coverage row (the direction tagging
+    /// follows the app's dominant traffic direction).
+    fn with_sampler<R>(
+        &mut self,
+        path: wheels_transport::servers::NetPath,
+        app_direction: Direction,
+        f: impl FnOnce(&mut dyn wheels_apps::link::LinkSampler) -> R,
+    ) -> R {
+        let trace = self.trace;
+        let session = &mut self.session;
+        let op = self.op;
+        let coverage = std::cell::RefCell::new(Vec::new());
+        let mut last_bin: u64 = u64::MAX;
+        let r = {
+            let coverage = &coverage;
+            let mut sampler = move |t: SimTime| -> Option<LinkState> {
+                let s = trace.sample_at(t)?;
+                let snap = session.poll(
+                    t,
+                    PollCtx {
+                        odo: s.odo,
+                        speed: s.speed,
+                        zone: s.zone,
+                        tz: s.tz,
+                    },
+                );
+                let bin = t.as_millis() / 500;
+                if bin != last_bin {
+                    last_bin = bin;
+                    coverage.borrow_mut().push(crate::records::CoverageSample {
+                        t,
+                        operator: op,
+                        tech: snap.as_ref().map(|x| x.tech),
+                        direction: Some(app_direction),
+                        miles: s.speed.as_mph() * (500.0 / 3_600_000.0),
+                        speed_mph: s.speed.as_mph(),
+                        tz: s.tz,
+                        zone: s.zone,
+                    });
+                }
+                let snap = snap?;
+                Some(LinkState {
+                    dl: snap.dl_rate * APP_TCP_EFF,
+                    ul: snap.ul_rate * APP_TCP_EFF,
+                    rtt_ms: measure::base_rtt_ms(&snap, &path),
+                    in_handover: snap.in_handover,
+                    on_high_speed_5g: snap.tech.is_high_speed(),
+                })
+            };
+            f(&mut sampler)
+        };
+        self.ds.coverage.extend(coverage.into_inner());
+        r
+    }
+
+    fn run_offload(
+        &mut self,
+        start: SimTime,
+        kind: TestKind,
+        config: AppConfig,
+        compressed: bool,
+    ) -> SimTime {
+        let id = self.alloc_id();
+        let path = self.current_path(start);
+        self.session.set_demand(TrafficDemand::BackloggedUplink);
+        let stats = self.with_sampler(path, Direction::Uplink, |s| {
+            OffloadRun::execute(&config, s, start, compressed)
+        });
+        let end = start + SimDuration::from_secs(config.duration_s);
+        let frame_kb = if compressed {
+            config.compressed_frame_kb
+        } else {
+            config.raw_frame_kb
+        };
+        self.ds.tx_bytes += stats.frames_offloaded as f64 * frame_kb * 1024.0;
+        let hos = self.drain_handovers(id, Some(Direction::Uplink));
+        self.ds.runs.push(TestRun {
+            id,
+            kind,
+            operator: self.op,
+            start,
+            end,
+            miles: self.trace.distance_in_window(start, end).as_miles(),
+            tz: self
+                .trace
+                .sample_at(start)
+                .map(|s| s.tz)
+                .unwrap_or(wheels_sim_core::time::Timezone::Pacific),
+            server: path.kind,
+            hs5g_fraction: stats.high_speed_5g_fraction,
+            handovers: hos,
+            driving: true,
+        });
+        self.ds.apps.push(AppRun {
+            id,
+            operator: self.op,
+            kind,
+            server: path.kind,
+            driving: true,
+            offload: Some(stats),
+            video: None,
+            gaming: None,
+        });
+        end + TEST_GAP
+    }
+
+    fn run_video(&mut self, start: SimTime) -> SimTime {
+        let id = self.alloc_id();
+        let path = self.current_path(start);
+        self.session.set_demand(TrafficDemand::BackloggedDownlink);
+        let stats = self.with_sampler(path, Direction::Downlink, |s| VideoRun::execute(s, start));
+        let end = start + SimDuration::from_secs(wheels_apps::video::SESSION_S);
+        self.ds.rx_bytes += stats.avg_bitrate() * 1e6 / 8.0 * stats.chunks.len() as f64 * 2.0;
+        let hos = self.drain_handovers(id, Some(Direction::Downlink));
+        self.ds.runs.push(TestRun {
+            id,
+            kind: TestKind::Video,
+            operator: self.op,
+            start,
+            end,
+            miles: self.trace.distance_in_window(start, end).as_miles(),
+            tz: self
+                .trace
+                .sample_at(start)
+                .map(|s| s.tz)
+                .unwrap_or(wheels_sim_core::time::Timezone::Pacific),
+            server: path.kind,
+            hs5g_fraction: stats.high_speed_5g_fraction,
+            handovers: hos,
+            driving: true,
+        });
+        self.ds.apps.push(AppRun {
+            id,
+            operator: self.op,
+            kind: TestKind::Video,
+            server: path.kind,
+            driving: true,
+            offload: None,
+            video: Some(stats),
+            gaming: None,
+        });
+        end + TEST_GAP
+    }
+
+    fn run_gaming(&mut self, start: SimTime) -> SimTime {
+        let id = self.alloc_id();
+        let path = self.current_path(start);
+        self.session.set_demand(TrafficDemand::BackloggedDownlink);
+        let stats = self.with_sampler(path, Direction::Downlink, |s| GamingRun::execute(s, start));
+        let end = start + SimDuration::from_secs(wheels_apps::gaming::SESSION_S);
+        self.ds.rx_bytes += stats
+            .bitrate_mbps
+            .iter()
+            .map(|b| b * 1e6 / 8.0)
+            .sum::<f64>();
+        let hos = self.drain_handovers(id, Some(Direction::Downlink));
+        self.ds.runs.push(TestRun {
+            id,
+            kind: TestKind::Gaming,
+            operator: self.op,
+            start,
+            end,
+            miles: self.trace.distance_in_window(start, end).as_miles(),
+            tz: self
+                .trace
+                .sample_at(start)
+                .map(|s| s.tz)
+                .unwrap_or(wheels_sim_core::time::Timezone::Pacific),
+            server: path.kind,
+            hs5g_fraction: stats.high_speed_5g_fraction,
+            handovers: hos,
+            driving: true,
+        });
+        self.ds.apps.push(AppRun {
+            id,
+            operator: self.op,
+            kind: TestKind::Gaming,
+            server: path.kind,
+            driving: true,
+            offload: None,
+            video: None,
+            gaming: Some(stats),
+        });
+        end + TEST_GAP
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn small_campaign() -> &'static (Campaign, Dataset) {
+        static C: OnceLock<(Campaign, Dataset)> = OnceLock::new();
+        C.get_or_init(|| {
+            let c = Campaign::standard(2022);
+            let cfg = CampaignConfig {
+                max_cycles: Some(4),
+                include_apps: true,
+                include_static: false,
+                start_at_sample: 30_000,
+                ..CampaignConfig::default()
+            };
+            let ds = c.run(&cfg);
+            (c, ds)
+        })
+    }
+
+    #[test]
+    fn all_three_operators_produce_data() {
+        let (_, ds) = small_campaign();
+        for op in Operator::ALL {
+            let n = ds.tput_where(Some(op), None, Some(true)).count();
+            assert!(n > 50, "{op:?}: {n} tput samples");
+            assert!(
+                ds.rtt.iter().any(|r| r.operator == op),
+                "{op:?}: no rtt samples"
+            );
+        }
+    }
+
+    #[test]
+    fn operators_share_the_clock() {
+        // Concurrent measurement: the three operators' first driving DL
+        // tests start at the same sim time (Fig. 6 requires this).
+        let (_, ds) = small_campaign();
+        let starts: Vec<SimTime> = Operator::ALL
+            .iter()
+            .map(|op| {
+                ds.runs
+                    .iter()
+                    .filter(|r| r.operator == *op && r.kind == TestKind::DownlinkTput)
+                    .map(|r| r.start)
+                    .min()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(starts[0], starts[1]);
+        assert_eq!(starts[1], starts[2]);
+    }
+
+    #[test]
+    fn cycle_produces_all_test_kinds() {
+        let (_, ds) = small_campaign();
+        for kind in [
+            TestKind::DownlinkTput,
+            TestKind::UplinkTput,
+            TestKind::Rtt,
+            TestKind::Ar,
+            TestKind::Cav,
+            TestKind::Video,
+            TestKind::Gaming,
+        ] {
+            assert!(
+                ds.runs.iter().any(|r| r.kind == kind),
+                "missing {kind:?} runs"
+            );
+        }
+        // AR and CAV each ran compressed and raw.
+        let ar_runs: Vec<_> = ds
+            .apps
+            .iter()
+            .filter(|a| a.kind == TestKind::Ar)
+            .collect();
+        assert!(ar_runs.iter().any(|a| a.offload.as_ref().unwrap().compressed));
+        assert!(ar_runs.iter().any(|a| !a.offload.as_ref().unwrap().compressed));
+    }
+
+    #[test]
+    fn accounting_totals_populated() {
+        let (_, ds) = small_campaign();
+        assert!(ds.rx_bytes > 1e6, "rx {}", ds.rx_bytes);
+        assert!(ds.tx_bytes > 1e5, "tx {}", ds.tx_bytes);
+        assert!(ds.log_bytes > 0.0);
+        assert_eq!(ds.unique_cells.len(), 3);
+        assert_eq!(ds.runtime_min.len(), 3);
+        for (_, mins) in &ds.runtime_min {
+            assert!(*mins > 10.0, "runtime {mins} min");
+        }
+    }
+
+    #[test]
+    fn driving_tput_mostly_below_static_peaks() {
+        let (_, ds) = small_campaign();
+        let driving: Vec<f64> = ds
+            .tput_where(None, Some(Direction::Downlink), Some(true))
+            .map(|s| s.mbps)
+            .collect();
+        let med = wheels_sim_core::stats::Cdf::from_samples(driving.iter().copied())
+            .median()
+            .unwrap();
+        assert!(med < 200.0, "driving DL median {med}");
+    }
+
+    #[test]
+    fn handovers_are_tagged_with_tests() {
+        let (_, ds) = small_campaign();
+        // At least some handovers happened over 4 cycles × 3 operators.
+        assert!(!ds.handovers.is_empty(), "no handovers at all");
+        assert!(
+            ds.handovers.iter().any(|h| h.test_id.is_some()),
+            "no handover attributed to a test"
+        );
+    }
+
+    #[test]
+    fn test_ids_unique_across_operators() {
+        let (_, ds) = small_campaign();
+        let mut ids: Vec<u32> = ds.runs.iter().map(|r| r.id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn static_stops_produce_baselines() {
+        // A tiny campaign with static probes only.
+        let c = Campaign::standard(2022);
+        let cfg = CampaignConfig {
+            max_cycles: Some(0),
+            include_apps: false,
+            include_static: true,
+            ..CampaignConfig::default()
+        };
+        let ds = c.run_operator(Operator::Verizon, &cfg);
+        let static_runs = ds.runs.iter().filter(|r| !r.driving).count();
+        assert!(static_runs >= 9, "static runs {static_runs}");
+        assert!(ds.tput.iter().any(|s| !s.driving));
+    }
+}

@@ -1,0 +1,360 @@
+//! The consolidated database.
+//!
+//! Everything the analysis needs, in flat typed tables. This is the
+//! synthetic equivalent of the paper's "consolidated database, which
+//! includes both the XCAL and the app layer data" (§3).
+
+use serde::{Deserialize, Serialize};
+use wheels_apps::arcav::OffloadStats;
+use wheels_apps::gaming::GamingStats;
+use wheels_apps::video::VideoStats;
+use wheels_geo::route::ZoneClass;
+use wheels_radio::tech::{Direction, Technology};
+use wheels_ran::operator::Operator;
+use wheels_ran::session::HandoverEvent;
+use wheels_sim_core::time::{SimTime, Timezone};
+use wheels_transport::servers::ServerKind;
+
+/// The kind of test a record came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TestKind {
+    /// Backlogged TCP downlink (nuttcp).
+    DownlinkTput,
+    /// Backlogged TCP uplink (nuttcp).
+    UplinkTput,
+    /// ICMP RTT test.
+    Rtt,
+    /// AR offload run.
+    Ar,
+    /// CAV offload run.
+    Cav,
+    /// 360° video session.
+    Video,
+    /// Cloud gaming session.
+    Gaming,
+}
+
+impl TestKind {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            TestKind::DownlinkTput => "tput-dl",
+            TestKind::UplinkTput => "tput-ul",
+            TestKind::Rtt => "rtt",
+            TestKind::Ar => "ar",
+            TestKind::Cav => "cav",
+            TestKind::Video => "video",
+            TestKind::Gaming => "gaming",
+        }
+    }
+}
+
+/// One 500 ms application-layer throughput sample joined with its KPIs —
+/// the row type behind Figs. 3–10 and Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TputSample {
+    /// Sample time (start of the 500 ms bin).
+    pub t: SimTime,
+    /// Test id this sample belongs to.
+    pub test_id: u32,
+    /// Operator.
+    pub operator: Operator,
+    /// Traffic direction.
+    pub direction: Direction,
+    /// Application-layer goodput (Mbps) over the bin.
+    pub mbps: f64,
+    /// Serving technology during the bin.
+    pub tech: Technology,
+    /// Serving cell id.
+    pub cell: u32,
+    /// Vehicle speed (mph).
+    pub speed_mph: f64,
+    /// Road zone.
+    pub zone: ZoneClass,
+    /// Timezone.
+    pub tz: Timezone,
+    /// Edge or cloud server.
+    pub server: ServerKind,
+    /// Primary-cell RSRP (dBm).
+    pub rsrp_dbm: f64,
+    /// Primary-cell MCS.
+    pub mcs: u8,
+    /// Primary-cell BLER.
+    pub bler: f64,
+    /// Component carriers.
+    pub carriers: u8,
+    /// Handovers that *started* during this bin.
+    pub handovers_in_bin: u8,
+    /// True while driving (false = static baseline).
+    pub driving: bool,
+}
+
+/// One RTT sample (Figs. 3, 4, 8, 9).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RttSample {
+    /// Ping send time.
+    pub t: SimTime,
+    /// Test id.
+    pub test_id: u32,
+    /// Operator.
+    pub operator: Operator,
+    /// Measured RTT, `None` for lost pings.
+    pub rtt_ms: Option<f64>,
+    /// Serving technology at send time.
+    pub tech: Technology,
+    /// Vehicle speed (mph).
+    pub speed_mph: f64,
+    /// Timezone.
+    pub tz: Timezone,
+    /// Edge or cloud server.
+    pub server: ServerKind,
+    /// True while driving.
+    pub driving: bool,
+}
+
+/// One coverage sample: 500 ms of connectivity weighted by miles driven —
+/// the row type behind Figs. 1–2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoverageSample {
+    /// Sample time.
+    pub t: SimTime,
+    /// Operator.
+    pub operator: Operator,
+    /// Serving technology, `None` when out of service.
+    pub tech: Option<Technology>,
+    /// Direction of the test backlogging the network at this moment
+    /// (`None` for ICMP-only periods).
+    pub direction: Option<Direction>,
+    /// Miles covered during this sample.
+    pub miles: f64,
+    /// Speed (mph).
+    pub speed_mph: f64,
+    /// Timezone.
+    pub tz: Timezone,
+    /// Zone class.
+    pub zone: ZoneClass,
+}
+
+/// Per-test aggregate (Figs. 9–11).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestRun {
+    /// Unique test id (joins samples).
+    pub id: u32,
+    /// Test kind.
+    pub kind: TestKind,
+    /// Operator.
+    pub operator: Operator,
+    /// Start time.
+    pub start: SimTime,
+    /// End time.
+    pub end: SimTime,
+    /// Miles driven during the test.
+    pub miles: f64,
+    /// Timezone at start.
+    pub tz: Timezone,
+    /// Edge or cloud.
+    pub server: ServerKind,
+    /// Fraction of test time on high-speed 5G.
+    pub hs5g_fraction: f64,
+    /// Handovers during the test.
+    pub handovers: u32,
+    /// True while driving.
+    pub driving: bool,
+}
+
+/// A handover event tagged with its operator and test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaggedHandover {
+    /// The event.
+    pub event: HandoverEvent,
+    /// Operator.
+    pub operator: Operator,
+    /// Test during which it happened (if any).
+    pub test_id: Option<u32>,
+    /// Direction of the backlogged traffic at the time (if any).
+    pub direction: Option<Direction>,
+}
+
+/// One application run's metrics (§7 figures).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppRun {
+    /// Test id.
+    pub id: u32,
+    /// Operator.
+    pub operator: Operator,
+    /// Which app.
+    pub kind: TestKind,
+    /// Edge or cloud server.
+    pub server: ServerKind,
+    /// True while driving.
+    pub driving: bool,
+    /// AR/CAV runs (with/without compression pairs are separate runs).
+    pub offload: Option<OffloadStats>,
+    /// Video session stats.
+    pub video: Option<VideoStats>,
+    /// Gaming session stats.
+    pub gaming: Option<GamingStats>,
+}
+
+/// The full consolidated dataset of one campaign.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// 500 ms throughput samples.
+    pub tput: Vec<TputSample>,
+    /// RTT samples.
+    pub rtt: Vec<RttSample>,
+    /// Coverage samples (active tests).
+    pub coverage: Vec<CoverageSample>,
+    /// Per-test aggregates.
+    pub runs: Vec<TestRun>,
+    /// All handovers observed during tests.
+    pub handovers: Vec<TaggedHandover>,
+    /// Application runs.
+    pub apps: Vec<AppRun>,
+    /// Total bytes received over cellular (Table 1).
+    pub rx_bytes: f64,
+    /// Total bytes transmitted over cellular (Table 1).
+    pub tx_bytes: f64,
+    /// Synthetic XCAL log volume in bytes (Table 1).
+    pub log_bytes: f64,
+    /// Per-operator unique cells connected (Table 1).
+    pub unique_cells: Vec<(Operator, usize)>,
+    /// Per-operator cumulative experiment runtime in minutes (Table 1).
+    pub runtime_min: Vec<(Operator, f64)>,
+}
+
+impl Dataset {
+    /// Merge another dataset (used to combine per-operator shards).
+    pub fn merge(&mut self, other: Dataset) {
+        self.tput.extend(other.tput);
+        self.rtt.extend(other.rtt);
+        self.coverage.extend(other.coverage);
+        self.runs.extend(other.runs);
+        self.handovers.extend(other.handovers);
+        self.apps.extend(other.apps);
+        self.rx_bytes += other.rx_bytes;
+        self.tx_bytes += other.tx_bytes;
+        self.log_bytes += other.log_bytes;
+        self.unique_cells.extend(other.unique_cells);
+        self.runtime_min.extend(other.runtime_min);
+    }
+
+    /// Throughput samples filtered the way most figures need.
+    pub fn tput_where(
+        &self,
+        operator: Option<Operator>,
+        direction: Option<Direction>,
+        driving: Option<bool>,
+    ) -> impl Iterator<Item = &TputSample> {
+        self.tput.iter().filter(move |s| {
+            operator.is_none_or(|o| s.operator == o)
+                && direction.is_none_or(|d| s.direction == d)
+                && driving.is_none_or(|dr| s.driving == dr)
+        })
+    }
+
+    /// Valid (non-lost) RTT values matching the filters.
+    pub fn rtt_where(
+        &self,
+        operator: Option<Operator>,
+        driving: Option<bool>,
+    ) -> impl Iterator<Item = f64> + '_ {
+        self.rtt.iter().filter_map(move |s| {
+            if operator.is_none_or(|o| s.operator == o)
+                && driving.is_none_or(|dr| s.driving == dr)
+            {
+                s.rtt_ms
+            } else {
+                None
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Dataset {
+            rx_bytes: 10.0,
+            ..Default::default()
+        };
+        let b = Dataset {
+            rx_bytes: 5.0,
+            unique_cells: vec![(Operator::Att, 3)],
+            ..Default::default()
+        };
+        a.merge(b);
+        assert_eq!(a.rx_bytes, 15.0);
+        assert_eq!(a.unique_cells.len(), 1);
+    }
+
+    #[test]
+    fn filters_work() {
+        let mut d = Dataset::default();
+        let mk = |op, dir, driving, mbps| TputSample {
+            t: SimTime::EPOCH,
+            test_id: 0,
+            operator: op,
+            direction: dir,
+            mbps,
+            tech: Technology::Lte,
+            cell: 1,
+            speed_mph: 60.0,
+            zone: ZoneClass::Highway,
+            tz: Timezone::Central,
+            server: ServerKind::Cloud,
+            rsrp_dbm: -100.0,
+            mcs: 10,
+            bler: 0.1,
+            carriers: 1,
+            handovers_in_bin: 0,
+            driving,
+        };
+        d.tput.push(mk(Operator::Verizon, Direction::Downlink, true, 50.0));
+        d.tput.push(mk(Operator::Verizon, Direction::Uplink, true, 5.0));
+        d.tput.push(mk(Operator::Att, Direction::Downlink, false, 700.0));
+        assert_eq!(
+            d.tput_where(Some(Operator::Verizon), None, None).count(),
+            2
+        );
+        assert_eq!(
+            d.tput_where(None, Some(Direction::Downlink), Some(true)).count(),
+            1
+        );
+        d.rtt.push(RttSample {
+            t: SimTime::EPOCH,
+            test_id: 1,
+            operator: Operator::Verizon,
+            rtt_ms: Some(64.0),
+            tech: Technology::LteA,
+            speed_mph: 60.0,
+            tz: Timezone::Central,
+            server: ServerKind::Cloud,
+            driving: true,
+        });
+        d.rtt.push(RttSample {
+            t: SimTime::EPOCH,
+            test_id: 1,
+            operator: Operator::Verizon,
+            rtt_ms: None,
+            tech: Technology::LteA,
+            speed_mph: 60.0,
+            tz: Timezone::Central,
+            server: ServerKind::Cloud,
+            driving: true,
+        });
+        let vals: Vec<f64> = d.rtt_where(Some(Operator::Verizon), Some(true)).collect();
+        assert_eq!(vals, vec![64.0]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = Dataset::default();
+        let s = serde_json::to_string(&d).unwrap();
+        let back: Dataset = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.tput.len(), 0);
+    }
+}

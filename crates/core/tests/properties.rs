@@ -1,0 +1,157 @@
+//! Property-based tests for log synchronization: any well-formed log in
+//! any dialect, overlapping any DRM file, reconciles exactly.
+
+use proptest::prelude::*;
+use wheels_core::logsync::{sync_log, AppLog, StampKind};
+use wheels_radio::tech::Technology;
+use wheels_ran::cells::CellId;
+use wheels_ran::operator::Operator;
+use wheels_ran::session::RanSnapshot;
+use wheels_sim_core::time::{SimDuration, SimTime, Timezone, WallClock};
+use wheels_sim_core::units::{DataRate, Db, Dbm};
+use wheels_ue::xcal::{DrmFile, XcalLogger};
+
+fn snapshot(t: SimTime) -> RanSnapshot {
+    RanSnapshot {
+        t,
+        operator: Operator::Verizon,
+        cell: CellId(5),
+        tech: Technology::LteA,
+        rsrp: Dbm(-101.0),
+        sinr: Db(10.0),
+        blocked: false,
+        in_handover: false,
+        carriers: 2,
+        primary_mcs: 15,
+        primary_bler: 0.1,
+        dl_rate: DataRate::from_mbps(70.0),
+        ul_rate: DataRate::from_mbps(12.0),
+        share: 0.5,
+    }
+}
+
+fn drm(start: SimTime, secs: u64, zone: Timezone) -> DrmFile {
+    let mut l = XcalLogger::new();
+    l.open_file(start, zone);
+    for k in 0..secs * 2 {
+        l.log(&snapshot(start + SimDuration::from_millis(k * 500)));
+    }
+    l.finish().pop().unwrap()
+}
+
+fn any_zone() -> impl Strategy<Value = Timezone> {
+    prop::sample::select(Timezone::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn utc_logs_always_reconcile_exactly(
+        start_h in 1u64..190,
+        file_zone in any_zone(),
+        offset_s in 0u64..20,
+        len in 1usize..30,
+    ) {
+        let t0 = SimTime::from_hours(start_h);
+        let drms = vec![drm(t0, 40, file_zone)];
+        let log_start = t0 + SimDuration::from_secs(offset_s);
+        let log = AppLog {
+            test_id: 1,
+            stamp: StampKind::Utc,
+            entries_ms: (0..len as u64)
+                .map(|k| WallClock::utc_ms(log_start + SimDuration::from_millis(k * 700)))
+                .collect(),
+        };
+        let s = sync_log(&log, &drms).unwrap();
+        prop_assert_eq!(s.drm_index, 0);
+        prop_assert_eq!(s.entries[0], log_start);
+        prop_assert_eq!(s.entries.len(), len);
+    }
+
+    #[test]
+    fn known_local_zone_reconciles_exactly(
+        start_h in 1u64..190,
+        file_zone in any_zone(),
+        log_zone in any_zone(),
+        len in 1usize..30,
+    ) {
+        let t0 = SimTime::from_hours(start_h);
+        let drms = vec![drm(t0, 40, file_zone)];
+        let log = AppLog {
+            test_id: 2,
+            stamp: StampKind::Local(log_zone),
+            entries_ms: (0..len as u64)
+                .map(|k| WallClock::local_ms(t0 + SimDuration::from_secs(k), log_zone))
+                .collect(),
+        };
+        let s = sync_log(&log, &drms).unwrap();
+        prop_assert_eq!(s.entries[0], t0);
+    }
+
+    #[test]
+    fn unknown_zone_recovers_sim_times(
+        start_h in 1u64..190,
+        true_zone in any_zone(),
+        len in 2usize..30,
+    ) {
+        // A single DRM file; the true zone's interpretation must land
+        // inside it; any other zone interpretation is ±hours outside.
+        let t0 = SimTime::from_hours(start_h);
+        let drms = vec![drm(t0, 40, true_zone)];
+        let log = AppLog {
+            test_id: 3,
+            stamp: StampKind::LocalUnknown,
+            entries_ms: (0..len as u64)
+                .map(|k| WallClock::local_ms(t0 + SimDuration::from_secs(k), true_zone))
+                .collect(),
+        };
+        let s = sync_log(&log, &drms).unwrap();
+        prop_assert_eq!(s.entries[0], t0);
+        prop_assert_eq!(s.inferred_zone, Some(true_zone));
+    }
+
+    #[test]
+    fn far_away_logs_never_match(
+        start_h in 1u64..90,
+        gap_h in 5u64..50,
+        file_zone in any_zone(),
+    ) {
+        let t0 = SimTime::from_hours(start_h);
+        let drms = vec![drm(t0, 40, file_zone)];
+        let log = AppLog {
+            test_id: 4,
+            stamp: StampKind::Utc,
+            entries_ms: (0..10u64)
+                .map(|k| {
+                    WallClock::utc_ms(
+                        t0 + SimDuration::from_hours(gap_h) + SimDuration::from_secs(k),
+                    )
+                })
+                .collect(),
+        };
+        prop_assert!(sync_log(&log, &drms).is_err());
+    }
+
+    #[test]
+    fn correct_file_chosen_among_many(
+        base_h in 1u64..90,
+        pick in 0usize..4,
+        file_zone in any_zone(),
+    ) {
+        // Four files two hours apart; a UTC log inside file `pick`.
+        let files: Vec<DrmFile> = (0..4)
+            .map(|i| drm(SimTime::from_hours(base_h + i * 2), 40, file_zone))
+            .collect();
+        let t = SimTime::from_hours(base_h + pick as u64 * 2) + SimDuration::from_secs(3);
+        let log = AppLog {
+            test_id: 5,
+            stamp: StampKind::Utc,
+            entries_ms: (0..10u64)
+                .map(|k| WallClock::utc_ms(t + SimDuration::from_secs(k)))
+                .collect(),
+        };
+        let s = sync_log(&log, &files).unwrap();
+        prop_assert_eq!(s.drm_index, pick);
+    }
+}

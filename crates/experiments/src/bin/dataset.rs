@@ -1,0 +1,70 @@
+//! `dataset` — export the consolidated dataset as JSON.
+//!
+//! The paper publishes its dataset on GitHub; our substitute is a seeded
+//! regeneration. This binary builds the world at the chosen scale and
+//! writes the full consolidated database (typed tables: throughput
+//! samples, RTT samples, coverage rows, test runs, handovers, app runs,
+//! plus the Table 1 accounting) as a single JSON document.
+//!
+//! ```text
+//! dataset [--quick|--standard|--full] [--seed N] [output.json]
+//! ```
+//!
+//! With no output path, JSON goes to stdout.
+
+use std::io::Write;
+
+use wheels_experiments::world::{Scale, World};
+
+fn main() {
+    let mut scale = Scale::Quick;
+    let mut seed: u64 = 2022;
+    let mut out_path: Option<String> = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--standard" => scale = Scale::Standard,
+            "--full" => scale = Scale::Full,
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    });
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => out_path = Some(other.to_string()),
+        }
+    }
+
+    eprintln!("building world at scale {scale:?} (seed {seed})...");
+    let world = World::build_seeded(scale, seed);
+    eprintln!(
+        "serializing {} tput / {} rtt / {} coverage / {} runs / {} handovers / {} app runs",
+        world.dataset.tput.len(),
+        world.dataset.rtt.len(),
+        world.dataset.coverage.len(),
+        world.dataset.runs.len(),
+        world.dataset.handovers.len(),
+        world.dataset.apps.len()
+    );
+    let json = serde_json::to_string(&world.dataset).expect("dataset serializes");
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, json.as_bytes()).expect("write output file");
+            eprintln!("wrote {p} ({} MB)", json.len() / 1_000_000);
+        }
+        None => {
+            std::io::stdout()
+                .lock()
+                .write_all(json.as_bytes())
+                .expect("write stdout");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick|--standard|--full] [--seed N] [ids...]
+//! repro --list
+//! ```
+//!
+//! With no ids, every experiment runs. Run in release mode; `--full` is
+//! the paper's continuous protocol and takes minutes.
+
+use std::io::Write;
+
+use wheels_experiments::world::{Scale, World};
+use wheels_experiments::{registry, run_by_id};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for (id, desc, _) in registry() {
+            println!("{id:<8} {desc}");
+        }
+        return;
+    }
+    let mut scale = Scale::Standard;
+    let mut seed: u64 = 2022;
+    let mut ids: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--standard" => scale = Scale::Standard,
+            "--full" => scale = Scale::Full,
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    });
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = registry().iter().map(|(id, _, _)| id.to_string()).collect();
+    }
+
+    eprintln!("building world at scale {scale:?} (seed {seed})...");
+    let t0 = std::time::Instant::now();
+    let world = World::build_seeded(scale, seed);
+    eprintln!(
+        "world ready in {:.1}s: {} tput samples, {} rtt samples, {} app runs, {} handovers",
+        t0.elapsed().as_secs_f64(),
+        world.dataset.tput.len(),
+        world.dataset.rtt.len(),
+        world.dataset.apps.len(),
+        world.dataset.handovers.len()
+    );
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for id in &ids {
+        match run_by_id(&world, id) {
+            Some(text) => {
+                writeln!(out, "{}", "=".repeat(78)).unwrap();
+                writeln!(out, "{text}").unwrap();
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (try --list)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

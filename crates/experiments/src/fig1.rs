@@ -1,0 +1,149 @@
+//! Fig. 1: passive (handover-logger) vs active (XCAL under backlog)
+//! coverage along the route.
+//!
+//! The paper's point: the two views disagree wildly because operators
+//! upgrade to 5G only under load. We regenerate both views — the passive
+//! one by running the 200 ms ICMP logger over (a subsample of) the trip,
+//! the active one from the campaign's coverage samples — and print each
+//! operator's per-segment dominant technology as a route strip plus the
+//! headline 5G percentages.
+
+use wheels_core::analysis::coverage::{route_profile, TechShare};
+use wheels_radio::tech::Technology;
+use wheels_ran::operator::Operator;
+use wheels_sim_core::rng::SimRng;
+use wheels_ue::hologger::HandoverLogger;
+
+use crate::fmt;
+use crate::world::World;
+
+/// Strip segment width (miles).
+const SEGMENT_MILES: f64 = 50.0;
+
+fn tech_char(t: Option<Technology>) -> char {
+    match t {
+        None => '.',
+        Some(Technology::Lte) => 'l',
+        Some(Technology::LteA) => 'L',
+        Some(Technology::Nr5gLow) => '5',
+        Some(Technology::Nr5gMid) => 'M',
+        Some(Technology::Nr5gMmWave) => 'W',
+    }
+}
+
+/// Passive view: run the handover-logger over trace subsamples.
+pub fn passive_profile(world: &World, op: Operator) -> (Vec<(f64, Option<Technology>)>, TechShare) {
+    let trace = &world.campaign.trace;
+    let dep = world.campaign.deployment(op);
+    let n = trace.samples().len();
+    // Subsample: 60-second chunks every ~20 minutes keep this cheap while
+    // covering the whole route.
+    let mut points = Vec::new();
+    let mut share = TechShare::default();
+    let chunk = 60;
+    let stride = 1200;
+    let mut start = 0;
+    while start + chunk < n {
+        // The logger rows are in lockstep with the trace (5 rows per trace
+        // second), so route positions come straight from the trace.
+        let rows = HandoverLogger::run(
+            dep,
+            trace,
+            start,
+            start + chunk,
+            SimRng::seed(7).split(&format!("fig1/{}/{start}", op.label())),
+        );
+        for (i, r) in rows.iter().enumerate() {
+            let s = &trace.samples()[start + i / 5];
+            points.push((s.odo.as_miles(), r.tech));
+            share.add(r.tech, s.speed.as_mph() * 0.2 / 3600.0);
+        }
+        start += stride;
+    }
+    (points, share)
+}
+
+/// Active view: the campaign's coverage samples mapped to route miles.
+pub fn active_profile(world: &World, op: Operator) -> (Vec<(f64, Option<Technology>)>, TechShare) {
+    let trace = &world.campaign.trace;
+    let mut points = Vec::new();
+    let mut share = TechShare::default();
+    for c in world.dataset.coverage.iter().filter(|c| c.operator == op) {
+        if let Some(s) = trace.sample_at(c.t) {
+            points.push((s.odo.as_miles(), c.tech));
+            share.add(c.tech, c.miles);
+        }
+    }
+    points.sort_by(|a, b| a.0.total_cmp(&b.0));
+    (points, share)
+}
+
+/// Render the figure.
+pub fn run(world: &World) -> String {
+    let mut out = String::from(
+        "Fig. 1 — coverage along the route: passive handover-logger vs active XCAL\n\
+         strip legend: l=LTE L=LTE-A 5=5G-low M=5G-mid W=mmWave .=no data\n\n",
+    );
+    let mut rows = Vec::new();
+    for op in Operator::ALL {
+        let (ppts, pshare) = passive_profile(world, op);
+        let (apts, ashare) = active_profile(world, op);
+        let pstrip: String = route_profile(&ppts, SEGMENT_MILES)
+            .iter()
+            .map(|(_, t)| tech_char(*t))
+            .collect();
+        let astrip: String = route_profile(&apts, SEGMENT_MILES)
+            .iter()
+            .map(|(_, t)| tech_char(*t))
+            .collect();
+        out.push_str(&format!("{} passive: {}\n", op.label(), pstrip));
+        out.push_str(&format!("{} active : {}\n\n", op.label(), astrip));
+        rows.push(vec![
+            op.label().to_string(),
+            fmt::pct(pshare.pct_5g()),
+            fmt::pct(ashare.pct_5g()),
+        ]);
+    }
+    out.push_str(&fmt::table(
+        &["operator", "passive 5G share", "active 5G share"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passive_underreports_5g_for_all_operators() {
+        let w = World::quick();
+        for op in Operator::ALL {
+            let (_, passive) = passive_profile(w, op);
+            let (_, active) = active_profile(w, op);
+            assert!(
+                passive.pct_5g() < active.pct_5g(),
+                "{op:?}: passive {} active {}",
+                passive.pct_5g(),
+                active.pct_5g()
+            );
+        }
+    }
+
+    #[test]
+    fn att_passive_is_pure_4g() {
+        // Fig. 1d: AT&T's handover-logger saw LTE/LTE-A only.
+        let w = World::quick();
+        let (_, passive) = passive_profile(w, Operator::Att);
+        assert!(passive.pct_5g() < 1.0, "{}", passive.pct_5g());
+    }
+
+    #[test]
+    fn renders_strips() {
+        let w = World::quick();
+        let out = run(w);
+        assert!(out.contains("passive:"));
+        assert!(out.contains("active :"));
+        assert!(out.contains("T-Mobile"));
+    }
+}

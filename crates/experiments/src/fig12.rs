@@ -1,0 +1,125 @@
+//! Fig. 12: the throughput impact of handovers — ΔT₁ (drop during the HO)
+//! and ΔT₂ (post- vs pre-HO), overall and by handover type.
+
+use wheels_core::analysis::handover::{drop_fraction, impacts, improve_fraction, HoImpact};
+use wheels_radio::tech::Direction;
+use wheels_ran::operator::Operator;
+use wheels_ran::session::HandoverKind;
+
+use crate::fmt;
+use crate::world::World;
+
+/// All impacts for one operator/direction.
+pub fn impacts_for(world: &World, op: Operator, dir: Direction) -> Vec<HoImpact> {
+    impacts(&world.dataset)
+        .into_iter()
+        .filter(|i| i.operator == op && i.direction == dir)
+        .collect()
+}
+
+const KINDS: [HandoverKind; 4] = [
+    HandoverKind::Horizontal4g,
+    HandoverKind::Horizontal5g,
+    HandoverKind::Up4gTo5g,
+    HandoverKind::Down5gTo4g,
+];
+
+/// Render the figure.
+pub fn run(world: &World) -> String {
+    let mut out = String::from("Fig. 12 — handover impact on throughput (Mbps)\n\n");
+    for dir in Direction::ALL {
+        out.push_str(&format!("{}:\n", dir.label()));
+        for op in Operator::ALL {
+            let imp = impacts_for(world, op, dir);
+            if imp.is_empty() {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<9} dT1 (during-HO): {}  drop-frac={:.0}%\n",
+                op.label(),
+                fmt::cdf_line(imp.iter().map(|i| i.delta_t1)),
+                drop_fraction(&imp) * 100.0
+            ));
+            out.push_str(&format!(
+                "  {:<9} dT2 (post-pre) : {}  improve-frac={:.0}%\n",
+                op.label(),
+                fmt::cdf_line(imp.iter().map(|i| i.delta_t2)),
+                improve_fraction(&imp) * 100.0
+            ));
+            for kind in KINDS {
+                let by_kind: Vec<f64> = imp
+                    .iter()
+                    .filter(|i| i.kind == kind)
+                    .map(|i| i.delta_t2)
+                    .collect();
+                if by_kind.len() >= 5 {
+                    out.push_str(&format!(
+                        "    dT2 {:<6}: {}\n",
+                        kind.label(),
+                        fmt::cdf_line(by_kind)
+                    ));
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_impacts() -> Vec<HoImpact> {
+        let w = World::quick();
+        impacts(&w.dataset)
+    }
+
+    #[test]
+    fn handovers_mostly_drop_throughput_during_execution() {
+        // Fig. 12a–c: ΔT₁ < 0 about 80% of the time.
+        let imp = all_impacts();
+        assert!(imp.len() > 30, "impacts {}", imp.len());
+        let f = drop_fraction(&imp);
+        assert!(f > 0.55, "drop fraction {f}");
+    }
+
+    #[test]
+    fn post_ho_often_improves() {
+        // Fig. 12d–f: ΔT₂ > 0 about 55–60% of the time.
+        let imp = all_impacts();
+        let f = improve_fraction(&imp);
+        assert!((0.30..0.85).contains(&f), "improve fraction {f}");
+    }
+
+    #[test]
+    fn downgrade_hos_hurt_more_than_upgrades() {
+        // 5G→4G lowers post-HO throughput more often than 4G→5G.
+        let imp = all_impacts();
+        let mean_d = |k: HandoverKind| {
+            let v: Vec<f64> = imp
+                .iter()
+                .filter(|i| i.kind == k)
+                .map(|i| i.delta_t2)
+                .collect();
+            if v.len() < 5 {
+                None
+            } else {
+                Some(v.iter().sum::<f64>() / v.len() as f64)
+            }
+        };
+        if let (Some(up), Some(down)) = (
+            mean_d(HandoverKind::Up4gTo5g),
+            mean_d(HandoverKind::Down5gTo4g),
+        ) {
+            assert!(up > down, "up {up} down {down}");
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let out = run(World::quick());
+        assert!(out.contains("dT1"));
+        assert!(out.contains("dT2"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Fig. 2: technology coverage as a percentage of miles driven —
+//! overall (a), by traffic direction (b), by timezone (c), by speed bin (d).
+
+use wheels_core::analysis::coverage;
+use wheels_radio::tech::{Direction, Technology};
+use wheels_ran::operator::Operator;
+use wheels_sim_core::time::Timezone;
+use wheels_sim_core::units::SpeedBin;
+
+use crate::fmt;
+use crate::world::World;
+
+fn share_row(label: String, s: &coverage::TechShare) -> Vec<String> {
+    let mut row = vec![label];
+    for t in Technology::ALL {
+        row.push(fmt::pct(s.pct(t)));
+    }
+    row.push(fmt::pct(s.pct_5g()));
+    row.push(fmt::pct(s.pct_high_speed()));
+    row
+}
+
+const HEADERS: [&str; 8] = [
+    "group", "LTE", "LTE-A", "5G-low", "5G-mid", "mmWave", "5G total", "high-speed",
+];
+
+/// Render Fig. 2a–d.
+pub fn run(world: &World) -> String {
+    let cov = &world.dataset.coverage;
+    let mut out = String::from("Fig. 2a — overall technology share of miles driven\n");
+    let mut rows = Vec::new();
+    for op in Operator::ALL {
+        rows.push(share_row(
+            op.label().to_string(),
+            &coverage::overall(cov, op),
+        ));
+    }
+    out.push_str(&fmt::table(&HEADERS, &rows));
+
+    out.push_str("\nFig. 2b — coverage by backlogged traffic direction\n");
+    let mut rows = Vec::new();
+    for op in Operator::ALL {
+        let by_dir = coverage::by_direction(cov, op);
+        for dir in Direction::ALL {
+            if let Some(s) = by_dir.get(&dir) {
+                rows.push(share_row(format!("{} {}", op.label(), dir.label()), s));
+            }
+        }
+    }
+    out.push_str(&fmt::table(&HEADERS, &rows));
+
+    out.push_str("\nFig. 2c — coverage by timezone\n");
+    let mut rows = Vec::new();
+    for op in Operator::ALL {
+        let by_tz = coverage::by_timezone(cov, op);
+        for tz in Timezone::ALL {
+            if let Some(s) = by_tz.get(&tz) {
+                rows.push(share_row(format!("{} {}", op.label(), tz.abbrev()), s));
+            }
+        }
+    }
+    out.push_str(&fmt::table(&HEADERS, &rows));
+
+    out.push_str("\nFig. 2d — coverage by speed bin\n");
+    let mut rows = Vec::new();
+    for op in Operator::ALL {
+        let by_sb = coverage::by_speed_bin(cov, op);
+        for sb in SpeedBin::ALL {
+            if let Some(s) = by_sb.get(&sb) {
+                rows.push(share_row(format!("{} {}", op.label(), sb.label()), s));
+            }
+        }
+    }
+    out.push_str(&fmt::table(&HEADERS, &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::targets;
+
+    #[test]
+    fn tmobile_has_highest_5g_share() {
+        let w = World::quick();
+        let cov = &w.dataset.coverage;
+        let t = coverage::overall(cov, Operator::TMobile).pct_5g();
+        let v = coverage::overall(cov, Operator::Verizon).pct_5g();
+        let a = coverage::overall(cov, Operator::Att).pct_5g();
+        assert!(t > v && t > a, "T {t} V {v} A {a}");
+        // Shape: T-Mobile's share should be in the vicinity of the paper's
+        // 68% (we accept a broad band at quick scale).
+        assert!(
+            (targets::coverage::TMOBILE_5G_PCT - t).abs() < 25.0,
+            "T-Mobile 5G {t}%"
+        );
+    }
+
+    #[test]
+    fn att_high_speed_is_smallest() {
+        let w = World::quick();
+        let cov = &w.dataset.coverage;
+        let a = coverage::overall(cov, Operator::Att).pct_high_speed();
+        let t = coverage::overall(cov, Operator::TMobile).pct_high_speed();
+        let v = coverage::overall(cov, Operator::Verizon).pct_high_speed();
+        assert!(a < v && a < t, "A {a} V {v} T {t}");
+        assert!(a < 12.0, "AT&T high-speed {a}%");
+    }
+
+    #[test]
+    fn downlink_gets_more_high_speed_than_uplink() {
+        let w = World::quick();
+        let cov = &w.dataset.coverage;
+        for op in Operator::ALL {
+            let by_dir = coverage::by_direction(cov, op);
+            let dl = by_dir[&Direction::Downlink].pct_high_speed();
+            let ul = by_dir[&Direction::Uplink].pct_high_speed();
+            assert!(dl > ul, "{op:?}: DL {dl} UL {ul}");
+        }
+    }
+
+    #[test]
+    fn high_speed_coverage_declines_with_speed_for_verizon() {
+        let w = World::quick();
+        let cov = &w.dataset.coverage;
+        let by_sb = coverage::by_speed_bin(cov, Operator::Verizon);
+        let low = by_sb[&SpeedBin::Low].pct_high_speed();
+        let high = by_sb[&SpeedBin::High].pct_high_speed();
+        assert!(low > high, "low-bin {low} vs high-bin {high}");
+    }
+
+    #[test]
+    fn renders_all_four_panels() {
+        let w = World::quick();
+        let out = run(w);
+        for p in ["Fig. 2a", "Fig. 2b", "Fig. 2c", "Fig. 2d"] {
+            assert!(out.contains(p), "missing {p}");
+        }
+    }
+}

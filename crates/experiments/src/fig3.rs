@@ -1,0 +1,128 @@
+//! Fig. 3: static (urban, facing a 5G BS) vs driving performance.
+
+use wheels_radio::tech::Direction;
+use wheels_ran::operator::Operator;
+
+use crate::fmt;
+use crate::world::World;
+
+/// Render the six CDF panels as summary lines.
+pub fn run(world: &World) -> String {
+    let ds = &world.dataset;
+    let mut out = String::from("Fig. 3 — overall performance: static vs driving\n\n");
+    for (label, driving) in [("3a static", false), ("3b driving", true)] {
+        out.push_str(&format!("Fig. {label}\n"));
+        for op in Operator::ALL {
+            for dir in Direction::ALL {
+                let vals = ds
+                    .tput_where(Some(op), Some(dir), Some(driving))
+                    .map(|s| s.mbps);
+                out.push_str(&format!(
+                    "  {:<9} {} tput (Mbps): {}\n",
+                    op.label(),
+                    dir.label(),
+                    fmt::cdf_line(vals)
+                ));
+            }
+            let rtts = ds.rtt_where(Some(op), Some(driving));
+            out.push_str(&format!(
+                "  {:<9} RTT (ms)      : {}\n",
+                op.label(),
+                fmt::cdf_line(rtts)
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wheels_sim_core::stats::Cdf;
+
+    fn median_tput(driving: bool, op: Operator, dir: Direction) -> f64 {
+        let w = World::quick();
+        Cdf::from_samples(
+            w.dataset
+                .tput_where(Some(op), Some(dir), Some(driving))
+                .map(|s| s.mbps),
+        )
+        .median()
+        .unwrap_or(0.0)
+    }
+
+    #[test]
+    fn driving_dl_collapses_vs_static() {
+        // §5.1: driving medians are 1–5% of static medians.
+        for op in Operator::ALL {
+            let stat = median_tput(false, op, Direction::Downlink);
+            let drv = median_tput(true, op, Direction::Downlink);
+            assert!(
+                drv < stat * 0.35,
+                "{op:?}: static {stat} driving {drv}"
+            );
+        }
+    }
+
+    #[test]
+    fn verizon_static_dl_highest() {
+        let v = median_tput(false, Operator::Verizon, Direction::Downlink);
+        let t = median_tput(false, Operator::TMobile, Direction::Downlink);
+        assert!(v > t, "V {v} T {t}");
+        assert!(v > 300.0, "Verizon static DL median {v}");
+    }
+
+    #[test]
+    fn static_ul_order_of_magnitude_below_dl() {
+        for op in Operator::ALL {
+            let dl = median_tput(false, op, Direction::Downlink);
+            let ul = median_tput(false, op, Direction::Uplink);
+            assert!(dl > 3.0 * ul, "{op:?}: dl {dl} ul {ul}");
+        }
+    }
+
+    #[test]
+    fn significant_low_throughput_fraction_while_driving() {
+        // §5.1: ~35% of driving samples below 5 Mbps. Accept 15–60% at
+        // quick scale.
+        let w = World::quick();
+        let all: Vec<f64> = w
+            .dataset
+            .tput_where(None, None, Some(true))
+            .map(|s| s.mbps)
+            .collect();
+        let frac = Cdf::from_samples(all.iter().copied()).fraction_at_or_below(5.0);
+        assert!((0.15..0.60).contains(&frac), "low-tput fraction {frac}");
+    }
+
+    #[test]
+    fn driving_rtt_median_in_paper_band() {
+        let w = World::quick();
+        for op in Operator::ALL {
+            let med = Cdf::from_samples(w.dataset.rtt_where(Some(op), Some(true)))
+                .median()
+                .unwrap();
+            assert!((35.0..130.0).contains(&med), "{op:?} RTT median {med}");
+        }
+    }
+
+    #[test]
+    fn driving_rtt_has_heavy_tail() {
+        // Fig. 3b: maxima of seconds. (Our RTT tests are unloaded pings, so
+        // the multi-second bufferbloat tail lives in the TCP tests; pings
+        // still show a heavy tail from scheduling jitter.)
+        let w = World::quick();
+        let c = Cdf::from_samples(w.dataset.rtt_where(None, Some(true)));
+        let p99 = c.quantile(0.99).unwrap();
+        let med = c.median().unwrap();
+        assert!(p99 > med * 2.0, "median {med} p99 {p99}");
+    }
+
+    #[test]
+    fn renders_both_panels() {
+        let out = run(World::quick());
+        assert!(out.contains("3a static"));
+        assert!(out.contains("3b driving"));
+    }
+}

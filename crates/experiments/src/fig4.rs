@@ -1,0 +1,181 @@
+//! Fig. 4: per-technology throughput and RTT while driving, with
+//! Verizon's edge-vs-cloud split.
+
+use wheels_radio::tech::{Direction, Technology};
+use wheels_ran::operator::Operator;
+use wheels_transport::servers::ServerKind;
+
+use crate::fmt;
+use crate::world::World;
+
+/// Driving throughput samples of one (operator, direction, technology),
+/// optionally filtered by server kind.
+pub fn tput_samples(
+    world: &World,
+    op: Operator,
+    dir: Direction,
+    tech: Technology,
+    server: Option<ServerKind>,
+) -> Vec<f64> {
+    world
+        .dataset
+        .tput_where(Some(op), Some(dir), Some(true))
+        .filter(|s| s.tech == tech && server.is_none_or(|k| s.server == k))
+        .map(|s| s.mbps)
+        .collect()
+}
+
+/// Driving RTT samples of one (operator, technology).
+pub fn rtt_samples(
+    world: &World,
+    op: Operator,
+    tech: Technology,
+    server: Option<ServerKind>,
+) -> Vec<f64> {
+    world
+        .dataset
+        .rtt
+        .iter()
+        .filter(|s| {
+            s.operator == op
+                && s.driving
+                && s.tech == tech
+                && server.is_none_or(|k| s.server == k)
+        })
+        .filter_map(|s| s.rtt_ms)
+        .collect()
+}
+
+/// Render the figure.
+pub fn run(world: &World) -> String {
+    let mut out = String::from("Fig. 4 — per-technology performance while driving\n\n");
+    for op in Operator::ALL {
+        out.push_str(&format!("{}:\n", op.label()));
+        for dir in Direction::ALL {
+            for tech in Technology::ALL {
+                let vals = tput_samples(world, op, dir, tech, None);
+                if vals.is_empty() {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "  {} {:<9} tput: {}\n",
+                    dir.label(),
+                    tech.label(),
+                    fmt::cdf_line(vals)
+                ));
+            }
+        }
+        for tech in Technology::ALL {
+            let vals = rtt_samples(world, op, tech, None);
+            if vals.is_empty() {
+                continue;
+            }
+            out.push_str(&format!(
+                "  RTT {:<9}    : {}\n",
+                tech.label(),
+                fmt::cdf_line(vals)
+            ));
+        }
+        out.push('\n');
+    }
+
+    out.push_str("Verizon edge vs cloud (driving):\n");
+    for kind in [ServerKind::Edge, ServerKind::Cloud] {
+        for tech in Technology::ALL {
+            let t = tput_samples(
+                world,
+                Operator::Verizon,
+                Direction::Downlink,
+                tech,
+                Some(kind),
+            );
+            let r = rtt_samples(world, Operator::Verizon, tech, Some(kind));
+            if t.is_empty() && r.is_empty() {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<5} {:<9} DL: {}\n",
+                kind.label(),
+                tech.label(),
+                fmt::cdf_line(t)
+            ));
+            if !r.is_empty() {
+                out.push_str(&format!(
+                    "  {:<5} {:<9} RTT: {}\n",
+                    kind.label(),
+                    tech.label(),
+                    fmt::cdf_line(r)
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wheels_sim_core::stats::Cdf;
+
+    fn med(vals: Vec<f64>) -> Option<f64> {
+        Cdf::from_samples(vals).median()
+    }
+
+    #[test]
+    fn five_g_beats_lte_on_dl_throughput() {
+        let w = World::quick();
+        for op in [Operator::TMobile, Operator::Verizon] {
+            let lte = med(tput_samples(w, op, Direction::Downlink, Technology::Lte, None));
+            let mid = med(tput_samples(
+                w,
+                op,
+                Direction::Downlink,
+                Technology::Nr5gMid,
+                None,
+            ));
+            if let (Some(l), Some(m)) = (lte, mid) {
+                assert!(m > l, "{op:?}: mid {m} vs lte {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_rtt_beats_cloud_for_verizon() {
+        let w = World::quick();
+        let mut edge_all = Vec::new();
+        let mut cloud_all = Vec::new();
+        for tech in Technology::ALL {
+            edge_all.extend(rtt_samples(w, Operator::Verizon, tech, Some(ServerKind::Edge)));
+            cloud_all.extend(rtt_samples(w, Operator::Verizon, tech, Some(ServerKind::Cloud)));
+        }
+        if edge_all.len() > 20 && cloud_all.len() > 20 {
+            let e = med(edge_all).unwrap();
+            let c = med(cloud_all).unwrap();
+            assert!(e < c, "edge {e} cloud {c}");
+        }
+    }
+
+    #[test]
+    fn tmobile_midband_reaches_high_dl_rates() {
+        // Fig. 4: T-Mobile 5G-mid DL reaches several hundred Mbps driving.
+        let w = World::quick();
+        let vals = tput_samples(
+            w,
+            Operator::TMobile,
+            Direction::Downlink,
+            Technology::Nr5gMid,
+            None,
+        );
+        if !vals.is_empty() {
+            let max = vals.iter().cloned().fold(0.0, f64::max);
+            assert!(max > 150.0, "T-Mobile mid max {max}");
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let out = run(World::quick());
+        assert!(out.contains("edge vs cloud"));
+        assert!(out.contains("T-Mobile"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Fig. 5: throughput CDFs per timezone.
+
+use wheels_radio::tech::Direction;
+use wheels_ran::operator::Operator;
+use wheels_sim_core::time::Timezone;
+
+use crate::fmt;
+use crate::world::World;
+
+/// Driving throughput samples in one timezone.
+pub fn samples(world: &World, op: Operator, dir: Direction, tz: Timezone) -> Vec<f64> {
+    world
+        .dataset
+        .tput_where(Some(op), Some(dir), Some(true))
+        .filter(|s| s.tz == tz)
+        .map(|s| s.mbps)
+        .collect()
+}
+
+/// Render the figure.
+pub fn run(world: &World) -> String {
+    let mut out = String::from("Fig. 5 — throughput by timezone (driving)\n\n");
+    for dir in Direction::ALL {
+        out.push_str(&format!("{}:\n", dir.label()));
+        for op in Operator::ALL {
+            for tz in Timezone::ALL {
+                let vals = samples(world, op, dir, tz);
+                if vals.is_empty() {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "  {:<9} {:<4}: {}\n",
+                    op.label(),
+                    tz.abbrev(),
+                    fmt::cdf_line(vals)
+                ));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wheels_sim_core::stats::Cdf;
+
+    #[test]
+    fn all_timezones_have_samples() {
+        let w = World::quick();
+        for tz in Timezone::ALL {
+            let n: usize = Operator::ALL
+                .iter()
+                .map(|op| samples(w, *op, Direction::Downlink, tz).len())
+                .sum();
+            assert!(n > 20, "{tz:?}: {n} samples");
+        }
+    }
+
+    #[test]
+    fn tmobile_strong_in_pacific() {
+        // §5.3 obs (1): Pacific is T-Mobile's best region (its mid-band is
+        // densest there). Compare with Mountain, its weakest.
+        let w = World::quick();
+        let pac = Cdf::from_samples(samples(w, Operator::TMobile, Direction::Downlink, Timezone::Pacific))
+            .median()
+            .unwrap_or(0.0);
+        let mtn = Cdf::from_samples(samples(w, Operator::TMobile, Direction::Downlink, Timezone::Mountain))
+            .median()
+            .unwrap_or(0.0);
+        assert!(pac > mtn * 0.5, "pacific {pac} mountain {mtn}");
+    }
+
+    #[test]
+    fn renders_both_directions() {
+        let out = run(World::quick());
+        assert!(out.contains("DL:"));
+        assert!(out.contains("UL:"));
+        assert!(out.contains("PDT"));
+        assert!(out.contains("EDT"));
+    }
+}

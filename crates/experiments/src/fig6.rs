@@ -1,0 +1,148 @@
+//! Fig. 6: operator diversity — concurrent throughput differences and the
+//! HT/LT technology bins.
+
+use wheels_core::analysis::diversity::{
+    bin_distribution, diffs_in_bin, pair_samples, PairBin, PAIRS,
+};
+use wheels_radio::tech::Direction;
+#[cfg(test)]
+use wheels_sim_core::stats::Cdf;
+
+use crate::fmt;
+use crate::world::World;
+
+/// Render the figure.
+pub fn run(world: &World) -> String {
+    let tput = &world.dataset.tput;
+    let mut out = String::from("Fig. 6 — operator-pair throughput differences (concurrent tests)\n\n");
+    for dir in Direction::ALL {
+        out.push_str(&format!("{}:\n", dir.label()));
+        for (a, b) in PAIRS {
+            let pairs = pair_samples(tput, a, b, dir);
+            if pairs.is_empty() {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {} - {} ({} pairs)\n",
+                a.label(),
+                b.label(),
+                pairs.len()
+            ));
+            out.push_str(&format!(
+                "    diff CDF: {}\n",
+                fmt::cdf_line(pairs.iter().map(|p| p.diff_mbps))
+            ));
+            let dist = bin_distribution(&pairs);
+            let dist_str: Vec<String> = dist
+                .iter()
+                .map(|(b, f)| format!("{}={}", b.label(), fmt::pct(f * 100.0)))
+                .collect();
+            out.push_str(&format!("    bins: {}\n", dist_str.join(" ")));
+            for bin in PairBin::ALL {
+                let d = diffs_in_bin(&pairs, bin);
+                if d.len() >= 5 {
+                    out.push_str(&format!(
+                        "    {:<5} diff: {}\n",
+                        bin.label(),
+                        fmt::cdf_line(d)
+                    ));
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wheels_ran::operator::Operator;
+
+    #[test]
+    fn concurrent_pairs_exist() {
+        let w = World::quick();
+        for (a, b) in PAIRS {
+            let pairs = pair_samples(&w.dataset.tput, a, b, Direction::Downlink);
+            assert!(pairs.len() > 50, "{a:?}-{b:?}: {} pairs", pairs.len());
+        }
+    }
+
+    #[test]
+    fn diversity_is_substantial() {
+        // §5.4: performance differs widely across operators at the same
+        // place/time — the diff CDF has wide spread.
+        let w = World::quick();
+        let pairs = pair_samples(
+            &w.dataset.tput,
+            Operator::Verizon,
+            Operator::TMobile,
+            Direction::Downlink,
+        );
+        let c = Cdf::from_samples(pairs.iter().map(|p| p.diff_mbps));
+        let spread = c.quantile(0.9).unwrap() - c.quantile(0.1).unwrap();
+        assert!(spread > 10.0, "p10-p90 spread {spread}");
+    }
+
+    #[test]
+    fn ltlt_bin_dominates_uplink() {
+        // Fig. 6b: UL pair-samples are mostly LT-LT.
+        let w = World::quick();
+        for (a, b) in PAIRS {
+            let pairs = pair_samples(&w.dataset.tput, a, b, Direction::Uplink);
+            if pairs.len() < 30 {
+                continue;
+            }
+            let dist = bin_distribution(&pairs);
+            let ltlt = dist
+                .iter()
+                .find(|(bn, _)| *bn == PairBin::LtLt)
+                .unwrap()
+                .1;
+            let htht = dist
+                .iter()
+                .find(|(bn, _)| *bn == PairBin::HtHt)
+                .unwrap()
+                .1;
+            assert!(ltlt > htht, "{a:?}-{b:?}: LtLt {ltlt} HtHt {htht}");
+        }
+    }
+
+    #[test]
+    fn lt_sometimes_beats_ht() {
+        // §5.4: the operator on the HT technology does not always win.
+        let w = World::quick();
+        let mut lt_wins = 0;
+        let mut total = 0;
+        for (a, b) in PAIRS {
+            for pairs in [
+                pair_samples(&w.dataset.tput, a, b, Direction::Downlink),
+                pair_samples(&w.dataset.tput, a, b, Direction::Uplink),
+            ] {
+                for d in diffs_in_bin(&pairs, PairBin::LtHt) {
+                    total += 1;
+                    if d > 0.0 {
+                        lt_wins += 1;
+                    }
+                }
+                for d in diffs_in_bin(&pairs, PairBin::HtLt) {
+                    total += 1;
+                    if d < 0.0 {
+                        lt_wins += 1;
+                    }
+                }
+            }
+        }
+        if total > 30 {
+            let frac = lt_wins as f64 / total as f64;
+            assert!(frac > 0.03, "LT-beats-HT fraction {frac} over {total}");
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let out = run(World::quick());
+        assert!(out.contains("Verizon - T-Mobile"));
+        assert!(out.contains("bins:"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Figs. 7–8: throughput and RTT against vehicle speed, broken down by
+//! technology and the three speed bins.
+
+use wheels_radio::tech::{Direction, Technology};
+use wheels_ran::operator::Operator;
+use wheels_sim_core::stats::Cdf;
+use wheels_sim_core::units::{Speed, SpeedBin};
+
+use crate::fmt;
+use crate::world::World;
+
+/// `(speed bin, tech) → throughput samples` for one operator/direction.
+pub fn tput_by_bin_tech(
+    world: &World,
+    op: Operator,
+    dir: Direction,
+    bin: SpeedBin,
+    tech: Technology,
+) -> Vec<f64> {
+    world
+        .dataset
+        .tput_where(Some(op), Some(dir), Some(true))
+        .filter(|s| SpeedBin::of(Speed::from_mph(s.speed_mph)) == bin && s.tech == tech)
+        .map(|s| s.mbps)
+        .collect()
+}
+
+/// RTT samples per (bin, tech).
+pub fn rtt_by_bin_tech(
+    world: &World,
+    op: Operator,
+    bin: SpeedBin,
+    tech: Technology,
+) -> Vec<f64> {
+    world
+        .dataset
+        .rtt
+        .iter()
+        .filter(|s| {
+            s.operator == op
+                && s.driving
+                && SpeedBin::of(Speed::from_mph(s.speed_mph)) == bin
+                && s.tech == tech
+        })
+        .filter_map(|s| s.rtt_ms)
+        .collect()
+}
+
+fn render(world: &World, title: &str, rtt: bool) -> String {
+    let mut out = format!("{title}\n\n");
+    for op in Operator::ALL {
+        out.push_str(&format!("{}:\n", op.label()));
+        let mut rows = Vec::new();
+        for bin in SpeedBin::ALL {
+            for tech in Technology::ALL {
+                let vals = if rtt {
+                    rtt_by_bin_tech(world, op, bin, tech)
+                } else {
+                    let mut v =
+                        tput_by_bin_tech(world, op, Direction::Downlink, bin, tech);
+                    v.extend(tput_by_bin_tech(world, op, Direction::Uplink, bin, tech));
+                    v
+                };
+                if vals.is_empty() {
+                    continue;
+                }
+                let c = Cdf::from_samples(vals.iter().copied());
+                rows.push(vec![
+                    bin.label().to_string(),
+                    tech.label().to_string(),
+                    vals.len().to_string(),
+                    fmt::num(c.median()),
+                    fmt::num(c.quantile(0.9)),
+                    fmt::num(c.max()),
+                ]);
+            }
+        }
+        out.push_str(&fmt::table(
+            &["speed bin", "tech", "n", "p50", "p90", "max"],
+            &rows,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render Fig. 7 (throughput vs speed).
+pub fn run_fig7(world: &World) -> String {
+    render(
+        world,
+        "Fig. 7 — technology-wise throughput by speed bin (driving, Mbps)",
+        false,
+    )
+}
+
+/// Render Fig. 8 (RTT vs speed).
+pub fn run_fig8(world: &World) -> String {
+    render(
+        world,
+        "Fig. 8 — technology-wise RTT by speed bin (driving, ms)",
+        true,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmwave_tput_only_at_low_speed() {
+        // Fig. 7: all mmWave points live in the 0–20 mph region.
+        let w = World::quick();
+        for op in Operator::ALL {
+            for dir in Direction::ALL {
+                let high = tput_by_bin_tech(w, op, dir, SpeedBin::High, Technology::Nr5gMmWave);
+                assert!(
+                    high.is_empty(),
+                    "{op:?} {dir:?}: {} mmWave samples at 60+ mph",
+                    high.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn high_values_exist_even_at_high_speed_for_tmobile() {
+        // §5.5: several 100s of Mbps at 60+ mph thanks to mid-band.
+        let w = World::quick();
+        let vals = tput_by_bin_tech(
+            w,
+            Operator::TMobile,
+            Direction::Downlink,
+            SpeedBin::High,
+            Technology::Nr5gMid,
+        );
+        if !vals.is_empty() {
+            let max = vals.iter().cloned().fold(0.0, f64::max);
+            assert!(max > 80.0, "max {max}");
+        }
+    }
+
+    #[test]
+    fn very_low_throughput_points_in_every_bin() {
+        // Fig. 7 shows many near-zero points regardless of speed.
+        let w = World::quick();
+        for bin in SpeedBin::ALL {
+            let mut any_low = false;
+            for op in Operator::ALL {
+                for tech in Technology::ALL {
+                    let v = tput_by_bin_tech(w, op, Direction::Downlink, bin, tech);
+                    if v.iter().any(|x| *x < 5.0) {
+                        any_low = true;
+                    }
+                }
+            }
+            assert!(any_low, "no low-throughput points in {bin:?}");
+        }
+    }
+
+    #[test]
+    fn renders_both_figures() {
+        let w = World::quick();
+        assert!(run_fig7(w).contains("Fig. 7"));
+        assert!(run_fig8(w).contains("Fig. 8"));
+    }
+}

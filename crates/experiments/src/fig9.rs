@@ -1,0 +1,133 @@
+//! Fig. 9: per-test (30 s / 20 s) means and within-test variability.
+
+use std::collections::HashMap;
+
+use wheels_radio::tech::Direction;
+use wheels_ran::operator::Operator;
+use wheels_sim_core::stats::Cdf;
+
+use crate::fmt;
+use crate::world::World;
+
+/// Per-test mean throughputs for one operator/direction (driving).
+pub fn test_means(world: &World, op: Operator, dir: Direction) -> Vec<f64> {
+    per_test(world, op, dir).into_iter().map(|(m, _)| m).collect()
+}
+
+/// Per-test std-dev as % of mean.
+pub fn test_std_pcts(world: &World, op: Operator, dir: Direction) -> Vec<f64> {
+    per_test(world, op, dir).into_iter().map(|(_, s)| s).collect()
+}
+
+fn per_test(world: &World, op: Operator, dir: Direction) -> Vec<(f64, f64)> {
+    let mut by_test: HashMap<u32, Vec<f64>> = HashMap::new();
+    for s in world.dataset.tput_where(Some(op), Some(dir), Some(true)) {
+        by_test.entry(s.test_id).or_default().push(s.mbps);
+    }
+    by_test
+        .values()
+        .filter(|v| v.len() >= 20)
+        .map(|v| {
+            let c = Cdf::from_samples(v.iter().copied());
+            let s = c.summary().unwrap();
+            (s.mean, s.std_dev_pct_of_mean())
+        })
+        .collect()
+}
+
+/// Per-test mean RTTs (driving).
+pub fn rtt_means(world: &World, op: Operator) -> Vec<f64> {
+    let mut by_test: HashMap<u32, Vec<f64>> = HashMap::new();
+    for s in world.dataset.rtt.iter().filter(|s| s.operator == op && s.driving) {
+        if let Some(r) = s.rtt_ms {
+            by_test.entry(s.test_id).or_default().push(r);
+        }
+    }
+    by_test
+        .values()
+        .filter(|v| v.len() >= 30)
+        .map(|v| v.iter().sum::<f64>() / v.len() as f64)
+        .collect()
+}
+
+/// Render the figure.
+pub fn run(world: &World) -> String {
+    let mut out = String::from("Fig. 9 — per-test averages and within-test variability\n\n");
+    for op in Operator::ALL {
+        out.push_str(&format!("{}:\n", op.label()));
+        for dir in Direction::ALL {
+            out.push_str(&format!(
+                "  {} mean tput/test : {}\n",
+                dir.label(),
+                fmt::cdf_line(test_means(world, op, dir))
+            ));
+            out.push_str(&format!(
+                "  {} stddev %of mean: {}\n",
+                dir.label(),
+                fmt::cdf_line(test_std_pcts(world, op, dir))
+            ));
+        }
+        out.push_str(&format!(
+            "  RTT mean/test     : {}\n\n",
+            fmt::cdf_line(rtt_means(world, op))
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::targets;
+
+    #[test]
+    fn per_test_medians_in_paper_regime() {
+        // Fig. 9: DL medians ~30–48 Mbps, UL ~10–14 Mbps. Allow wide bands
+        // at quick scale but assert the order of magnitude.
+        let w = World::quick();
+        for op in Operator::ALL {
+            let dl = Cdf::from_samples(test_means(w, op, Direction::Downlink))
+                .median()
+                .unwrap();
+            assert!((5.0..150.0).contains(&dl), "{op:?} DL median {dl}");
+            let ul = Cdf::from_samples(test_means(w, op, Direction::Uplink))
+                .median()
+                .unwrap();
+            assert!((1.0..60.0).contains(&ul), "{op:?} UL median {ul}");
+            assert!(dl > ul, "{op:?}: dl {dl} ul {ul}");
+        }
+        let _ = targets::per_test::DL_MEDIAN;
+    }
+
+    #[test]
+    fn within_test_variability_is_high() {
+        // Fig. 9 lower row: median stddev ~44–70% of the mean.
+        let w = World::quick();
+        let mut all = Vec::new();
+        for op in Operator::ALL {
+            all.extend(test_std_pcts(w, op, Direction::Downlink));
+        }
+        let med = Cdf::from_samples(all).median().unwrap();
+        assert!(med > 15.0, "median stddev% {med}");
+    }
+
+    #[test]
+    fn per_test_rtt_medians() {
+        let w = World::quick();
+        for op in Operator::ALL {
+            let vals = rtt_means(w, op);
+            if vals.is_empty() {
+                continue;
+            }
+            let med = Cdf::from_samples(vals).median().unwrap();
+            assert!((35.0..130.0).contains(&med), "{op:?} RTT/test median {med}");
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let out = run(World::quick());
+        assert!(out.contains("mean tput/test"));
+        assert!(out.contains("stddev"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Text rendering helpers shared by the experiments.
+
+use wheels_sim_core::stats::Cdf;
+
+/// Render a fixed-width table: header row plus data rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+        }
+        line.trim_end().to_string() + "\n"
+    };
+    out.push_str(&fmt_row(
+        headers.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
+    out.push_str(&fmt_row(
+        widths.iter().map(|w| "-".repeat(*w)).collect(),
+        &widths,
+    ));
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+    }
+    out
+}
+
+/// One-line CDF summary: `n / p10 p25 p50 p75 p90 / max`.
+pub fn cdf_line(values: impl IntoIterator<Item = f64>) -> String {
+    let c = Cdf::from_samples(values);
+    match c.summary() {
+        None => "n=0".to_string(),
+        Some(s) => format!(
+            "n={:<6} p10={:<8.2} p25={:<8.2} p50={:<8.2} p75={:<8.2} p90={:<8.2} max={:.2}",
+            s.n,
+            c.quantile(0.10).unwrap(),
+            s.p25,
+            s.median,
+            s.p75,
+            s.p90,
+            s.max
+        ),
+    }
+}
+
+/// Format an f64 with 2 decimals, or a dash for None/NaN.
+pub fn num(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.2}"),
+        _ => "-".to_string(),
+    }
+}
+
+/// Format a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["op", "value"],
+            &[
+                vec!["Verizon".into(), "1.0".into()],
+                vec!["T".into(), "123.45".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("op"));
+        assert!(lines[2].starts_with("Verizon"));
+    }
+
+    #[test]
+    fn cdf_line_contents() {
+        let line = cdf_line([1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(line.contains("n=5"));
+        assert!(line.contains("p50=3.00"));
+        assert!(line.contains("max=5.00"));
+        assert_eq!(cdf_line(std::iter::empty()), "n=0");
+    }
+
+    #[test]
+    fn num_and_pct() {
+        assert_eq!(num(Some(1.234)), "1.23");
+        assert_eq!(num(None), "-");
+        assert_eq!(num(Some(f64::NAN)), "-");
+        assert_eq!(pct(33.333), "33.3%");
+    }
+}

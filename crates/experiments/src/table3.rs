@@ -1,0 +1,81 @@
+//! Table 3: our driving medians against Ookla's Q3-2022 published report.
+
+use wheels_radio::tech::Direction;
+use wheels_ran::operator::Operator;
+use wheels_sim_core::stats::Cdf;
+
+use crate::fig9;
+use crate::fmt;
+use crate::targets::ookla;
+use crate::world::World;
+
+/// Our per-test medians (the comparable quantity).
+pub fn our_medians(world: &World, op: Operator) -> (Option<f64>, Option<f64>, Option<f64>) {
+    let dl = Cdf::from_samples(fig9::test_means(world, op, Direction::Downlink)).median();
+    let ul = Cdf::from_samples(fig9::test_means(world, op, Direction::Uplink)).median();
+    let rtt = Cdf::from_samples(fig9::rtt_means(world, op)).median();
+    (dl, ul, rtt)
+}
+
+/// Render the table.
+pub fn run(world: &World) -> String {
+    let mut rows = Vec::new();
+    for (i, op) in Operator::ALL.iter().enumerate() {
+        let (dl, ul, rtt) = our_medians(world, *op);
+        rows.push(vec![
+            op.label().to_string(),
+            fmt::num(dl),
+            format!("{:.2}", ookla::DL_MBPS[i]),
+            fmt::num(ul),
+            format!("{:.2}", ookla::UL_MBPS[i]),
+            fmt::num(rtt),
+            format!("{:.0}", ookla::RTT_MS[i]),
+        ]);
+    }
+    format!(
+        "Table 3 — driving medians vs Ookla Speedtest Q3-2022 (static crowd data)\n{}",
+        fmt::table(
+            &[
+                "operator",
+                "DL ours",
+                "DL Ookla",
+                "UL ours",
+                "UL Ookla",
+                "RTT ours",
+                "RTT Ookla"
+            ],
+            &rows
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn our_dl_medians_below_ookla() {
+        // The paper's point: driving DL is far below the (mostly static)
+        // crowd-sourced medians.
+        let w = World::quick();
+        let mut below = 0;
+        for (i, op) in Operator::ALL.iter().enumerate() {
+            let (dl, _, _) = our_medians(w, *op);
+            if let Some(dl) = dl {
+                if dl < ookla::DL_MBPS[i] * 1.5 {
+                    below += 1;
+                }
+            }
+        }
+        assert!(below >= 2, "driving DL should undercut Ookla: {below}/3");
+    }
+
+    #[test]
+    fn renders_three_operators() {
+        let out = run(World::quick());
+        for op in Operator::ALL {
+            assert!(out.contains(op.label()));
+        }
+        assert!(out.contains("116.14")); // T-Mobile Ookla DL constant
+    }
+}

@@ -1,0 +1,102 @@
+//! Tables 4 and 5: the AR/CAV app configuration and the E2E-latency →
+//! object-detection-accuracy model.
+
+use wheels_apps::arcav::{accuracy, AppConfig};
+
+use crate::fmt;
+use crate::world::World;
+
+/// Render Table 4.
+pub fn run_table4(_world: &World) -> String {
+    let ar = AppConfig::ar();
+    let cav = AppConfig::cav();
+    let rows = vec![
+        vec!["FPS".into(), format!("{}", ar.fps), format!("{}", cav.fps)],
+        vec![
+            "Frame size raw (KB)".into(),
+            format!("{}", ar.raw_frame_kb),
+            format!("{}", cav.raw_frame_kb),
+        ],
+        vec![
+            "Frame size compressed (KB)".into(),
+            format!("{}", ar.compressed_frame_kb),
+            format!("{}", cav.compressed_frame_kb),
+        ],
+        vec![
+            "Compression time (ms)".into(),
+            format!("{}", ar.compression_ms),
+            format!("{}", cav.compression_ms),
+        ],
+        vec![
+            "Inference time A100 (ms)".into(),
+            format!("{}", ar.inference_ms),
+            format!("{}", cav.inference_ms),
+        ],
+        vec![
+            "Decompression time (ms)".into(),
+            format!("{}", ar.decompression_ms),
+            format!("{}", cav.decompression_ms),
+        ],
+        vec![
+            "Run duration (s)".into(),
+            format!("{}", ar.duration_s),
+            format!("{}", cav.duration_s),
+        ],
+    ];
+    format!(
+        "Table 4 — AR & CAV application configuration\n{}",
+        fmt::table(&["parameter", "AR", "CAV"], &rows)
+    )
+}
+
+/// Render Table 5: the lookup plus our generating tracking-decay model.
+pub fn run_table5(_world: &World) -> String {
+    let mut rows = Vec::new();
+    for bin in 0..30usize {
+        rows.push(vec![
+            format!("{}-{}", bin, bin + 1),
+            format!("{:.2}", accuracy::MAP_RAW[bin]),
+            format!("{:.2}", accuracy::MAP_COMPRESSED[bin]),
+            format!("{:.2}", accuracy::tracking_decay_model(bin as f64, false)),
+            format!("{:.2}", accuracy::tracking_decay_model(bin as f64, true)),
+        ]);
+    }
+    format!(
+        "Table 5 — mAP by E2E latency bin (frame times)\n{}",
+        fmt::table(
+            &[
+                "bin",
+                "mAP raw",
+                "mAP compressed",
+                "model raw",
+                "model compressed"
+            ],
+            &rows
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_prints_paper_constants() {
+        let out = run_table4(World::quick());
+        for v in ["450", "2000", "50", "38", "6.3", "34.8", "24.9", "44", "19.1"] {
+            assert!(out.contains(v), "missing {v} in\n{out}");
+        }
+    }
+
+    #[test]
+    fn table5_model_tracks_lookup() {
+        let out = run_table5(World::quick());
+        assert!(out.contains("38.45"));
+        // Model vs table max error under 3 mAP at every bin.
+        for bin in 0..30 {
+            let m = accuracy::tracking_decay_model(bin as f64, false);
+            let t = accuracy::MAP_RAW[bin];
+            assert!((m - t).abs() < 3.0, "bin {bin}: {m} vs {t}");
+        }
+    }
+}

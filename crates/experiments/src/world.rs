@@ -1,0 +1,110 @@
+//! The shared experiment world: one campaign + dataset per scale.
+//!
+//! Building the dataset is the expensive part (it simulates days of
+//! driving), so experiments share a lazily-built world per scale:
+//!
+//! - [`Scale::Quick`] — ~35 widely-strided cycles per operator. Seconds to
+//!   build; used by tests and `repro --quick`. All four timezones and all
+//!   test kinds are represented, at reduced sample counts.
+//! - [`Scale::Standard`] — ~200 cycles; the default for `repro`.
+//! - [`Scale::Full`] — continuous testing for the whole trip, the paper's
+//!   actual protocol. Minutes to build in release mode.
+
+use std::sync::OnceLock;
+
+use wheels_core::campaign::{Campaign, CampaignConfig};
+use wheels_core::records::Dataset;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Fast, test-suite-friendly subsample.
+    Quick,
+    /// Default subsample.
+    Standard,
+    /// The paper's continuous protocol.
+    Full,
+}
+
+impl Scale {
+    /// Campaign configuration for this scale.
+    pub fn config(self) -> CampaignConfig {
+        match self {
+            Scale::Quick => CampaignConfig {
+                cycle_stride_s: 6000,
+                ..CampaignConfig::default()
+            },
+            Scale::Standard => CampaignConfig {
+                cycle_stride_s: 800,
+                ..CampaignConfig::default()
+            },
+            Scale::Full => CampaignConfig::default(),
+        }
+    }
+}
+
+/// The shared world.
+pub struct World {
+    /// The campaign (route, trace, deployments, servers).
+    pub campaign: Campaign,
+    /// The consolidated dataset.
+    pub dataset: Dataset,
+    /// The scale it was built at.
+    pub scale: Scale,
+}
+
+impl World {
+    /// Build a fresh world with the reference seed, 2022 (expensive).
+    pub fn build(scale: Scale) -> World {
+        Self::build_seeded(scale, 2022)
+    }
+
+    /// Build a fresh world from an arbitrary seed.
+    pub fn build_seeded(scale: Scale, seed: u64) -> World {
+        let campaign = Campaign::standard(seed);
+        let mut cfg = scale.config();
+        cfg.seed = seed;
+        let dataset = campaign.run(&cfg);
+        World {
+            campaign,
+            dataset,
+            scale,
+        }
+    }
+
+    /// The shared Quick world (used by tests).
+    pub fn quick() -> &'static World {
+        static W: OnceLock<World> = OnceLock::new();
+        W.get_or_init(|| World::build(Scale::Quick))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wheels_radio::tech::Direction;
+    use wheels_sim_core::time::Timezone;
+
+    #[test]
+    fn quick_world_spans_all_timezones() {
+        let w = World::quick();
+        let zones: std::collections::BTreeSet<Timezone> =
+            w.dataset.coverage.iter().map(|c| c.tz).collect();
+        assert_eq!(zones.len(), 4, "zones {zones:?}");
+    }
+
+    #[test]
+    fn quick_world_has_all_record_types() {
+        let w = World::quick();
+        assert!(w.dataset.tput.len() > 1000, "tput {}", w.dataset.tput.len());
+        assert!(w.dataset.rtt.len() > 500, "rtt {}", w.dataset.rtt.len());
+        assert!(!w.dataset.apps.is_empty());
+        assert!(!w.dataset.handovers.is_empty());
+        assert!(w
+            .dataset
+            .tput_where(None, Some(Direction::Uplink), Some(true))
+            .count() > 300);
+        // Static baselines present.
+        assert!(w.dataset.tput.iter().any(|s| !s.driving));
+    }
+}

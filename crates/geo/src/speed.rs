@@ -1,0 +1,220 @@
+//! The vehicle speed process.
+//!
+//! Speeds come from a per-zone target plus Gauss-Markov jitter, with
+//! stop-and-go behaviour in cities (traffic lights) and occasional slowdowns
+//! on highways (congestion/construction). The resulting distribution feeds
+//! the paper's three speed bins: city driving concentrates in 0–20 mph,
+//! suburban stretches in 20–60, interstates in 60+.
+
+use serde::{Deserialize, Serialize};
+use wheels_sim_core::process::GaussMarkov;
+use wheels_sim_core::rng::SimRng;
+use wheels_sim_core::units::Speed;
+
+use crate::route::ZoneClass;
+
+/// Per-zone speed targets (mph).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SpeedTargets {
+    /// Cruising target in cities, between stops.
+    pub city_mph: f64,
+    /// Suburban arterial target.
+    pub suburban_mph: f64,
+    /// Interstate target.
+    pub highway_mph: f64,
+}
+
+impl Default for SpeedTargets {
+    fn default() -> Self {
+        SpeedTargets {
+            city_mph: 16.0,
+            suburban_mph: 42.0,
+            highway_mph: 69.0,
+        }
+    }
+}
+
+impl SpeedTargets {
+    /// Target for a zone.
+    pub fn target(&self, zone: ZoneClass) -> Speed {
+        let mph = match zone {
+            ZoneClass::City => self.city_mph,
+            ZoneClass::Suburban => self.suburban_mph,
+            ZoneClass::Highway => self.highway_mph,
+        };
+        Speed::from_mph(mph)
+    }
+}
+
+/// Stateful speed model, stepped once per second of simulated driving.
+#[derive(Debug, Clone)]
+pub struct SpeedModel {
+    targets: SpeedTargets,
+    jitter: GaussMarkov,
+    /// Remaining seconds stopped at a light (city only).
+    stop_remaining_s: u32,
+    /// Remaining seconds in a highway slowdown episode.
+    slowdown_remaining_s: u32,
+    zone: ZoneClass,
+}
+
+/// Probability per second of hitting a red light in a city.
+const CITY_STOP_RATE_PER_S: f64 = 1.0 / 90.0;
+/// Red-light dwell bounds (seconds).
+const CITY_STOP_MIN_S: u64 = 15;
+const CITY_STOP_MAX_S: u64 = 60;
+/// Probability per second of entering a highway slowdown.
+const HW_SLOWDOWN_RATE_PER_S: f64 = 1.0 / 1800.0;
+/// Slowdown dwell bounds (seconds).
+const HW_SLOWDOWN_MIN_S: u64 = 60;
+const HW_SLOWDOWN_MAX_S: u64 = 240;
+
+impl SpeedModel {
+    /// New model starting in the given zone.
+    pub fn new(targets: SpeedTargets, zone: ZoneClass, rng: &mut SimRng) -> Self {
+        let mut jitter = GaussMarkov::new(0.0, 4.0, 30_000.0);
+        jitter.set_value(rng.normal(0.0, 2.0));
+        SpeedModel {
+            targets,
+            jitter,
+            stop_remaining_s: 0,
+            slowdown_remaining_s: 0,
+            zone,
+        }
+    }
+
+    /// Advance one second in `zone` and return the current speed.
+    pub fn step_1s(&mut self, zone: ZoneClass, rng: &mut SimRng) -> Speed {
+        if zone != self.zone {
+            // Zone transitions clear episodic state; the GM jitter carries
+            // over so speed changes stay smooth.
+            self.zone = zone;
+            self.stop_remaining_s = 0;
+            self.slowdown_remaining_s = 0;
+        }
+
+        match zone {
+            ZoneClass::City => {
+                if self.stop_remaining_s > 0 {
+                    self.stop_remaining_s -= 1;
+                    return Speed::ZERO;
+                }
+                if rng.chance(CITY_STOP_RATE_PER_S) {
+                    self.stop_remaining_s =
+                        rng.uniform_u64(CITY_STOP_MIN_S, CITY_STOP_MAX_S) as u32;
+                    return Speed::ZERO;
+                }
+            }
+            ZoneClass::Highway => {
+                if self.slowdown_remaining_s > 0 {
+                    self.slowdown_remaining_s -= 1;
+                    let j = self.jitter.step(rng, 1000.0);
+                    return Speed::from_mph((35.0 + j).clamp(5.0, 50.0));
+                }
+                if rng.chance(HW_SLOWDOWN_RATE_PER_S) {
+                    self.slowdown_remaining_s =
+                        rng.uniform_u64(HW_SLOWDOWN_MIN_S, HW_SLOWDOWN_MAX_S) as u32;
+                }
+            }
+            ZoneClass::Suburban => {}
+        }
+
+        let target = self.targets.target(zone).as_mph();
+        let j = self.jitter.step(rng, 1000.0);
+        Speed::from_mph((target + j).clamp(0.0, 85.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wheels_sim_core::units::SpeedBin;
+
+    fn run_zone(zone: ZoneClass, seconds: usize, seed: u64) -> Vec<Speed> {
+        let mut rng = SimRng::seed(seed);
+        let mut m = SpeedModel::new(SpeedTargets::default(), zone, &mut rng);
+        (0..seconds).map(|_| m.step_1s(zone, &mut rng)).collect()
+    }
+
+    #[test]
+    fn city_speeds_mostly_low_bin() {
+        let speeds = run_zone(ZoneClass::City, 5000, 1);
+        let low = speeds
+            .iter()
+            .filter(|s| SpeedBin::of(**s) == SpeedBin::Low)
+            .count();
+        assert!(
+            low as f64 / speeds.len() as f64 > 0.7,
+            "low fraction {}",
+            low as f64 / speeds.len() as f64
+        );
+    }
+
+    #[test]
+    fn city_has_full_stops() {
+        let speeds = run_zone(ZoneClass::City, 5000, 2);
+        assert!(speeds.contains(&Speed::ZERO));
+    }
+
+    #[test]
+    fn highway_speeds_mostly_high_bin() {
+        let speeds = run_zone(ZoneClass::Highway, 5000, 3);
+        let high = speeds
+            .iter()
+            .filter(|s| SpeedBin::of(**s) == SpeedBin::High)
+            .count();
+        assert!(
+            high as f64 / speeds.len() as f64 > 0.7,
+            "high fraction {}",
+            high as f64 / speeds.len() as f64
+        );
+    }
+
+    #[test]
+    fn suburban_speeds_mostly_mid_bin() {
+        let speeds = run_zone(ZoneClass::Suburban, 5000, 4);
+        let mid = speeds
+            .iter()
+            .filter(|s| SpeedBin::of(**s) == SpeedBin::Mid)
+            .count();
+        assert!(
+            mid as f64 / speeds.len() as f64 > 0.8,
+            "mid fraction {}",
+            mid as f64 / speeds.len() as f64
+        );
+    }
+
+    #[test]
+    fn speeds_bounded() {
+        for zone in ZoneClass::ALL {
+            for s in run_zone(zone, 3000, 5) {
+                assert!(s.as_mph() >= 0.0 && s.as_mph() <= 85.0);
+            }
+        }
+    }
+
+    #[test]
+    fn zone_transition_clears_stop() {
+        let mut rng = SimRng::seed(6);
+        let mut m = SpeedModel::new(SpeedTargets::default(), ZoneClass::City, &mut rng);
+        // Force a stop by stepping until one occurs.
+        let mut stopped = false;
+        for _ in 0..5000 {
+            if m.step_1s(ZoneClass::City, &mut rng) == Speed::ZERO {
+                stopped = true;
+                break;
+            }
+        }
+        assert!(stopped);
+        // Switching to highway should immediately resume motion.
+        let s = m.step_1s(ZoneClass::Highway, &mut rng);
+        assert!(s.as_mph() > 10.0, "speed after transition {}", s.as_mph());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_zone(ZoneClass::Suburban, 100, 7);
+        let b = run_zone(ZoneClass::Suburban, 100, 7);
+        assert_eq!(a, b);
+    }
+}

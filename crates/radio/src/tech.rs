@@ -1,0 +1,248 @@
+//! The five cellular technologies of the study.
+//!
+//! The paper groups them two ways: *5G vs 4G* (Fig. 2a) and *high-speed
+//! (5G mid + mmWave, "HT") vs low-speed ("LT")* (Fig. 6). Both groupings
+//! live here so every crate bins identically.
+
+use serde::{Deserialize, Serialize};
+use wheels_sim_core::units::Distance;
+
+/// Traffic direction. 5G service upgrades, CA limits, and bandwidth splits
+/// all depend on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Direction {
+    /// Server → UE.
+    Downlink,
+    /// UE → server.
+    Uplink,
+}
+
+impl Direction {
+    /// Both directions.
+    pub const ALL: [Direction; 2] = [Direction::Downlink, Direction::Uplink];
+
+    /// Short label used in tables ("DL"/"UL").
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::Downlink => "DL",
+            Direction::Uplink => "UL",
+        }
+    }
+}
+
+/// A cellular radio access technology as the paper bins them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Technology {
+    /// Plain LTE (single carrier).
+    Lte,
+    /// LTE-Advanced (carrier aggregation).
+    LteA,
+    /// 5G NR low-band (sub-1 GHz).
+    Nr5gLow,
+    /// 5G NR mid-band (C-band / n41).
+    Nr5gMid,
+    /// 5G NR mmWave (n260/n261).
+    Nr5gMmWave,
+}
+
+impl Technology {
+    /// All technologies, slowest to fastest.
+    pub const ALL: [Technology; 5] = [
+        Technology::Lte,
+        Technology::LteA,
+        Technology::Nr5gLow,
+        Technology::Nr5gMid,
+        Technology::Nr5gMmWave,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Technology::Lte => "LTE",
+            Technology::LteA => "LTE-A",
+            Technology::Nr5gLow => "5G-low",
+            Technology::Nr5gMid => "5G-mid",
+            Technology::Nr5gMmWave => "5G-mmWave",
+        }
+    }
+
+    /// Is this a 5G NR technology?
+    pub fn is_5g(self) -> bool {
+        matches!(
+            self,
+            Technology::Nr5gLow | Technology::Nr5gMid | Technology::Nr5gMmWave
+        )
+    }
+
+    /// The paper's "high-speed 5G" / high-throughput ("HT") grouping:
+    /// mid-band and mmWave. Everything else is "LT".
+    pub fn is_high_speed(self) -> bool {
+        matches!(self, Technology::Nr5gMid | Technology::Nr5gMmWave)
+    }
+
+    /// Carrier frequency (GHz) used for path loss.
+    pub fn carrier_ghz(self) -> f64 {
+        match self {
+            Technology::Lte => 1.9,
+            Technology::LteA => 1.9,
+            Technology::Nr5gLow => 0.85,
+            Technology::Nr5gMid => 2.9, // blend of C-band (V/A) and n41 (T)
+            Technology::Nr5gMmWave => 28.0,
+        }
+    }
+
+    /// Bandwidth of one component carrier (MHz).
+    pub fn cc_bandwidth_mhz(self) -> f64 {
+        match self {
+            Technology::Lte => 20.0,
+            Technology::LteA => 20.0,
+            Technology::Nr5gLow => 20.0,
+            Technology::Nr5gMid => 100.0,
+            Technology::Nr5gMmWave => 100.0,
+        }
+    }
+
+    /// Maximum component carriers in each direction (Samsung S21 limits:
+    /// up to 8 CC DL / 2 CC UL on mmWave; LTE-A up to 5 DL CA in the field).
+    pub fn max_ccs(self, dir: Direction) -> u8 {
+        match (self, dir) {
+            (Technology::Lte, _) => 1,
+            (Technology::LteA, Direction::Downlink) => 5,
+            (Technology::LteA, Direction::Uplink) => 2,
+            (Technology::Nr5gLow, _) => 1,
+            (Technology::Nr5gMid, Direction::Downlink) => 2,
+            (Technology::Nr5gMid, Direction::Uplink) => 2,
+            (Technology::Nr5gMmWave, Direction::Downlink) => 8,
+            (Technology::Nr5gMmWave, Direction::Uplink) => 2,
+        }
+    }
+
+    /// Fraction of air-time/bandwidth available to this direction (TDD
+    /// splits on NR mid/mmWave heavily favour DL; FDD LTE is symmetric per
+    /// carrier but UL spectral efficiency is lower).
+    pub fn direction_fraction(self, dir: Direction) -> f64 {
+        match (self, dir) {
+            (Technology::Nr5gMid, Direction::Downlink) => 0.74,
+            (Technology::Nr5gMid, Direction::Uplink) => 0.23,
+            (Technology::Nr5gMmWave, Direction::Downlink) => 0.77,
+            (Technology::Nr5gMmWave, Direction::Uplink) => 0.20,
+            (_, Direction::Downlink) => 1.0,
+            (_, Direction::Uplink) => 0.75,
+        }
+    }
+
+    /// Typical serving radius of a cell of this technology — drives both
+    /// deployment density and the distance at which the link degrades.
+    pub fn cell_radius(self) -> Distance {
+        match self {
+            Technology::Lte => Distance::from_km(9.0),
+            Technology::LteA => Distance::from_km(9.0),
+            Technology::Nr5gLow => Distance::from_km(7.5),
+            Technology::Nr5gMid => Distance::from_km(2.8),
+            Technology::Nr5gMmWave => Distance::from_m(280.0),
+        }
+    }
+
+    /// Normalization from total received carrier power to the *per
+    /// resource element* RSRP the modem reports: `10·log10(#RE)` over the
+    /// carrier. This is why reported 5G RSRPs sit 30+ dB below the total
+    /// received power.
+    pub fn rsrp_per_re_offset_db(self) -> f64 {
+        match self {
+            // 20 MHz LTE: 100 PRB × 12 subcarriers.
+            Technology::Lte | Technology::LteA | Technology::Nr5gLow => 30.8,
+            // 100 MHz NR, 30 kHz SCS: 273 PRB × 12.
+            Technology::Nr5gMid => 35.2,
+            // 100 MHz NR, 120 kHz SCS: 66 PRB × 12.
+            Technology::Nr5gMmWave => 29.0,
+        }
+    }
+
+    /// One-way RAN (air interface + fronthaul) latency in ms under light
+    /// load — mmWave's short TTI gives it the paper's lowest RTTs, and
+    /// 5G-low's NSA anchoring makes it *worse* than LTE-A (§5.2: "LTE-A
+    /// achieves lower RTTs than 5G-low").
+    pub fn ran_latency_ms(self) -> f64 {
+        match self {
+            Technology::Lte => 14.0,
+            Technology::LteA => 11.0,
+            Technology::Nr5gLow => 13.0,
+            Technology::Nr5gMid => 8.0,
+            Technology::Nr5gMmWave => 4.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groupings_match_paper() {
+        assert!(!Technology::Lte.is_5g());
+        assert!(!Technology::LteA.is_5g());
+        assert!(Technology::Nr5gLow.is_5g());
+        assert!(!Technology::Nr5gLow.is_high_speed());
+        assert!(Technology::Nr5gMid.is_high_speed());
+        assert!(Technology::Nr5gMmWave.is_high_speed());
+    }
+
+    #[test]
+    fn high_speed_implies_5g() {
+        for t in Technology::ALL {
+            if t.is_high_speed() {
+                assert!(t.is_5g());
+            }
+        }
+    }
+
+    #[test]
+    fn mmwave_has_smallest_radius_and_latency() {
+        for t in Technology::ALL {
+            if t != Technology::Nr5gMmWave {
+                assert!(t.cell_radius() > Technology::Nr5gMmWave.cell_radius());
+                assert!(t.ran_latency_ms() > Technology::Nr5gMmWave.ran_latency_ms());
+            }
+        }
+    }
+
+    #[test]
+    fn nr5g_low_latency_worse_than_ltea() {
+        // §5.2: LTE-A beats 5G-low on RTT for V and T.
+        assert!(Technology::Nr5gLow.ran_latency_ms() > Technology::LteA.ran_latency_ms());
+    }
+
+    #[test]
+    fn dl_ccs_at_least_ul_ccs() {
+        for t in Technology::ALL {
+            assert!(t.max_ccs(Direction::Downlink) >= t.max_ccs(Direction::Uplink));
+        }
+    }
+
+    #[test]
+    fn s21_mmwave_cc_caps() {
+        assert_eq!(Technology::Nr5gMmWave.max_ccs(Direction::Downlink), 8);
+        assert_eq!(Technology::Nr5gMmWave.max_ccs(Direction::Uplink), 2);
+    }
+
+    #[test]
+    fn direction_fractions_in_range_and_dl_heavy() {
+        for t in Technology::ALL {
+            for d in Direction::ALL {
+                let f = t.direction_fraction(d);
+                assert!((0.0..=1.0).contains(&f));
+            }
+            assert!(
+                t.direction_fraction(Direction::Downlink)
+                    >= t.direction_fraction(Direction::Uplink)
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            Technology::ALL.iter().map(|t| t.label()).collect();
+        assert_eq!(labels.len(), Technology::ALL.len());
+    }
+}

@@ -1,0 +1,305 @@
+//! The three US operators and their deployment/beam/handover parameters.
+//!
+//! Every operator-specific constant of the simulation lives here so that
+//! calibration against the paper's Figs. 2–12 is a single-file affair.
+
+use serde::{Deserialize, Serialize};
+use wheels_radio::linkbudget::BeamProfile;
+use wheels_radio::tech::Technology;
+use wheels_sim_core::time::Timezone;
+
+use wheels_geo::route::ZoneClass;
+
+/// A US mobile network operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Operator {
+    /// Verizon — mmWave-first in cities, Wavelength edge partner.
+    Verizon,
+    /// T-Mobile — wide mid-band (n41) coverage, including highways.
+    TMobile,
+    /// AT&T — strongest LTE-A, minimal high-speed 5G in 2022.
+    Att,
+}
+
+impl Operator {
+    /// All operators in the paper's column order.
+    pub const ALL: [Operator; 3] = [Operator::Verizon, Operator::TMobile, Operator::Att];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Operator::Verizon => "Verizon",
+            Operator::TMobile => "T-Mobile",
+            Operator::Att => "AT&T",
+        }
+    }
+
+    /// mmWave beam profile (§5.5): Verizon uses fewer, wider beams.
+    pub fn beam_profile(self) -> BeamProfile {
+        match self {
+            Operator::Verizon => BeamProfile::wide(),
+            Operator::TMobile => BeamProfile::narrow(),
+            Operator::Att => BeamProfile::narrow(),
+        }
+    }
+
+    /// Median handover interruption (ms), calibrated to Fig. 11b
+    /// (V/T/A ≈ 53/76/58 ms for downlink).
+    pub fn ho_interruption_median_ms(self) -> f64 {
+        match self {
+            Operator::Verizon => 51.0,
+            Operator::TMobile => 74.0,
+            Operator::Att => 56.0,
+        }
+    }
+
+    /// Lognormal σ of the interruption (75th/50th ≈ 1.4 in Fig. 11b).
+    pub fn ho_interruption_sigma(self) -> f64 {
+        0.48
+    }
+
+    /// Whether this operator has Wavelength edge servers (§3: Verizon
+    /// only).
+    pub fn has_edge_servers(self) -> bool {
+        self == Operator::Verizon
+    }
+
+    /// This operator's deployment strategy.
+    pub fn strategy(self) -> OperatorStrategy {
+        OperatorStrategy { operator: self }
+    }
+}
+
+/// Deployment strategy: how much of each zone class an operator covers
+/// with each technology, and how that varies by region.
+///
+/// Coverage here is the *radio availability* of the technology — whether a
+/// cell of that technology is in range. What a UE actually connects to is
+/// additionally gated by the upgrade policy (`policy` module), which is why
+/// the passive handover-logger sees far less 5G than these numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OperatorStrategy {
+    /// The operator this strategy belongs to.
+    pub operator: Operator,
+}
+
+impl OperatorStrategy {
+    /// Target fraction of `zone` road-km covered by `tech`, before the
+    /// regional multiplier.
+    pub fn base_coverage(&self, tech: Technology, zone: ZoneClass) -> f64 {
+        use Operator::*;
+        use Technology::*;
+        use ZoneClass::*;
+        match (self.operator, tech, zone) {
+            // ---- Verizon: mmWave downtown, modest mid/low, strong LTE-A.
+            (Verizon, Nr5gMmWave, City) => 0.68,
+            (Verizon, Nr5gMmWave, Suburban) => 0.015,
+            (Verizon, Nr5gMmWave, Highway) => 0.0,
+            (Verizon, Nr5gMid, City) => 0.38,
+            (Verizon, Nr5gMid, Suburban) => 0.16,
+            (Verizon, Nr5gMid, Highway) => 0.07,
+            (Verizon, Nr5gLow, City) => 0.30,
+            (Verizon, Nr5gLow, Suburban) => 0.22,
+            (Verizon, Nr5gLow, Highway) => 0.10,
+            (Verizon, LteA, City) => 0.85,
+            (Verizon, LteA, Suburban) => 0.65,
+            (Verizon, LteA, Highway) => 0.45,
+            (Verizon, Lte, _) => 1.0,
+            // ---- T-Mobile: n41 mid-band everywhere, incl. highways.
+            (TMobile, Nr5gMmWave, City) => 0.22,
+            (TMobile, Nr5gMmWave, _) => 0.0,
+            (TMobile, Nr5gMid, City) => 0.78,
+            (TMobile, Nr5gMid, Suburban) => 0.62,
+            (TMobile, Nr5gMid, Highway) => 0.40,
+            (TMobile, Nr5gLow, City) => 0.30,
+            (TMobile, Nr5gLow, Suburban) => 0.55,
+            (TMobile, Nr5gLow, Highway) => 0.52,
+            (TMobile, LteA, City) => 0.70,
+            (TMobile, LteA, Suburban) => 0.55,
+            (TMobile, LteA, Highway) => 0.40,
+            (TMobile, Lte, _) => 1.0,
+            // ---- AT&T: LTE-A-rich, thin 5G (mostly low-band).
+            (Att, Nr5gMmWave, City) => 0.10,
+            (Att, Nr5gMmWave, _) => 0.0,
+            (Att, Nr5gMid, City) => 0.14,
+            (Att, Nr5gMid, Suburban) => 0.04,
+            (Att, Nr5gMid, Highway) => 0.012,
+            (Att, Nr5gLow, City) => 0.60,
+            (Att, Nr5gLow, Suburban) => 0.45,
+            (Att, Nr5gLow, Highway) => 0.30,
+            (Att, LteA, City) => 0.92,
+            (Att, LteA, Suburban) => 0.80,
+            (Att, LteA, Highway) => 0.68,
+            (Att, Lte, _) => 1.0,
+        }
+    }
+
+    /// Regional multiplier on 5G coverage (Fig. 2c): T-Mobile mid-band is
+    /// strongest in the Pacific zone; AT&T's 5G thins out badly in the
+    /// Mountain/Central zones; Verizon's 5G is richer in the east.
+    pub fn region_multiplier(&self, tech: Technology, tz: Timezone) -> f64 {
+        use Operator::*;
+        if !tech.is_5g() {
+            return 1.0;
+        }
+        match (self.operator, tz) {
+            (Verizon, Timezone::Pacific) => 0.85,
+            (Verizon, Timezone::Mountain) => 0.70,
+            (Verizon, Timezone::Central) => 1.25,
+            (Verizon, Timezone::Eastern) => 1.30,
+            (TMobile, Timezone::Pacific) => {
+                if tech == Technology::Nr5gMid {
+                    1.45
+                } else {
+                    0.9
+                }
+            }
+            (TMobile, Timezone::Mountain) => 0.80,
+            (TMobile, Timezone::Central) => 1.0,
+            (TMobile, Timezone::Eastern) => 1.05,
+            (Att, Timezone::Pacific) => 1.4,
+            (Att, Timezone::Mountain) => 0.40,
+            (Att, Timezone::Central) => 0.55,
+            (Att, Timezone::Eastern) => 1.35,
+        }
+    }
+
+    /// Effective coverage fraction for `(tech, zone, tz)`, clamped to
+    /// [0, 1].
+    pub fn coverage(&self, tech: Technology, zone: ZoneClass, tz: Timezone) -> f64 {
+        (self.base_coverage(tech, zone) * self.region_multiplier(tech, tz)).clamp(0.0, 1.0)
+    }
+
+    /// Mean length (km) of a contiguous covered run of `tech` — smaller
+    /// values produce the fragmented coverage of Fig. 1.
+    pub fn covered_run_km(&self, tech: Technology) -> f64 {
+        match tech {
+            Technology::Nr5gMmWave => 1.1,
+            Technology::Nr5gMid => 4.5,
+            Technology::Nr5gLow => 11.0,
+            Technology::LteA => 28.0,
+            Technology::Lte => 1e6, // effectively continuous
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Operator::Verizon.label(), "Verizon");
+        assert_eq!(Operator::TMobile.label(), "T-Mobile");
+        assert_eq!(Operator::Att.label(), "AT&T");
+    }
+
+    #[test]
+    fn verizon_wide_beams_others_narrow() {
+        assert_eq!(Operator::Verizon.beam_profile(), BeamProfile::wide());
+        assert_eq!(Operator::Att.beam_profile(), BeamProfile::narrow());
+    }
+
+    #[test]
+    fn ho_medians_ordering_matches_fig11b() {
+        // T-Mobile has the longest interruptions, Verizon the shortest.
+        assert!(
+            Operator::TMobile.ho_interruption_median_ms()
+                > Operator::Att.ho_interruption_median_ms()
+        );
+        assert!(
+            Operator::Att.ho_interruption_median_ms()
+                >= Operator::Verizon.ho_interruption_median_ms()
+        );
+    }
+
+    #[test]
+    fn only_verizon_has_edge() {
+        assert!(Operator::Verizon.has_edge_servers());
+        assert!(!Operator::TMobile.has_edge_servers());
+        assert!(!Operator::Att.has_edge_servers());
+    }
+
+    #[test]
+    fn lte_is_continuous_for_everyone() {
+        for op in Operator::ALL {
+            for zone in ZoneClass::ALL {
+                for tz in Timezone::ALL {
+                    assert_eq!(op.strategy().coverage(Technology::Lte, zone, tz), 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tmobile_leads_highway_midband() {
+        for tz in Timezone::ALL {
+            let t = Operator::TMobile
+                .strategy()
+                .coverage(Technology::Nr5gMid, ZoneClass::Highway, tz);
+            let v = Operator::Verizon
+                .strategy()
+                .coverage(Technology::Nr5gMid, ZoneClass::Highway, tz);
+            let a = Operator::Att
+                .strategy()
+                .coverage(Technology::Nr5gMid, ZoneClass::Highway, tz);
+            assert!(t > v && t > a, "tz {tz:?}");
+        }
+    }
+
+    #[test]
+    fn verizon_leads_city_mmwave() {
+        for tz in Timezone::ALL {
+            let v = Operator::Verizon
+                .strategy()
+                .coverage(Technology::Nr5gMmWave, ZoneClass::City, tz);
+            let t = Operator::TMobile
+                .strategy()
+                .coverage(Technology::Nr5gMmWave, ZoneClass::City, tz);
+            let a = Operator::Att
+                .strategy()
+                .coverage(Technology::Nr5gMmWave, ZoneClass::City, tz);
+            assert!(v > t && v > a, "tz {tz:?}");
+        }
+    }
+
+    #[test]
+    fn att_5g_collapses_in_mountain_central() {
+        let s = Operator::Att.strategy();
+        for tech in [Technology::Nr5gLow, Technology::Nr5gMid] {
+            for zone in ZoneClass::ALL {
+                let mountain = s.coverage(tech, zone, Timezone::Mountain);
+                let eastern = s.coverage(tech, zone, Timezone::Eastern);
+                if eastern > 0.0 {
+                    assert!(
+                        mountain < eastern * 0.5,
+                        "{tech:?} {zone:?}: mtn {mountain} east {eastern}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_clamped_to_unit_interval() {
+        for op in Operator::ALL {
+            let s = op.strategy();
+            for tech in Technology::ALL {
+                for zone in ZoneClass::ALL {
+                    for tz in Timezone::ALL {
+                        let c = s.coverage(tech, zone, tz);
+                        assert!((0.0..=1.0).contains(&c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covered_runs_shrink_with_cell_size() {
+        let s = Operator::Verizon.strategy();
+        assert!(s.covered_run_km(Technology::Nr5gMmWave) < s.covered_run_km(Technology::Nr5gMid));
+        assert!(s.covered_run_km(Technology::Nr5gMid) < s.covered_run_km(Technology::Nr5gLow));
+        assert!(s.covered_run_km(Technology::Nr5gLow) < s.covered_run_km(Technology::LteA));
+    }
+}

@@ -1,0 +1,418 @@
+//! The traffic-dependent 5G upgrade policy — the paper's challenge \[C3\].
+//!
+//! §4.1's central methodological finding: a UE is *not* handed the best
+//! radio it is standing under. Operators elevate service from the LTE
+//! anchor to NR legs only under sustained traffic, preferentially for
+//! downlink backlog; idle or ICMP-only UEs mostly sit on LTE/LTE-A, which
+//! is why the passive handover-logger saw almost no 5G (Fig. 1b–d) while
+//! the backlogged XCAL tests saw plenty (Fig. 1e–g). §4.2/Fig. 2b adds the
+//! direction asymmetry: high-speed 5G is granted far less often for uplink
+//! backlog.
+//!
+//! [`UpgradePolicy::select`] encodes this: given what the UE is doing
+//! ([`TrafficDemand`]) and which technologies have in-range cells, pick the
+//! serving technology.
+
+use serde::{Deserialize, Serialize};
+use wheels_radio::tech::Technology;
+use wheels_sim_core::rng::SimRng;
+use wheels_sim_core::time::Timezone;
+
+use crate::operator::Operator;
+
+/// What the UE is asking of the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficDemand {
+    /// Radio kept alive with 200 ms ICMP pings only (the handover-logger
+    /// phones, and the RTT tests).
+    IcmpOnly,
+    /// Saturating downlink transfer (nuttcp DL, video, gaming downlink).
+    BackloggedDownlink,
+    /// Saturating uplink transfer (nuttcp UL, AR/CAV offload).
+    BackloggedUplink,
+}
+
+/// Per-operator upgrade behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UpgradePolicy {
+    /// The operator whose policy this is.
+    pub operator: Operator,
+    /// Ablation switch: when true, always grant the fastest available
+    /// technology regardless of traffic (what a naive simulator would do —
+    /// used to show that the paper's Fig. 1 passive/active gap disappears
+    /// without the traffic-dependent policy).
+    pub eager: bool,
+}
+
+impl UpgradePolicy {
+    /// Policy of an operator.
+    pub fn of(operator: Operator) -> Self {
+        UpgradePolicy {
+            operator,
+            eager: false,
+        }
+    }
+
+    /// The eager ablation policy.
+    pub fn eager(operator: Operator) -> Self {
+        UpgradePolicy {
+            operator,
+            eager: true,
+        }
+    }
+
+    /// Probability that an ICMP-only UE is shown/kept on a 5G technology
+    /// when one is available. Calibrated to Fig. 1: AT&T ≈ never, Verizon
+    /// rarely, T-Mobile sometimes (and much more in the eastern half,
+    /// where Figs. 1c/1f agree).
+    fn idle_5g_prob(&self, tech: Technology, tz: Timezone) -> f64 {
+        use Operator::*;
+        let base: f64 = match (self.operator, tech) {
+            (Att, _) => 0.0,
+            (Verizon, Technology::Nr5gLow) => 0.10,
+            (Verizon, Technology::Nr5gMid) => 0.05,
+            (Verizon, Technology::Nr5gMmWave) => 0.02,
+            (TMobile, Technology::Nr5gLow) => 0.45,
+            (TMobile, Technology::Nr5gMid) => 0.25,
+            (TMobile, Technology::Nr5gMmWave) => 0.03,
+            _ => 0.0,
+        };
+        let regional = match (self.operator, tz) {
+            (TMobile, Timezone::Central) | (TMobile, Timezone::Eastern) => 1.8,
+            (TMobile, _) => 0.5,
+            _ => 1.0,
+        };
+        (base * regional).clamp(0.0, 1.0)
+    }
+
+    /// Probability that a backlogged UE is upgraded to a given 5G tier.
+    /// Downlink backlog is served high-speed 5G much more readily than
+    /// uplink backlog (Fig. 2b).
+    fn backlogged_prob(&self, tech: Technology, demand: TrafficDemand) -> f64 {
+        use Operator::*;
+        let dl = demand == TrafficDemand::BackloggedDownlink;
+        match (self.operator, tech) {
+            (_, t) if !t.is_5g() => 1.0,
+            (Verizon, Technology::Nr5gMmWave) => {
+                if dl {
+                    0.92
+                } else {
+                    0.45
+                }
+            }
+            (Verizon, Technology::Nr5gMid) => {
+                if dl {
+                    0.85
+                } else {
+                    0.40
+                }
+            }
+            (Verizon, Technology::Nr5gLow) => {
+                if dl {
+                    0.80
+                } else {
+                    0.60
+                }
+            }
+            (TMobile, Technology::Nr5gMmWave) => {
+                if dl {
+                    0.90
+                } else {
+                    0.55
+                }
+            }
+            (TMobile, Technology::Nr5gMid) => {
+                if dl {
+                    0.92
+                } else {
+                    0.72
+                }
+            }
+            (TMobile, Technology::Nr5gLow) => {
+                if dl {
+                    0.88
+                } else {
+                    0.85
+                }
+            }
+            (Att, Technology::Nr5gMmWave) => {
+                if dl {
+                    0.85
+                } else {
+                    0.25
+                }
+            }
+            (Att, Technology::Nr5gMid) => {
+                if dl {
+                    0.80
+                } else {
+                    0.30
+                }
+            }
+            (Att, Technology::Nr5gLow) => {
+                if dl {
+                    0.75
+                } else {
+                    0.55
+                }
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Choose the serving technology from the available set.
+    ///
+    /// Walks the available technologies from fastest to slowest; each 5G
+    /// tier is granted with its policy probability, otherwise the walk
+    /// falls through to the next tier, ending at the best available 4G.
+    pub fn select(
+        &self,
+        demand: TrafficDemand,
+        available: &[Technology],
+        tz: Timezone,
+        rng: &mut SimRng,
+    ) -> Option<Technology> {
+        if available.is_empty() {
+            return None;
+        }
+        // Fastest-first preference order.
+        let order = [
+            Technology::Nr5gMmWave,
+            Technology::Nr5gMid,
+            Technology::Nr5gLow,
+            Technology::LteA,
+            Technology::Lte,
+        ];
+        for tech in order {
+            if !available.contains(&tech) {
+                continue;
+            }
+            if self.eager {
+                return Some(tech);
+            }
+            let p = match demand {
+                TrafficDemand::IcmpOnly => {
+                    if tech.is_5g() {
+                        self.idle_5g_prob(tech, tz)
+                    } else {
+                        1.0
+                    }
+                }
+                _ => self.backlogged_prob(tech, demand),
+            };
+            if rng.chance(p) {
+                return Some(tech);
+            }
+        }
+        // Nothing granted (e.g. only a 5G cell in range but the policy
+        // refused it): fall back to the slowest available technology.
+        available.iter().copied().min_by_key(|t| match t {
+            Technology::Lte => 0,
+            Technology::LteA => 1,
+            Technology::Nr5gLow => 2,
+            Technology::Nr5gMid => 3,
+            Technology::Nr5gMmWave => 4,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL5: [Technology; 5] = Technology::ALL;
+
+    fn select_fraction(
+        op: Operator,
+        demand: TrafficDemand,
+        available: &[Technology],
+        tz: Timezone,
+        pred: impl Fn(Technology) -> bool,
+        n: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = SimRng::seed(seed);
+        let pol = UpgradePolicy::of(op);
+        let mut hit = 0;
+        for _ in 0..n {
+            if let Some(t) = pol.select(demand, available, tz, &mut rng) {
+                if pred(t) {
+                    hit += 1;
+                }
+            }
+        }
+        hit as f64 / n as f64
+    }
+
+    #[test]
+    fn empty_available_yields_none() {
+        let mut rng = SimRng::seed(1);
+        assert_eq!(
+            UpgradePolicy::of(Operator::Verizon).select(
+                TrafficDemand::IcmpOnly,
+                &[],
+                Timezone::Pacific,
+                &mut rng
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn att_icmp_never_shows_5g() {
+        // Fig. 1d: AT&T handover-logger saw LTE/LTE-A only.
+        let f = select_fraction(
+            Operator::Att,
+            TrafficDemand::IcmpOnly,
+            &ALL5,
+            Timezone::Eastern,
+            |t| t.is_5g(),
+            5000,
+            2,
+        );
+        assert_eq!(f, 0.0);
+    }
+
+    #[test]
+    fn passive_sees_much_less_5g_than_backlogged() {
+        // Fig. 1: the passive/active gap holds everywhere for Verizon and
+        // AT&T; for T-Mobile the paper found the two views *agree* in the
+        // eastern half, so only its western zones are asserted.
+        for op in Operator::ALL {
+            for tz in Timezone::ALL {
+                if op == Operator::TMobile
+                    && matches!(tz, Timezone::Central | Timezone::Eastern)
+                {
+                    continue;
+                }
+                let idle = select_fraction(
+                    op,
+                    TrafficDemand::IcmpOnly,
+                    &ALL5,
+                    tz,
+                    |t| t.is_5g(),
+                    4000,
+                    3,
+                );
+                let dl = select_fraction(
+                    op,
+                    TrafficDemand::BackloggedDownlink,
+                    &ALL5,
+                    tz,
+                    |t| t.is_5g(),
+                    4000,
+                    4,
+                );
+                assert!(
+                    dl > idle + 0.2,
+                    "{op:?} {tz:?}: idle {idle} vs backlogged {dl}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn downlink_gets_more_high_speed_than_uplink() {
+        // Fig. 2b: high-speed 5G coverage is higher for DL backlog.
+        for op in Operator::ALL {
+            let dl = select_fraction(
+                op,
+                TrafficDemand::BackloggedDownlink,
+                &ALL5,
+                Timezone::Central,
+                |t| t.is_high_speed(),
+                6000,
+                5,
+            );
+            let ul = select_fraction(
+                op,
+                TrafficDemand::BackloggedUplink,
+                &ALL5,
+                Timezone::Central,
+                |t| t.is_high_speed(),
+                6000,
+                6,
+            );
+            assert!(dl > ul + 0.1, "{op:?}: DL {dl} UL {ul}");
+        }
+    }
+
+    #[test]
+    fn tmobile_passive_east_west_gap() {
+        // Fig. 1c vs 1f: T-Mobile's passive view matches the active one in
+        // the eastern half but not the west.
+        let west = select_fraction(
+            Operator::TMobile,
+            TrafficDemand::IcmpOnly,
+            &ALL5,
+            Timezone::Pacific,
+            |t| t.is_5g(),
+            6000,
+            7,
+        );
+        let east = select_fraction(
+            Operator::TMobile,
+            TrafficDemand::IcmpOnly,
+            &ALL5,
+            Timezone::Eastern,
+            |t| t.is_5g(),
+            6000,
+            8,
+        );
+        assert!(east > west * 1.8, "east {east} west {west}");
+    }
+
+    #[test]
+    fn backlogged_dl_prefers_fastest_available() {
+        // With everything available, DL backlog should land on high-speed
+        // 5G most of the time for V and T.
+        for op in [Operator::Verizon, Operator::TMobile] {
+            let f = select_fraction(
+                op,
+                TrafficDemand::BackloggedDownlink,
+                &ALL5,
+                Timezone::Eastern,
+                |t| t.is_high_speed(),
+                5000,
+                9,
+            );
+            assert!(f > 0.8, "{op:?} high-speed fraction {f}");
+        }
+    }
+
+    #[test]
+    fn fallback_when_only_5g_available() {
+        // Only a mid-band cell in range and the policy dice refuse it →
+        // the UE still connects (to that cell) rather than dropping.
+        let mut rng = SimRng::seed(10);
+        let pol = UpgradePolicy::of(Operator::Att);
+        for _ in 0..200 {
+            let t = pol
+                .select(
+                    TrafficDemand::IcmpOnly,
+                    &[Technology::Nr5gMid],
+                    Timezone::Mountain,
+                    &mut rng,
+                )
+                .unwrap();
+            assert_eq!(t, Technology::Nr5gMid);
+        }
+    }
+
+    #[test]
+    fn four_g_always_granted() {
+        let mut rng = SimRng::seed(11);
+        let pol = UpgradePolicy::of(Operator::Verizon);
+        for _ in 0..100 {
+            let t = pol
+                .select(
+                    TrafficDemand::IcmpOnly,
+                    &[Technology::Lte, Technology::LteA],
+                    Timezone::Pacific,
+                    &mut rng,
+                )
+                .unwrap();
+            assert_eq!(t, Technology::LteA, "prefers LTE-A over LTE");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests for deployments, policy, and the serving session.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use wheels_geo::route::Route;
+use wheels_radio::tech::Technology;
+use wheels_ran::cells::Deployment;
+use wheels_ran::load::{LoadModel, MIN_SHARE};
+use wheels_ran::operator::Operator;
+use wheels_ran::policy::{TrafficDemand, UpgradePolicy};
+use wheels_ran::session::{PollCtx, RanSession};
+use wheels_sim_core::rng::SimRng;
+use wheels_sim_core::time::{SimDuration, SimTime, Timezone};
+use wheels_sim_core::units::{Distance, Speed};
+
+fn route() -> &'static Route {
+    static R: OnceLock<Route> = OnceLock::new();
+    R.get_or_init(Route::standard)
+}
+
+fn deployments() -> &'static Vec<Deployment> {
+    static D: OnceLock<Vec<Deployment>> = OnceLock::new();
+    D.get_or_init(|| {
+        let rng = SimRng::seed(4242);
+        Operator::ALL
+            .iter()
+            .map(|op| Deployment::generate(route(), *op, &mut rng.split(op.label())))
+            .collect()
+    })
+}
+
+fn any_op_idx() -> impl Strategy<Value = usize> {
+    0usize..3
+}
+
+fn any_demand() -> impl Strategy<Value = TrafficDemand> {
+    prop::sample::select(vec![
+        TrafficDemand::IcmpOnly,
+        TrafficDemand::BackloggedDownlink,
+        TrafficDemand::BackloggedUplink,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn candidates_always_in_range_and_sorted(op in any_op_idx(), km in 0.0f64..5700.0) {
+        let dep = &deployments()[op];
+        let odo = Distance::from_km(km);
+        for tech in Technology::ALL {
+            let cands = dep.candidates(tech, odo);
+            for w in cands.windows(2) {
+                prop_assert!(w[0].distance_to(odo).as_m() <= w[1].distance_to(odo).as_m());
+            }
+            for c in cands {
+                prop_assert!(c.in_range(odo));
+                prop_assert_eq!(c.tech, tech);
+                prop_assert!(c.power_offset_db <= 0.0 && c.power_offset_db >= -24.0);
+            }
+        }
+    }
+
+    #[test]
+    fn policy_select_returns_member_of_available(
+        op in any_op_idx(),
+        demand in any_demand(),
+        mask in 1u8..32,
+        seed in any::<u64>(),
+    ) {
+        let available: Vec<Technology> = Technology::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, t)| *t)
+            .collect();
+        let pol = UpgradePolicy::of(Operator::ALL[op]);
+        let mut rng = SimRng::seed(seed);
+        for _ in 0..20 {
+            let got = pol.select(demand, &available, Timezone::Central, &mut rng);
+            match got {
+                Some(t) => prop_assert!(available.contains(&t)),
+                None => prop_assert!(available.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn eager_policy_always_picks_fastest(mask in 1u8..32, seed in any::<u64>()) {
+        let available: Vec<Technology> = Technology::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, t)| *t)
+            .collect();
+        let pol = UpgradePolicy::eager(Operator::Verizon);
+        let mut rng = SimRng::seed(seed);
+        let got = pol
+            .select(TrafficDemand::IcmpOnly, &available, Timezone::Pacific, &mut rng)
+            .unwrap();
+        // Fastest = max by the preference order.
+        let rank = |t: Technology| match t {
+            Technology::Lte => 0,
+            Technology::LteA => 1,
+            Technology::Nr5gLow => 2,
+            Technology::Nr5gMid => 3,
+            Technology::Nr5gMmWave => 4,
+        };
+        let fastest = available.iter().copied().max_by_key(|t| rank(*t)).unwrap();
+        prop_assert_eq!(got, fastest);
+    }
+
+    #[test]
+    fn session_snapshots_always_physically_valid(
+        op in any_op_idx(),
+        start_km in 0.0f64..5500.0,
+        mph in 5.0f64..80.0,
+        demand in any_demand(),
+        seed in any::<u64>(),
+    ) {
+        let dep = &deployments()[op];
+        let mut session = RanSession::new(dep, demand, SimRng::seed(seed));
+        let speed = Speed::from_mph(mph);
+        let mut t = SimTime::from_hours(30);
+        let mut odo = Distance::from_km(start_km);
+        for _ in 0..120 {
+            let ctx = PollCtx {
+                odo,
+                speed,
+                zone: route().zone_at(odo),
+                tz: route().timezone_at(odo),
+            };
+            if let Some(s) = session.poll(t, ctx) {
+                prop_assert!(s.rsrp.0 <= -44.0 && s.rsrp.0 >= -140.0);
+                prop_assert!((MIN_SHARE..=1.0).contains(&s.share));
+                prop_assert!(s.primary_mcs <= 28);
+                prop_assert!((0.0..=1.0).contains(&s.primary_bler));
+                prop_assert!(s.dl_rate.as_mbps() <= 3500.0 + 1e-6);
+                prop_assert!(s.ul_rate.as_mbps() <= 350.0 + 1e-6);
+                if s.in_handover {
+                    prop_assert!(s.dl_rate.as_mbps() == 0.0);
+                    prop_assert!(s.ul_rate.as_mbps() == 0.0);
+                }
+            }
+            t += SimDuration::from_millis(500);
+            odo += speed.distance_in_ms(500);
+        }
+        // Handover events are well-formed and time-ordered.
+        let mut last_start = SimTime::EPOCH;
+        for e in session.events() {
+            prop_assert!(e.start >= last_start);
+            last_start = e.start;
+            prop_assert!(e.duration.as_millis() >= 15 && e.duration.as_millis() <= 4000);
+            prop_assert_ne!(e.from_cell, e.to_cell);
+        }
+    }
+
+    #[test]
+    fn load_share_bounds_for_any_sequence(
+        seed in any::<u64>(),
+        hours in prop::collection::vec(0.0f64..24.0, 5..50),
+    ) {
+        let mut m = LoadModel::new(SimRng::seed(seed));
+        for (i, h) in hours.iter().enumerate() {
+            let s = m.share(
+                wheels_ran::cells::CellId((i % 7) as u32),
+                wheels_geo::route::ZoneClass::Suburban,
+                SimTime::from_secs(i as u64 * 10),
+                *h,
+            );
+            prop_assert!((MIN_SHARE..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn deployment_generation_deterministic(seed in any::<u64>()) {
+        let a = Deployment::generate(route(), Operator::TMobile, &mut SimRng::seed(seed));
+        let b = Deployment::generate(route(), Operator::TMobile, &mut SimRng::seed(seed));
+        prop_assert_eq!(a.cells().len(), b.cells().len());
+        prop_assert_eq!(a.cells().first(), b.cells().first());
+        prop_assert_eq!(a.cells().last(), b.cells().last());
+    }
+}

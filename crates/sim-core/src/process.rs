@@ -1,0 +1,289 @@
+//! Stochastic processes used by the channel, load, and mobility models.
+//!
+//! Three building blocks cover everything the simulator needs:
+//!
+//! - [`GaussMarkov`] — a mean-reverting Ornstein-Uhlenbeck-style process in
+//!   discrete steps. Used for spatially-correlated shadowing (stepped by
+//!   distance) and for vehicle-speed jitter (stepped by time).
+//! - [`Ar1`] — a plain first-order autoregressive process for fast fading in
+//!   dB around zero mean.
+//! - [`TwoStateMarkov`] — an on/off process for mmWave LOS/NLOS blockage and
+//!   for bursty cell-load episodes.
+//!
+//! All of them expose `step(rng, delta)`-style APIs where `delta` is the
+//! amount of time (or distance) advanced, so irregular polling intervals
+//! decorrelate correctly.
+
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Discrete-step Gauss-Markov (mean-reverting) process.
+///
+/// `x' = mean + a * (x - mean) + sigma * sqrt(1 - a^2) * N(0,1)` with
+/// `a = exp(-delta / correlation)`, which makes the stationary variance
+/// `sigma^2` independent of the step size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussMarkov {
+    /// Long-run mean the process reverts to.
+    pub mean: f64,
+    /// Stationary standard deviation.
+    pub sigma: f64,
+    /// Correlation length, in the same unit as `delta` passed to `step`
+    /// (meters for shadowing, milliseconds for speed jitter).
+    pub correlation: f64,
+    value: f64,
+}
+
+impl GaussMarkov {
+    /// Create a process starting at its mean.
+    pub fn new(mean: f64, sigma: f64, correlation: f64) -> Self {
+        GaussMarkov {
+            mean,
+            sigma,
+            correlation: correlation.max(1e-9),
+            value: mean,
+        }
+    }
+
+    /// Create a process starting from a random stationary draw.
+    pub fn new_stationary(mean: f64, sigma: f64, correlation: f64, rng: &mut SimRng) -> Self {
+        let mut p = Self::new(mean, sigma, correlation);
+        p.value = rng.normal(mean, sigma);
+        p
+    }
+
+    /// Current value without advancing.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Force the current value (used when re-anchoring after a handover).
+    pub fn set_value(&mut self, v: f64) {
+        self.value = v;
+    }
+
+    /// Advance by `delta` (time or distance) and return the new value.
+    pub fn step(&mut self, rng: &mut SimRng, delta: f64) -> f64 {
+        let a = (-delta.max(0.0) / self.correlation).exp();
+        let noise_sd = self.sigma * (1.0 - a * a).max(0.0).sqrt();
+        self.value = self.mean + a * (self.value - self.mean) + rng.normal(0.0, noise_sd);
+        self.value
+    }
+}
+
+/// First-order autoregressive process around zero, fixed step.
+///
+/// `x' = rho * x + sigma * sqrt(1 - rho^2) * N(0,1)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ar1 {
+    /// One-step correlation coefficient in `[0, 1)`.
+    pub rho: f64,
+    /// Stationary standard deviation.
+    pub sigma: f64,
+    value: f64,
+}
+
+impl Ar1 {
+    /// Create a zero-mean AR(1) process starting at 0.
+    pub fn new(rho: f64, sigma: f64) -> Self {
+        Ar1 {
+            rho: rho.clamp(0.0, 0.999_999),
+            sigma,
+            value: 0.0,
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Advance one step.
+    pub fn step(&mut self, rng: &mut SimRng) -> f64 {
+        let noise_sd = self.sigma * (1.0 - self.rho * self.rho).sqrt();
+        self.value = self.rho * self.value + rng.normal(0.0, noise_sd);
+        self.value
+    }
+}
+
+/// Continuous-time two-state (on/off) Markov process, advanced in discrete
+/// deltas. Dwell times in each state are exponential with the configured
+/// means, so `P(flip in delta) = 1 - exp(-delta / mean_dwell)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TwoStateMarkov {
+    /// Mean dwell in the `true` ("on"/LOS) state, in `delta` units.
+    pub mean_on: f64,
+    /// Mean dwell in the `false` ("off"/blocked) state, in `delta` units.
+    pub mean_off: f64,
+    state: bool,
+}
+
+impl TwoStateMarkov {
+    /// Create in the given initial state.
+    pub fn new(mean_on: f64, mean_off: f64, initial: bool) -> Self {
+        TwoStateMarkov {
+            mean_on: mean_on.max(1e-9),
+            mean_off: mean_off.max(1e-9),
+            state: initial,
+        }
+    }
+
+    /// Create with the initial state drawn from the stationary
+    /// distribution `P(on) = mean_on / (mean_on + mean_off)`.
+    pub fn new_stationary(mean_on: f64, mean_off: f64, rng: &mut SimRng) -> Self {
+        let p_on = mean_on / (mean_on + mean_off);
+        Self::new(mean_on, mean_off, rng.chance(p_on))
+    }
+
+    /// Current state.
+    pub fn state(&self) -> bool {
+        self.state
+    }
+
+    /// Long-run fraction of time in the `true` state.
+    pub fn stationary_on_fraction(&self) -> f64 {
+        self.mean_on / (self.mean_on + self.mean_off)
+    }
+
+    /// Advance by `delta` and return the (possibly flipped) state.
+    ///
+    /// Uses at most one transition per step; callers poll at intervals
+    /// much shorter than the dwell times, so multi-flip corrections are
+    /// negligible.
+    pub fn step(&mut self, rng: &mut SimRng, delta: f64) -> bool {
+        let dwell = if self.state { self.mean_on } else { self.mean_off };
+        let p_flip = 1.0 - (-delta.max(0.0) / dwell).exp();
+        if rng.chance(p_flip) {
+            self.state = !self.state;
+        }
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauss_markov_reverts_to_mean() {
+        let mut rng = SimRng::seed(1);
+        let mut p = GaussMarkov::new(10.0, 2.0, 100.0);
+        p.set_value(50.0);
+        // After many correlation lengths the value should be near the mean.
+        for _ in 0..100 {
+            p.step(&mut rng, 100.0);
+        }
+        assert!((p.value() - 10.0).abs() < 8.0, "value {}", p.value());
+    }
+
+    #[test]
+    fn gauss_markov_stationary_variance() {
+        let mut rng = SimRng::seed(2);
+        let mut p = GaussMarkov::new(0.0, 3.0, 50.0);
+        let mut acc = Vec::new();
+        for _ in 0..50_000 {
+            acc.push(p.step(&mut rng, 50.0));
+        }
+        let mean = acc.iter().sum::<f64>() / acc.len() as f64;
+        let var = acc.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / acc.len() as f64;
+        assert!(mean.abs() < 0.15, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.2, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn gauss_markov_zero_delta_is_noop_in_expectation() {
+        let mut rng = SimRng::seed(3);
+        let mut p = GaussMarkov::new(5.0, 2.0, 100.0);
+        p.set_value(7.0);
+        let v = p.step(&mut rng, 0.0);
+        assert!((v - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauss_markov_large_delta_decorrelates() {
+        let mut rng = SimRng::seed(4);
+        let mut p = GaussMarkov::new(0.0, 1.0, 1.0);
+        p.set_value(100.0);
+        // delta >> correlation: next value should be a fresh stationary draw.
+        let v = p.step(&mut rng, 1e6);
+        assert!(v.abs() < 6.0, "value {v}");
+    }
+
+    #[test]
+    fn ar1_stationary_sd() {
+        let mut rng = SimRng::seed(5);
+        let mut p = Ar1::new(0.9, 2.0);
+        let samples: Vec<f64> = (0..100_000).map(|_| p.step(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let sd = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64)
+            .sqrt();
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((sd - 2.0).abs() < 0.15, "sd {sd}");
+    }
+
+    #[test]
+    fn ar1_successive_samples_are_correlated() {
+        let mut rng = SimRng::seed(6);
+        let mut p = Ar1::new(0.95, 1.0);
+        let xs: Vec<f64> = (0..50_000).map(|_| p.step(&mut rng)).collect();
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for w in xs.windows(2) {
+            num += w[0] * w[1];
+        }
+        for x in &xs {
+            den += x * x;
+        }
+        let rho_hat = num / den;
+        assert!((rho_hat - 0.95).abs() < 0.05, "rho {rho_hat}");
+    }
+
+    #[test]
+    fn two_state_stationary_fraction() {
+        let mut rng = SimRng::seed(7);
+        let mut p = TwoStateMarkov::new(300.0, 100.0, true);
+        let mut on = 0u32;
+        let n = 200_000;
+        for _ in 0..n {
+            if p.step(&mut rng, 10.0) {
+                on += 1;
+            }
+        }
+        let frac = on as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.03, "frac {frac}");
+        assert!((p.stationary_on_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_state_dwell_times_scale_with_means() {
+        let mut rng = SimRng::seed(8);
+        let mut p = TwoStateMarkov::new(1000.0, 10.0, true);
+        // Over short steps, the on-state should persist much longer than off.
+        let mut on_runs = Vec::new();
+        let mut run = 0u32;
+        for _ in 0..100_000 {
+            if p.step(&mut rng, 5.0) {
+                run += 1;
+            } else if run > 0 {
+                on_runs.push(run);
+                run = 0;
+            }
+        }
+        let mean_run = on_runs.iter().map(|r| *r as f64).sum::<f64>() / on_runs.len() as f64;
+        // Mean on-dwell 1000 units / 5 units per step = ~200 steps.
+        assert!(mean_run > 100.0, "mean on-run {mean_run}");
+    }
+
+    #[test]
+    fn two_state_stationary_init_matches_fraction() {
+        let mut rng = SimRng::seed(9);
+        let mut on = 0;
+        for _ in 0..10_000 {
+            if TwoStateMarkov::new_stationary(900.0, 100.0, &mut rng).state() {
+                on += 1;
+            }
+        }
+        let frac = on as f64 / 10_000.0;
+        assert!((frac - 0.9).abs() < 0.02, "frac {frac}");
+    }
+}

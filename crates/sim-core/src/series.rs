@@ -1,0 +1,267 @@
+//! Timestamped sample series.
+//!
+//! The paper's analysis repeatedly joins series sampled at different rates
+//! (XCAL KPIs at 500 ms, GPS at 1 s, pings at 200 ms, app events whenever
+//! they happen). [`TimeSeries`] stores `(SimTime, T)` pairs sorted by time
+//! and provides the resampling/joining operations the analysis layer uses.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A time-ordered sequence of samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries<T> {
+    points: Vec<(SimTime, T)>,
+}
+
+impl<T> Default for TimeSeries<T> {
+    fn default() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+}
+
+impl<T> TimeSeries<T> {
+    /// New empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample. Samples must be pushed in non-decreasing time
+    /// order; out-of-order pushes are rejected with an error so the bug
+    /// surfaces at the producer, not in a later join.
+    pub fn push(&mut self, t: SimTime, value: T) -> Result<(), OutOfOrder> {
+        if let Some((last, _)) = self.points.last() {
+            if t < *last {
+                return Err(OutOfOrder {
+                    last: *last,
+                    attempted: t,
+                });
+            }
+        }
+        self.points.push((t, value));
+        Ok(())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterate `(time, &value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &T)> {
+        self.points.iter().map(|(t, v)| (*t, v))
+    }
+
+    /// All raw points.
+    pub fn points(&self) -> &[(SimTime, T)] {
+        &self.points
+    }
+
+    /// First timestamp.
+    pub fn start(&self) -> Option<SimTime> {
+        self.points.first().map(|(t, _)| *t)
+    }
+
+    /// Last timestamp.
+    pub fn end(&self) -> Option<SimTime> {
+        self.points.last().map(|(t, _)| *t)
+    }
+
+    /// The most recent sample at or before `t` (sample-and-hold lookup).
+    pub fn at(&self, t: SimTime) -> Option<&T> {
+        let idx = self.points.partition_point(|(pt, _)| *pt <= t);
+        idx.checked_sub(1).map(|i| &self.points[i].1)
+    }
+
+    /// All samples with `start <= time < end`.
+    pub fn window(&self, start: SimTime, end: SimTime) -> &[(SimTime, T)] {
+        let lo = self.points.partition_point(|(t, _)| *t < start);
+        let hi = self.points.partition_point(|(t, _)| *t < end);
+        &self.points[lo..hi]
+    }
+
+    /// Map values, preserving timestamps.
+    pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> TimeSeries<U> {
+        TimeSeries {
+            points: self.points.iter().map(|(t, v)| (*t, f(v))).collect(),
+        }
+    }
+}
+
+impl TimeSeries<f64> {
+    /// Mean of samples in `[start, end)`, or `None` if the window is empty.
+    pub fn window_mean(&self, start: SimTime, end: SimTime) -> Option<f64> {
+        let w = self.window(start, end);
+        if w.is_empty() {
+            return None;
+        }
+        Some(w.iter().map(|(_, v)| *v).sum::<f64>() / w.len() as f64)
+    }
+
+    /// Resample onto a fixed grid of `step` starting at `start`, averaging
+    /// samples that fall in each `[t, t+step)` bucket. Buckets with no
+    /// samples yield `None` entries (gaps matter for HO analysis).
+    pub fn resample_mean(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        step: SimDuration,
+    ) -> Vec<(SimTime, Option<f64>)> {
+        assert!(step.as_millis() > 0, "resample step must be positive");
+        let mut out = Vec::new();
+        let mut t = start;
+        while t < end {
+            let next = t + step;
+            out.push((t, self.window_mean(t, next)));
+            t = next;
+        }
+        out
+    }
+
+    /// Values as a plain vector (for stats).
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|(_, v)| *v).collect()
+    }
+}
+
+/// Error returned when a sample is pushed with a timestamp earlier than the
+/// series' last sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfOrder {
+    /// Timestamp of the series' current last sample.
+    pub last: SimTime,
+    /// The rejected timestamp.
+    pub attempted: SimTime,
+}
+
+impl core::fmt::Display for OutOfOrder {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "out-of-order push: series at t={}ms, attempted t={}ms",
+            self.last.as_millis(),
+            self.attempted.as_millis()
+        )
+    }
+}
+
+impl std::error::Error for OutOfOrder {}
+
+/// Join two `f64` series on a common grid: for each grid bucket where *both*
+/// series have at least one sample, emit `(mean_a, mean_b)`. This is how
+/// Table 2 pairs 500 ms throughput samples with KPI samples, and how Fig. 6
+/// pairs concurrent tests across operators.
+pub fn join_on_grid(
+    a: &TimeSeries<f64>,
+    b: &TimeSeries<f64>,
+    start: SimTime,
+    end: SimTime,
+    step: SimDuration,
+) -> Vec<(f64, f64)> {
+    let ra = a.resample_mean(start, end, step);
+    let rb = b.resample_mean(start, end, step);
+    ra.into_iter()
+        .zip(rb)
+        .filter_map(|((_, va), (_, vb))| Some((va?, vb?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime(v)
+    }
+
+    #[test]
+    fn push_enforces_order() {
+        let mut s = TimeSeries::new();
+        s.push(ms(100), 1.0).unwrap();
+        s.push(ms(100), 2.0).unwrap(); // equal timestamps allowed
+        let err = s.push(ms(50), 3.0).unwrap_err();
+        assert_eq!(err.last, ms(100));
+        assert_eq!(err.attempted, ms(50));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn at_is_sample_and_hold() {
+        let mut s = TimeSeries::new();
+        s.push(ms(100), "a").unwrap();
+        s.push(ms(200), "b").unwrap();
+        assert_eq!(s.at(ms(50)), None);
+        assert_eq!(s.at(ms(100)), Some(&"a"));
+        assert_eq!(s.at(ms(199)), Some(&"a"));
+        assert_eq!(s.at(ms(200)), Some(&"b"));
+        assert_eq!(s.at(ms(9999)), Some(&"b"));
+    }
+
+    #[test]
+    fn window_half_open() {
+        let mut s = TimeSeries::new();
+        for t in [0u64, 100, 200, 300] {
+            s.push(ms(t), t as f64).unwrap();
+        }
+        let w = s.window(ms(100), ms(300));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].0, ms(100));
+        assert_eq!(w[1].0, ms(200));
+    }
+
+    #[test]
+    fn resample_mean_with_gaps() {
+        let mut s = TimeSeries::new();
+        s.push(ms(0), 10.0).unwrap();
+        s.push(ms(100), 20.0).unwrap();
+        // nothing in [500, 1000)
+        s.push(ms(1100), 5.0).unwrap();
+        let r = s.resample_mean(ms(0), ms(1500), SimDuration::from_millis(500));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0], (ms(0), Some(15.0)));
+        assert_eq!(r[1], (ms(500), None));
+        assert_eq!(r[2], (ms(1000), Some(5.0)));
+    }
+
+    #[test]
+    fn join_on_grid_requires_both() {
+        let mut a = TimeSeries::new();
+        let mut b = TimeSeries::new();
+        a.push(ms(0), 1.0).unwrap();
+        a.push(ms(600), 3.0).unwrap();
+        b.push(ms(100), 10.0).unwrap();
+        // b has nothing in [500, 1000)
+        let joined = join_on_grid(&a, &b, ms(0), ms(1000), SimDuration::from_millis(500));
+        assert_eq!(joined, vec![(1.0, 10.0)]);
+    }
+
+    #[test]
+    fn map_preserves_time() {
+        let mut s = TimeSeries::new();
+        s.push(ms(5), 2.0).unwrap();
+        let doubled = s.map(|v| v * 2.0);
+        assert_eq!(doubled.points(), &[(ms(5), 4.0)]);
+    }
+
+    #[test]
+    fn empty_series_behaviour() {
+        let s: TimeSeries<f64> = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.start(), None);
+        assert_eq!(s.end(), None);
+        assert_eq!(s.at(ms(0)), None);
+        assert_eq!(s.window_mean(ms(0), ms(100)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "resample step must be positive")]
+    fn resample_zero_step_panics() {
+        let s: TimeSeries<f64> = TimeSeries::new();
+        let _ = s.resample_mean(ms(0), ms(100), SimDuration::ZERO);
+    }
+}

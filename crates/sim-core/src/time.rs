@@ -1,0 +1,323 @@
+//! Simulation time.
+//!
+//! The whole workspace measures time in integer **milliseconds since the
+//! trip epoch**: 2022-08-08 00:00:00 PDT, the midnight before the first
+//! driving day of the paper's LA→Boston trip. An integer clock keeps the
+//! simulation deterministic (no floating-point drift in event ordering) and
+//! makes log records trivially sortable.
+//!
+//! The paper's challenge **\[C2\]** — synchronizing logs whose timestamps are
+//! written in UTC, in local time (which changes four times along the route),
+//! and in EDT — is modelled faithfully: [`Timezone`] carries the fixed UTC
+//! offsets in effect during the trip (August 2022, daylight time), and
+//! [`WallClock`] converts a [`SimTime`] into each of the formats the real
+//! loggers used.
+
+use serde::{Deserialize, Serialize};
+
+/// Milliseconds since the trip epoch (2022-08-08 00:00:00 PDT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+/// A span of simulation time in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The trip epoch itself.
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Construct from whole seconds since the epoch.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1000)
+    }
+
+    /// Construct from whole minutes since the epoch.
+    pub fn from_mins(m: u64) -> Self {
+        SimTime(m * 60_000)
+    }
+
+    /// Construct from whole hours since the epoch.
+    pub fn from_hours(h: u64) -> Self {
+        SimTime(h * 3_600_000)
+    }
+
+    /// Milliseconds since the epoch.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, truncated.
+    pub fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Seconds since the epoch as a float (for plotting/stats).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Time elapsed since `earlier`. Saturates at zero rather than
+    /// panicking, because log-sync deliberately feeds mis-ordered
+    /// timestamps through this path.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Advance by `d`.
+    #[must_use]
+    pub fn after(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+
+    /// Round down to a multiple of `granularity_ms` (e.g. the 500 ms XCAL
+    /// throughput-sampling boundary).
+    #[must_use]
+    pub fn floor_to(self, granularity_ms: u64) -> SimTime {
+        SimTime(self.0 / granularity_ms * granularity_ms)
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1000)
+    }
+
+    /// Construct from whole minutes.
+    pub fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000)
+    }
+
+    /// Construct from whole hours.
+    pub fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600_000)
+    }
+
+    /// Length in milliseconds.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Length in seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+}
+
+impl core::ops::Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl core::ops::Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl core::ops::Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+/// The four US timezones the trip crosses, with the UTC offsets in effect
+/// in August 2022 (daylight saving time everywhere along the route).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Timezone {
+    /// UTC−7 (PDT): Los Angeles, Las Vegas.
+    Pacific,
+    /// UTC−6 (MDT): Salt Lake City, Denver.
+    Mountain,
+    /// UTC−5 (CDT): Omaha, Chicago.
+    Central,
+    /// UTC−4 (EDT): Indianapolis, Cleveland, Rochester, Boston.
+    Eastern,
+}
+
+impl Timezone {
+    /// All four zones, west to east.
+    pub const ALL: [Timezone; 4] = [
+        Timezone::Pacific,
+        Timezone::Mountain,
+        Timezone::Central,
+        Timezone::Eastern,
+    ];
+
+    /// Offset from UTC in hours (negative = behind UTC), August 2022.
+    pub fn utc_offset_hours(self) -> i64 {
+        match self {
+            Timezone::Pacific => -7,
+            Timezone::Mountain => -6,
+            Timezone::Central => -5,
+            Timezone::Eastern => -4,
+        }
+    }
+
+    /// Offset from the *epoch zone* (Pacific) in milliseconds. Positive:
+    /// local clocks in this zone read later than PDT clocks.
+    pub fn offset_from_pacific_ms(self) -> i64 {
+        (self.utc_offset_hours() - Timezone::Pacific.utc_offset_hours()) * 3_600_000
+    }
+
+    /// Human-readable abbreviation as logged by real tools in Aug 2022.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Timezone::Pacific => "PDT",
+            Timezone::Mountain => "MDT",
+            Timezone::Central => "CDT",
+            Timezone::Eastern => "EDT",
+        }
+    }
+}
+
+/// Conversion between the simulation clock and the wall-clock formats that
+/// the paper's loggers actually wrote:
+///
+/// - some apps logged **UTC** milliseconds,
+/// - some apps logged **local** time (whatever zone the car was in),
+/// - XCAL wrote file *names* in local time but file *contents* in **EDT**.
+///
+/// The log-synchronization layer in `wheels-core` exercises all three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WallClock;
+
+impl WallClock {
+    /// UTC milliseconds (Unix-like, but anchored so that the epoch maps to
+    /// 2022-08-08 07:00:00 UTC == 00:00 PDT).
+    pub fn utc_ms(t: SimTime) -> i64 {
+        // Epoch in "absolute" ms: we only need a consistent anchor, so use
+        // the real Unix timestamp of 2022-08-08 07:00:00 UTC.
+        const EPOCH_UNIX_MS: i64 = 1_659_942_000_000;
+        EPOCH_UNIX_MS + t.0 as i64
+    }
+
+    /// Local-time milliseconds for a car currently in `zone`.
+    pub fn local_ms(t: SimTime, zone: Timezone) -> i64 {
+        Self::utc_ms(t) + zone.utc_offset_hours() * 3_600_000
+    }
+
+    /// EDT milliseconds (the zone XCAL file contents use regardless of the
+    /// car's location).
+    pub fn edt_ms(t: SimTime) -> i64 {
+        Self::local_ms(t, Timezone::Eastern)
+    }
+
+    /// Invert [`Self::utc_ms`].
+    pub fn from_utc_ms(utc: i64) -> Option<SimTime> {
+        const EPOCH_UNIX_MS: i64 = 1_659_942_000_000;
+        let rel = utc - EPOCH_UNIX_MS;
+        u64::try_from(rel).ok().map(SimTime)
+    }
+
+    /// Invert [`Self::local_ms`] given the zone the record was written in.
+    pub fn from_local_ms(local: i64, zone: Timezone) -> Option<SimTime> {
+        Self::from_utc_ms(local - zone.utc_offset_hours() * 3_600_000)
+    }
+
+    /// Invert [`Self::edt_ms`].
+    pub fn from_edt_ms(edt: i64) -> Option<SimTime> {
+        Self::from_local_ms(edt, Timezone::Eastern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_constructors_agree() {
+        assert_eq!(SimTime::from_secs(1).as_millis(), 1000);
+        assert_eq!(SimTime::from_mins(2).as_millis(), 120_000);
+        assert_eq!(SimTime::from_hours(1), SimTime::from_mins(60));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime(100);
+        let b = SimTime(300);
+        assert_eq!(b.since(a), SimDuration(200));
+        assert_eq!(a.since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn floor_to_500ms_boundary() {
+        assert_eq!(SimTime(1499).floor_to(500), SimTime(1000));
+        assert_eq!(SimTime(1500).floor_to(500), SimTime(1500));
+        assert_eq!(SimTime(0).floor_to(500), SimTime(0));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::from_secs(30);
+        assert_eq!(d + SimDuration::from_secs(5), SimDuration(35_000));
+        assert_eq!(d - SimDuration::from_secs(40), SimDuration::ZERO);
+        assert_eq!(d * 2, SimDuration::from_mins(1));
+        assert!((d.as_secs_f64() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timezone_offsets_are_august_2022_daylight() {
+        assert_eq!(Timezone::Pacific.utc_offset_hours(), -7);
+        assert_eq!(Timezone::Eastern.utc_offset_hours(), -4);
+        assert_eq!(Timezone::Eastern.offset_from_pacific_ms(), 3 * 3_600_000);
+        assert_eq!(Timezone::Pacific.offset_from_pacific_ms(), 0);
+    }
+
+    #[test]
+    fn wallclock_roundtrips() {
+        let t = SimTime::from_hours(50) + SimDuration::from_millis(123);
+        assert_eq!(WallClock::from_utc_ms(WallClock::utc_ms(t)), Some(t));
+        for zone in Timezone::ALL {
+            let local = WallClock::local_ms(t, zone);
+            assert_eq!(WallClock::from_local_ms(local, zone), Some(t));
+        }
+        assert_eq!(WallClock::from_edt_ms(WallClock::edt_ms(t)), Some(t));
+    }
+
+    #[test]
+    fn edt_reads_three_hours_ahead_of_pacific_local() {
+        let t = SimTime::from_hours(1);
+        assert_eq!(
+            WallClock::edt_ms(t) - WallClock::local_ms(t, Timezone::Pacific),
+            3 * 3_600_000
+        );
+    }
+
+    #[test]
+    fn epoch_maps_to_midnight_pdt() {
+        // 2022-08-08 07:00:00 UTC == 2022-08-08 00:00 PDT.
+        assert_eq!(WallClock::utc_ms(SimTime::EPOCH), 1_659_942_000_000);
+    }
+
+    #[test]
+    fn from_utc_rejects_pre_epoch() {
+        assert_eq!(WallClock::from_utc_ms(1_659_941_999_999), None);
+    }
+}

@@ -1,0 +1,388 @@
+//! Strongly-typed physical quantities.
+//!
+//! The simulator juggles data rates across five orders of magnitude (kbps
+//! ICMP probes to multi-Gbps mmWave), powers in dBm, and speeds in mph (the
+//! paper's bins) and m/s (the physics). Newtypes keep the unit conversions
+//! out of the model code and prevent the classic Mbps-vs-MBps and dB-vs-dBm
+//! mistakes.
+
+use serde::{Deserialize, Serialize};
+
+/// A data rate. Stored internally in bits per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct DataRate(f64);
+
+impl DataRate {
+    /// Zero rate.
+    pub const ZERO: DataRate = DataRate(0.0);
+
+    /// From bits per second.
+    pub fn from_bps(bps: f64) -> Self {
+        DataRate(bps.max(0.0))
+    }
+
+    /// From megabits per second (the paper's universal unit).
+    pub fn from_mbps(mbps: f64) -> Self {
+        Self::from_bps(mbps * 1e6)
+    }
+
+    /// From gigabits per second.
+    pub fn from_gbps(gbps: f64) -> Self {
+        Self::from_bps(gbps * 1e9)
+    }
+
+    /// Bits per second.
+    pub fn as_bps(self) -> f64 {
+        self.0
+    }
+
+    /// Megabits per second.
+    pub fn as_mbps(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Gigabits per second.
+    pub fn as_gbps(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Bytes transferred in `ms` milliseconds at this rate.
+    pub fn bytes_in_ms(self, ms: u64) -> f64 {
+        self.0 / 8.0 * (ms as f64 / 1000.0)
+    }
+
+    /// Rate needed to move `bytes` in `ms` milliseconds.
+    pub fn for_bytes_in_ms(bytes: f64, ms: f64) -> Self {
+        if ms <= 0.0 {
+            return DataRate::ZERO;
+        }
+        Self::from_bps(bytes * 8.0 / (ms / 1000.0))
+    }
+
+    /// Element-wise minimum.
+    pub fn min(self, other: DataRate) -> DataRate {
+        DataRate(self.0.min(other.0))
+    }
+
+    /// Element-wise maximum.
+    pub fn max(self, other: DataRate) -> DataRate {
+        DataRate(self.0.max(other.0))
+    }
+}
+
+impl core::ops::Add for DataRate {
+    type Output = DataRate;
+    fn add(self, rhs: DataRate) -> DataRate {
+        DataRate(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Mul<f64> for DataRate {
+    type Output = DataRate;
+    fn mul(self, rhs: f64) -> DataRate {
+        DataRate((self.0 * rhs).max(0.0))
+    }
+}
+
+impl core::iter::Sum for DataRate {
+    fn sum<I: Iterator<Item = DataRate>>(iter: I) -> DataRate {
+        iter.fold(DataRate::ZERO, |a, b| a + b)
+    }
+}
+
+/// Received/transmitted power in dBm.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Dbm(pub f64);
+
+/// A power *ratio* (gain or loss) in dB.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Db(pub f64);
+
+impl Dbm {
+    /// Convert to milliwatts.
+    pub fn as_mw(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Convert from milliwatts.
+    pub fn from_mw(mw: f64) -> Self {
+        Dbm(10.0 * mw.max(1e-30).log10())
+    }
+
+    /// Apply a gain (positive) or loss (negative).
+    #[must_use]
+    pub fn plus(self, gain: Db) -> Dbm {
+        Dbm(self.0 + gain.0)
+    }
+
+    /// Subtract a loss.
+    #[must_use]
+    pub fn minus(self, loss: Db) -> Dbm {
+        Dbm(self.0 - loss.0)
+    }
+
+    /// Power-sum of several dBm values (converts to mW, adds, converts
+    /// back) — used to total interference from multiple cells.
+    pub fn power_sum(values: impl IntoIterator<Item = Dbm>) -> Dbm {
+        let mw: f64 = values.into_iter().map(Dbm::as_mw).sum();
+        Dbm::from_mw(mw)
+    }
+}
+
+impl Db {
+    /// Convert to a linear power ratio.
+    pub fn as_linear(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Convert from a linear power ratio.
+    pub fn from_linear(lin: f64) -> Self {
+        Db(10.0 * lin.max(1e-30).log10())
+    }
+}
+
+impl core::ops::Add for Db {
+    type Output = Db;
+    fn add(self, rhs: Db) -> Db {
+        Db(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Sub for Db {
+    type Output = Db;
+    fn sub(self, rhs: Db) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Sub for Dbm {
+    type Output = Db;
+    fn sub(self, rhs: Dbm) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+/// A distance. Stored internally in meters.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Distance(f64);
+
+impl Distance {
+    /// Zero distance.
+    pub const ZERO: Distance = Distance(0.0);
+
+    /// From meters.
+    pub fn from_m(m: f64) -> Self {
+        Distance(m.max(0.0))
+    }
+
+    /// From kilometers.
+    pub fn from_km(km: f64) -> Self {
+        Self::from_m(km * 1000.0)
+    }
+
+    /// From miles (the paper reports coverage and handovers per mile).
+    pub fn from_miles(mi: f64) -> Self {
+        Self::from_m(mi * 1609.344)
+    }
+
+    /// Meters.
+    pub fn as_m(self) -> f64 {
+        self.0
+    }
+
+    /// Kilometers.
+    pub fn as_km(self) -> f64 {
+        self.0 / 1000.0
+    }
+
+    /// Miles.
+    pub fn as_miles(self) -> f64 {
+        self.0 / 1609.344
+    }
+}
+
+impl core::ops::Add for Distance {
+    type Output = Distance;
+    fn add(self, rhs: Distance) -> Distance {
+        Distance(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Sub for Distance {
+    type Output = Distance;
+    fn sub(self, rhs: Distance) -> Distance {
+        Distance((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl core::ops::AddAssign for Distance {
+    fn add_assign(&mut self, rhs: Distance) {
+        self.0 += rhs.0;
+    }
+}
+
+impl core::iter::Sum for Distance {
+    fn sum<I: Iterator<Item = Distance>>(iter: I) -> Distance {
+        iter.fold(Distance::ZERO, |a, b| a + b)
+    }
+}
+
+/// A speed. Stored internally in meters per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Speed(f64);
+
+impl Speed {
+    /// Zero (parked at a light).
+    pub const ZERO: Speed = Speed(0.0);
+
+    /// From meters per second.
+    pub fn from_mps(mps: f64) -> Self {
+        Speed(mps.max(0.0))
+    }
+
+    /// From miles per hour (the paper's speed bins: 0–20, 20–60, 60+).
+    pub fn from_mph(mph: f64) -> Self {
+        Self::from_mps(mph * 0.44704)
+    }
+
+    /// Meters per second.
+    pub fn as_mps(self) -> f64 {
+        self.0
+    }
+
+    /// Miles per hour.
+    pub fn as_mph(self) -> f64 {
+        self.0 / 0.44704
+    }
+
+    /// Distance covered in `ms` milliseconds at this speed.
+    pub fn distance_in_ms(self, ms: u64) -> Distance {
+        Distance::from_m(self.0 * ms as f64 / 1000.0)
+    }
+}
+
+/// The paper's three speed bins (§4.2, §5.5), used both as a coverage
+/// breakdown and as a proxy for region type (city / suburban / highway).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SpeedBin {
+    /// 0–20 mph — mostly cities.
+    Low,
+    /// 20–60 mph — mostly suburban in-between areas.
+    Mid,
+    /// 60+ mph — inter-state highways.
+    High,
+}
+
+impl SpeedBin {
+    /// All bins in order.
+    pub const ALL: [SpeedBin; 3] = [SpeedBin::Low, SpeedBin::Mid, SpeedBin::High];
+
+    /// Classify a speed into the paper's bins.
+    pub fn of(speed: Speed) -> SpeedBin {
+        let mph = speed.as_mph();
+        if mph < 20.0 {
+            SpeedBin::Low
+        } else if mph < 60.0 {
+            SpeedBin::Mid
+        } else {
+            SpeedBin::High
+        }
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpeedBin::Low => "0-20 mph",
+            SpeedBin::Mid => "20-60 mph",
+            SpeedBin::High => "60+ mph",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_rate_conversions() {
+        let r = DataRate::from_mbps(100.0);
+        assert!((r.as_bps() - 1e8).abs() < 1e-6);
+        assert!((r.as_gbps() - 0.1).abs() < 1e-12);
+        assert!((DataRate::from_gbps(3.5).as_mbps() - 3500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn data_rate_bytes_in_ms() {
+        // 8 Mbps for 1 s = 1 MB.
+        let r = DataRate::from_mbps(8.0);
+        assert!((r.bytes_in_ms(1000) - 1e6).abs() < 1e-6);
+        // Inverse.
+        let need = DataRate::for_bytes_in_ms(1e6, 1000.0);
+        assert!((need.as_mbps() - 8.0).abs() < 1e-9);
+        assert_eq!(DataRate::for_bytes_in_ms(1e6, 0.0), DataRate::ZERO);
+    }
+
+    #[test]
+    fn data_rate_never_negative() {
+        assert_eq!(DataRate::from_bps(-5.0), DataRate::ZERO);
+        assert_eq!(DataRate::from_mbps(10.0) * -1.0, DataRate::ZERO);
+    }
+
+    #[test]
+    fn dbm_mw_roundtrip() {
+        let p = Dbm(-95.0);
+        let back = Dbm::from_mw(p.as_mw());
+        assert!((back.0 - p.0).abs() < 1e-9);
+        assert!((Dbm(0.0).as_mw() - 1.0).abs() < 1e-12);
+        assert!((Dbm(30.0).as_mw() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dbm_power_sum_of_equal_terms_adds_3db() {
+        let s = Dbm::power_sum([Dbm(-100.0), Dbm(-100.0)]);
+        assert!((s.0 - (-100.0 + 10.0 * 2f64.log10())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn db_linear_roundtrip() {
+        for v in [-30.0, -3.0, 0.0, 3.0, 20.0] {
+            let g = Db(v);
+            assert!((Db::from_linear(g.as_linear()).0 - v).abs() < 1e-9);
+        }
+        assert!((Db(3.0103).as_linear() - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dbm_arithmetic() {
+        let p = Dbm(-70.0).minus(Db(20.0)).plus(Db(5.0));
+        assert!((p.0 - -85.0).abs() < 1e-12);
+        let diff = Dbm(-60.0) - Dbm(-90.0);
+        assert!((diff.0 - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_conversions() {
+        let d = Distance::from_miles(1.0);
+        assert!((d.as_m() - 1609.344).abs() < 1e-9);
+        assert!((Distance::from_km(5711.0).as_miles() - 3548.6).abs() < 1.0);
+    }
+
+    #[test]
+    fn speed_conversions_and_distance() {
+        let s = Speed::from_mph(60.0);
+        assert!((s.as_mps() - 26.8224).abs() < 1e-4);
+        // 60 mph for one hour = 60 miles.
+        let d = s.distance_in_ms(3_600_000);
+        assert!((d.as_miles() - 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn speed_bins_match_paper_boundaries() {
+        assert_eq!(SpeedBin::of(Speed::from_mph(0.0)), SpeedBin::Low);
+        assert_eq!(SpeedBin::of(Speed::from_mph(19.99)), SpeedBin::Low);
+        assert_eq!(SpeedBin::of(Speed::from_mph(20.0)), SpeedBin::Mid);
+        assert_eq!(SpeedBin::of(Speed::from_mph(59.99)), SpeedBin::Mid);
+        assert_eq!(SpeedBin::of(Speed::from_mph(60.0)), SpeedBin::High);
+        assert_eq!(SpeedBin::of(Speed::from_mph(80.0)), SpeedBin::High);
+    }
+}

@@ -1,0 +1,239 @@
+//! The ICMP ping instrument.
+//!
+//! Two users in the paper: the RTT tests (20 s at one ping per 200 ms to
+//! the edge/cloud server, §5) and the handover-logger phones (38-byte pings
+//! at 200 ms around the clock to keep the radio out of sleep, §3).
+//!
+//! A ping's RTT is RAN latency (both directions, technology-dependent) +
+//! the core/Internet one-way delays + a small jitter; a ping sent during a
+//! handover interruption or coverage hole is lost.
+
+use serde::{Deserialize, Serialize};
+use wheels_ran::session::RanSnapshot;
+use wheels_sim_core::rng::SimRng;
+use wheels_sim_core::time::{SimDuration, SimTime};
+
+use crate::servers::NetPath;
+
+/// Interval between pings.
+pub const PING_INTERVAL: SimDuration = SimDuration(200);
+
+/// One ping result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PingResult {
+    /// Send time.
+    pub t: SimTime,
+    /// RTT in ms, or `None` if the ping was lost/timed out.
+    pub rtt_ms: Option<f64>,
+}
+
+/// Stateful ping session.
+#[derive(Debug, Clone)]
+pub struct PingSession {
+    rng: SimRng,
+    next_send: SimTime,
+}
+
+impl PingSession {
+    /// New session; the first ping goes out at `start`.
+    pub fn new(start: SimTime, rng: SimRng) -> Self {
+        PingSession {
+            rng,
+            next_send: start,
+        }
+    }
+
+    /// When the next ping is due.
+    pub fn next_due(&self) -> SimTime {
+        self.next_send
+    }
+
+    /// Fire the ping due at `next_due()` against the current link state.
+    ///
+    /// `snapshot` is `None` when the operator has no coverage (ping lost).
+    /// `queue_delay_ms` lets a concurrent backlogged transfer's bufferbloat
+    /// leak into ping RTTs (zero for the paper's isolated RTT tests).
+    pub fn fire(
+        &mut self,
+        snapshot: Option<&RanSnapshot>,
+        path: &NetPath,
+        queue_delay_ms: f64,
+    ) -> PingResult {
+        let t = self.next_send;
+        self.next_send += PING_INTERVAL;
+
+        let Some(s) = snapshot else {
+            return PingResult { t, rtt_ms: None };
+        };
+        if s.in_handover {
+            return PingResult { t, rtt_ms: None };
+        }
+        // Random ICMP loss on very poor links (deep fades / cell edge).
+        let loss_p = if s.sinr.0 < -5.0 {
+            0.25
+        } else if s.sinr.0 < 0.0 {
+            0.05
+        } else {
+            0.004
+        };
+        if self.rng.chance(loss_p) {
+            return PingResult { t, rtt_ms: None };
+        }
+
+        let ran_rtt = 2.0 * s.tech.ran_latency_ms();
+        // Scheduling jitter: lognormal-ish tail from uplink grant waits.
+        let mut jitter = self.rng.lognormal_median(3.0, 0.8).min(250.0);
+        // Rare long stalls: RLC/HARQ retransmission storms and cell
+        // congestion bursts push driving RTT maxima into the seconds
+        // (Fig. 3b).
+        if self.rng.chance(0.02) {
+            jitter += self.rng.exponential(350.0).min(2800.0);
+        }
+        if s.sinr.0 < 2.0 {
+            jitter += self.rng.lognormal_median(40.0, 1.0).min(1500.0);
+        }
+        let rtt = ran_rtt + 2.0 * path.core_owd_ms + jitter + queue_delay_ms;
+        PingResult {
+            t,
+            rtt_ms: Some(rtt),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::servers::{NetPath, ServerKind};
+    use wheels_radio::tech::Technology;
+    use wheels_ran::cells::CellId;
+    use wheels_ran::operator::Operator;
+    use wheels_sim_core::units::{DataRate, Db, Dbm};
+
+    fn snap(tech: Technology, in_handover: bool, sinr: f64) -> RanSnapshot {
+        RanSnapshot {
+            t: SimTime::EPOCH,
+            operator: Operator::Verizon,
+            cell: CellId(1),
+            tech,
+            rsrp: Dbm(-95.0),
+            sinr: Db(sinr),
+            blocked: false,
+            in_handover,
+            carriers: 2,
+            primary_mcs: 15,
+            primary_bler: 0.08,
+            dl_rate: DataRate::from_mbps(100.0),
+            ul_rate: DataRate::from_mbps(20.0),
+            share: 0.5,
+        }
+    }
+
+    fn cloud_path() -> NetPath {
+        NetPath {
+            kind: ServerKind::Cloud,
+            core_owd_ms: 20.0,
+        }
+    }
+
+    fn edge_path() -> NetPath {
+        NetPath {
+            kind: ServerKind::Edge,
+            core_owd_ms: 1.8,
+        }
+    }
+
+    #[test]
+    fn pings_fire_every_200ms() {
+        let mut p = PingSession::new(SimTime::EPOCH, SimRng::seed(1));
+        let s = snap(Technology::LteA, false, 15.0);
+        let r1 = p.fire(Some(&s), &cloud_path(), 0.0);
+        let r2 = p.fire(Some(&s), &cloud_path(), 0.0);
+        assert_eq!(r1.t, SimTime(0));
+        assert_eq!(r2.t, SimTime(200));
+        assert_eq!(p.next_due(), SimTime(400));
+    }
+
+    #[test]
+    fn rtt_reflects_technology_ordering() {
+        let mut rtts = Vec::new();
+        for tech in [Technology::Nr5gMmWave, Technology::Nr5gMid, Technology::Lte] {
+            let mut p = PingSession::new(SimTime::EPOCH, SimRng::seed(7));
+            let s = snap(tech, false, 20.0);
+            let vals: Vec<f64> = (0..500)
+                .filter_map(|_| p.fire(Some(&s), &cloud_path(), 0.0).rtt_ms)
+                .collect();
+            rtts.push(vals.iter().sum::<f64>() / vals.len() as f64);
+        }
+        assert!(rtts[0] < rtts[1], "mmWave {} vs mid {}", rtts[0], rtts[1]);
+        assert!(rtts[1] < rtts[2], "mid {} vs LTE {}", rtts[1], rtts[2]);
+    }
+
+    #[test]
+    fn edge_rtt_beats_cloud() {
+        let s = snap(Technology::Nr5gMmWave, false, 25.0);
+        let collect = |path: NetPath, seed| {
+            let mut p = PingSession::new(SimTime::EPOCH, SimRng::seed(seed));
+            let vals: Vec<f64> = (0..800)
+                .filter_map(|_| p.fire(Some(&s), &path, 0.0).rtt_ms)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        let edge = collect(edge_path(), 2);
+        let cloud = collect(cloud_path(), 2);
+        assert!(edge + 20.0 < cloud + 1.0, "edge {edge} cloud {cloud}");
+        // Fig. 4: edge mmWave RTT median ~18 ms, below 40 ms.
+        assert!(edge < 40.0, "edge median-ish {edge}");
+    }
+
+    #[test]
+    fn handover_loses_ping() {
+        let mut p = PingSession::new(SimTime::EPOCH, SimRng::seed(3));
+        let s = snap(Technology::LteA, true, 15.0);
+        let r = p.fire(Some(&s), &cloud_path(), 0.0);
+        assert_eq!(r.rtt_ms, None);
+    }
+
+    #[test]
+    fn no_coverage_loses_ping() {
+        let mut p = PingSession::new(SimTime::EPOCH, SimRng::seed(4));
+        let r = p.fire(None, &cloud_path(), 0.0);
+        assert_eq!(r.rtt_ms, None);
+    }
+
+    #[test]
+    fn poor_sinr_loses_more_pings() {
+        let count_losses = |sinr: f64, seed| {
+            let mut p = PingSession::new(SimTime::EPOCH, SimRng::seed(seed));
+            let s = snap(Technology::Lte, false, sinr);
+            (0..2000)
+                .filter(|_| p.fire(Some(&s), &cloud_path(), 0.0).rtt_ms.is_none())
+                .count()
+        };
+        let good = count_losses(20.0, 5);
+        let bad = count_losses(-8.0, 5);
+        assert!(bad > good * 10, "good {good} bad {bad}");
+    }
+
+    #[test]
+    fn queue_delay_inflates_rtt() {
+        let s = snap(Technology::LteA, false, 18.0);
+        let mut p = PingSession::new(SimTime::EPOCH, SimRng::seed(6));
+        let quiet = p.fire(Some(&s), &cloud_path(), 0.0).rtt_ms.unwrap();
+        let mut p2 = PingSession::new(SimTime::EPOCH, SimRng::seed(6));
+        let loaded = p2.fire(Some(&s), &cloud_path(), 900.0).rtt_ms.unwrap();
+        assert!((loaded - quiet - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rtt_values_in_paper_driving_range() {
+        // Driving RTT medians are 60–80 ms over cloud paths (Fig. 9).
+        let s = snap(Technology::LteA, false, 12.0);
+        let mut p = PingSession::new(SimTime::EPOCH, SimRng::seed(8));
+        let mut vals: Vec<f64> = (0..2000)
+            .filter_map(|_| p.fire(Some(&s), &cloud_path(), 0.0).rtt_ms)
+            .collect();
+        vals.sort_by(f64::total_cmp);
+        let med = vals[vals.len() / 2];
+        assert!((45.0..95.0).contains(&med), "median {med}");
+    }
+}

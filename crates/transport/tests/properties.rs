@@ -1,0 +1,107 @@
+//! Property-based tests for the fluid TCP CUBIC model.
+
+use proptest::prelude::*;
+use wheels_sim_core::units::DataRate;
+use wheels_transport::tcp::CubicFlow;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn delivery_never_exceeds_link_capacity(
+        mbps in 0.1f64..1000.0,
+        rtt in 5.0f64..300.0,
+        ticks in 10usize..500,
+    ) {
+        let mut f = CubicFlow::new();
+        let link = DataRate::from_mbps(mbps);
+        let cap_per_tick = link.as_bps() / 8.0 * 0.01;
+        for _ in 0..ticks {
+            let t = f.advance(10.0, link, rtt);
+            prop_assert!(t.delivered_bytes >= 0.0);
+            prop_assert!(t.delivered_bytes <= cap_per_tick + 1e-6,
+                "delivered {} vs cap {}", t.delivered_bytes, cap_per_tick);
+        }
+    }
+
+    #[test]
+    fn rtt_never_below_base(
+        mbps in 0.1f64..1000.0,
+        base in 5.0f64..300.0,
+        ticks in 10usize..500,
+    ) {
+        let mut f = CubicFlow::new();
+        let link = DataRate::from_mbps(mbps);
+        for _ in 0..ticks {
+            let t = f.advance(10.0, link, base);
+            prop_assert!(t.rtt_ms >= base - 1e-9);
+        }
+    }
+
+    #[test]
+    fn window_stays_positive(
+        rates in prop::collection::vec(0.0f64..500.0, 20..200),
+        rtt in 10.0f64..200.0,
+    ) {
+        // Arbitrary rate trajectory including outages.
+        let mut f = CubicFlow::new();
+        for r in rates {
+            f.advance(10.0, DataRate::from_mbps(r), rtt);
+            prop_assert!(f.cwnd_bytes() >= 1448.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_inputs(
+        rates in prop::collection::vec(0.0f64..200.0, 20..100),
+        rtt in 10.0f64..200.0,
+    ) {
+        let run = || {
+            let mut f = CubicFlow::new();
+            rates
+                .iter()
+                .map(|r| f.advance(10.0, DataRate::from_mbps(*r), rtt))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn steady_link_utilization_above_half(
+        mbps in 1.0f64..300.0,
+        rtt in 10.0f64..150.0,
+    ) {
+        // After warmup, a single CUBIC flow should use well over half of a
+        // steady link (no random loss in the model).
+        let mut f = CubicFlow::new();
+        let link = DataRate::from_mbps(mbps);
+        for _ in 0..3000 {
+            f.advance(10.0, link, rtt);
+        }
+        let mut bytes = 0.0;
+        for _ in 0..2000 {
+            bytes += f.advance(10.0, link, rtt).delivered_bytes;
+        }
+        let goodput = bytes * 8.0 / 20.0 / 1e6; // Mbps over 20 s
+        prop_assert!(goodput > mbps * 0.5, "goodput {goodput} of {mbps}");
+    }
+
+    #[test]
+    fn buffer_floor_bounds_queue_delay(
+        mbps in 0.5f64..50.0,
+        mult in 0.5f64..8.0,
+        min_kb in 10.0f64..2000.0,
+    ) {
+        let mut f = CubicFlow::with_buffer(mult, min_kb * 1000.0);
+        let link = DataRate::from_mbps(mbps);
+        let mut max_rtt = 0.0f64;
+        for _ in 0..4000 {
+            max_rtt = max_rtt.max(f.advance(10.0, link, 50.0).rtt_ms);
+        }
+        // Queue delay is bounded by buffer/link (+1 tick of slack).
+        let bdp = link.as_bps() / 8.0 * 0.05;
+        let buffer = (bdp * mult).max(min_kb * 1000.0).max(3.0 * 1448.0);
+        let bound = 50.0 + buffer * 8.0 / link.as_bps() * 1000.0 + 15.0;
+        prop_assert!(max_rtt <= bound, "max rtt {max_rtt} bound {bound}");
+    }
+}

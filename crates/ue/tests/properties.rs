@@ -1,0 +1,117 @@
+//! Property-based tests for the XCAL logger's timestamp conventions.
+
+use proptest::prelude::*;
+use wheels_radio::tech::Technology;
+use wheels_ran::cells::CellId;
+use wheels_ran::operator::Operator;
+use wheels_ran::session::RanSnapshot;
+use wheels_sim_core::time::{SimDuration, SimTime, Timezone, WallClock};
+use wheels_sim_core::units::{DataRate, Db, Dbm};
+use wheels_ue::xcal::XcalLogger;
+
+fn snapshot(t: SimTime) -> RanSnapshot {
+    RanSnapshot {
+        t,
+        operator: Operator::Verizon,
+        cell: CellId(1),
+        tech: Technology::LteA,
+        rsrp: Dbm(-100.0),
+        sinr: Db(10.0),
+        blocked: false,
+        in_handover: false,
+        carriers: 2,
+        primary_mcs: 12,
+        primary_bler: 0.1,
+        dl_rate: DataRate::from_mbps(50.0),
+        ul_rate: DataRate::from_mbps(10.0),
+        share: 0.5,
+    }
+}
+
+fn any_zone() -> impl Strategy<Value = Timezone> {
+    prop::sample::select(Timezone::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn filename_vs_content_offset_equals_zone_gap(
+        start_h in 0u64..190,
+        zone in any_zone(),
+        records in 1usize..50,
+    ) {
+        let t0 = SimTime::from_hours(start_h);
+        let mut l = XcalLogger::new();
+        l.open_file(t0, zone);
+        for k in 0..records as u64 {
+            l.log(&snapshot(t0 + SimDuration::from_millis(k * 500)));
+        }
+        let f = l.finish().pop().unwrap();
+        // Content is EDT; filename is the opening zone's local time. The
+        // numeric gap is exactly the zone offset to Eastern.
+        let expected_gap = (Timezone::Eastern.utc_offset_hours()
+            - zone.utc_offset_hours())
+            * 3_600_000;
+        prop_assert_eq!(f.records[0].edt_ms - f.filename_local_ms, expected_gap);
+        prop_assert_eq!(f.records.len(), records);
+    }
+
+    #[test]
+    fn record_sim_times_recoverable_and_monotone(
+        start_h in 0u64..190,
+        zone in any_zone(),
+        steps in prop::collection::vec(1u64..5000, 1..40),
+    ) {
+        let t0 = SimTime::from_hours(start_h);
+        let mut l = XcalLogger::new();
+        l.open_file(t0, zone);
+        let mut t = t0;
+        let mut expected = Vec::new();
+        for d in &steps {
+            l.log(&snapshot(t));
+            expected.push(t);
+            t += SimDuration::from_millis(*d);
+        }
+        let f = l.finish().pop().unwrap();
+        for (i, e) in expected.iter().enumerate() {
+            prop_assert_eq!(f.record_sim_time(i), Some(*e));
+        }
+        prop_assert_eq!(f.record_sim_time(expected.len()), None);
+    }
+
+    #[test]
+    fn rolling_files_partitions_records(
+        start_h in 0u64..100,
+        zone in any_zone(),
+        per_file in prop::collection::vec(1usize..20, 1..8),
+    ) {
+        let mut l = XcalLogger::new();
+        let mut t = SimTime::from_hours(start_h);
+        for n in &per_file {
+            l.open_file(t, zone);
+            for _ in 0..*n {
+                l.log(&snapshot(t));
+                t += SimDuration::from_millis(500);
+            }
+            t += SimDuration::from_secs(10);
+        }
+        let files = l.finish();
+        prop_assert_eq!(files.len(), per_file.len());
+        let total: usize = files.iter().map(|f| f.records.len()).sum();
+        prop_assert_eq!(total, per_file.iter().sum::<usize>());
+        for (f, n) in files.iter().zip(&per_file) {
+            prop_assert_eq!(f.records.len(), *n);
+        }
+    }
+
+    #[test]
+    fn wallclock_identities_hold_for_all_zones(h in 0u64..200, zone in any_zone()) {
+        let t = SimTime::from_hours(h);
+        // local = utc + offset, always.
+        prop_assert_eq!(
+            WallClock::local_ms(t, zone) - WallClock::utc_ms(t),
+            zone.utc_offset_hours() * 3_600_000
+        );
+        // EDT is the Eastern local clock.
+        prop_assert_eq!(WallClock::edt_ms(t), WallClock::local_ms(t, Timezone::Eastern));
+    }
+}

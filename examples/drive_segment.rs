@@ -1,0 +1,95 @@
+//! Drive-test replay: follow one phone per operator through the approach
+//! into Chicago and print a second-by-second view of what the modem
+//! experiences — serving technology, RSRP, achievable rates, handovers.
+//!
+//! ```text
+//! cargo run --release --example drive_segment
+//! ```
+
+use wheels::geo::route::Route;
+use wheels::ran::cells::Deployment;
+use wheels::ran::operator::Operator;
+use wheels::ran::policy::TrafficDemand;
+use wheels::ran::session::{PollCtx, RanSession};
+use wheels::sim_core::rng::SimRng;
+use wheels::sim_core::time::{SimDuration, SimTime};
+use wheels::sim_core::units::{Distance, Speed};
+
+fn main() {
+    let route = Route::standard();
+    let rng = SimRng::seed(2022);
+
+    // Start 25 km before Chicago's center and drive in at city speeds.
+    let chicago_km = route
+        .waypoints()
+        .iter()
+        .position(|w| w.name == "Chicago")
+        .map(|i| route.waypoint_odometer(i).as_km())
+        .expect("Chicago on route");
+    let start_km = chicago_km - 25.0;
+    let speed = Speed::from_mph(32.0);
+
+    let deployments: Vec<Deployment> = Operator::ALL
+        .iter()
+        .map(|op| Deployment::generate(&route, *op, &mut rng.split(op.label())))
+        .collect();
+    let mut sessions: Vec<RanSession> = deployments
+        .iter()
+        .map(|d| {
+            RanSession::new(
+                d,
+                TrafficDemand::BackloggedDownlink,
+                rng.split(&format!("drive/{}", d.operator.label())),
+            )
+        })
+        .collect();
+
+    println!("approaching Chicago from {start_km:.0} km at {:.0} mph", speed.as_mph());
+    println!(
+        "{:<6} {:<9} {:>8} {:>8} {:>9} {:>9}  (per operator)",
+        "t(s)", "zone", "tech", "RSRP", "DL Mbps", "UL Mbps"
+    );
+
+    let mut t = SimTime::from_hours(34);
+    let mut odo = Distance::from_km(start_km);
+    for sec in 0..1800u64 {
+        let ctx = PollCtx {
+            odo,
+            speed,
+            zone: route.zone_at(odo),
+            tz: route.timezone_at(odo),
+        };
+        let mut line = format!("{:<6} {:<9?}", sec, ctx.zone);
+        for session in sessions.iter_mut() {
+            match session.poll(t, ctx) {
+                Some(s) => {
+                    line.push_str(&format!(
+                        " | {:<9} {:>6.0}dBm {:>7.1} {:>7.1}{}",
+                        s.tech.label(),
+                        s.rsrp.0,
+                        s.dl_rate.as_mbps(),
+                        s.ul_rate.as_mbps(),
+                        if s.in_handover { " HO!" } else { "    " }
+                    ));
+                }
+                None => line.push_str(" | (no service)                      "),
+            }
+        }
+        // Print once every 30 s to keep the output readable.
+        if sec % 30 == 0 {
+            println!("{line}");
+        }
+        t += SimDuration::from_secs(1);
+        odo += speed.distance_in_ms(1000);
+    }
+
+    println!("\nsegment summary:");
+    for (d, s) in deployments.iter().zip(&sessions) {
+        println!(
+            "  {:<9}: {} handovers, {} unique cells",
+            d.operator.label(),
+            s.events().len(),
+            s.unique_cell_count()
+        );
+    }
+}

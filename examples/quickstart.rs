@@ -1,0 +1,68 @@
+//! Quickstart: build the simulated world, run a small slice of the
+//! paper's drive-test campaign, and print headline statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use wheels::core::campaign::{Campaign, CampaignConfig};
+use wheels::radio::tech::Direction;
+use wheels::ran::operator::Operator;
+use wheels::sim_core::stats::Cdf;
+
+fn main() {
+    // The world: LA→Boston route, 8-day drive trace, three operators'
+    // deployments, the cloud/edge server fleet. Seed 2022 reproduces the
+    // repository's reference dataset bit-for-bit.
+    let campaign = Campaign::standard(2022);
+    println!(
+        "route: {:.0} km, {} cells deployed across {} operators",
+        campaign.route.total().as_km(),
+        campaign
+            .deployments
+            .iter()
+            .map(|d| d.cells().len())
+            .sum::<usize>(),
+        campaign.deployments.len()
+    );
+
+    // A small campaign: 6 round-robin cycles per operator, strided across
+    // the trip, apps included, plus the static city baselines.
+    let cfg = CampaignConfig {
+        max_cycles: Some(6),
+        cycle_stride_s: 30_000,
+        ..CampaignConfig::default()
+    };
+    println!("running campaign (3 operators in parallel)...");
+    let ds = campaign.run(&cfg);
+    println!(
+        "dataset: {} throughput samples, {} RTT samples, {} app runs, {} handovers\n",
+        ds.tput.len(),
+        ds.rtt.len(),
+        ds.apps.len(),
+        ds.handovers.len()
+    );
+
+    for op in Operator::ALL {
+        let dl = Cdf::from_samples(
+            ds.tput_where(Some(op), Some(Direction::Downlink), Some(true))
+                .map(|s| s.mbps),
+        );
+        let ul = Cdf::from_samples(
+            ds.tput_where(Some(op), Some(Direction::Uplink), Some(true))
+                .map(|s| s.mbps),
+        );
+        let rtt = Cdf::from_samples(ds.rtt_where(Some(op), Some(true)));
+        println!(
+            "{:<9} driving: DL median {:>7.1} Mbps | UL median {:>6.1} Mbps | RTT median {:>6.1} ms",
+            op.label(),
+            dl.median().unwrap_or(0.0),
+            ul.median().unwrap_or(0.0),
+            rtt.median().unwrap_or(0.0),
+        );
+    }
+
+    println!("\nnext steps:");
+    println!("  cargo run --release -p wheels-experiments --bin repro -- --list");
+    println!("  cargo run --release -p wheels-experiments --bin repro -- --quick fig2 table2");
+}

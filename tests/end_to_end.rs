@@ -1,0 +1,170 @@
+//! Cross-crate integration: a small campaign run, checked for internal
+//! consistency across the record tables.
+
+use std::sync::OnceLock;
+
+use wheels::core::campaign::{Campaign, CampaignConfig};
+use wheels::core::records::{Dataset, TestKind};
+use wheels::radio::tech::Direction;
+use wheels::ran::operator::Operator;
+
+fn world() -> &'static (Campaign, Dataset) {
+    static W: OnceLock<(Campaign, Dataset)> = OnceLock::new();
+    W.get_or_init(|| {
+        let c = Campaign::standard(7);
+        let cfg = CampaignConfig {
+            max_cycles: Some(5),
+            cycle_stride_s: 20_000,
+            seed: 7,
+            ..CampaignConfig::default()
+        };
+        let ds = c.run(&cfg);
+        (c, ds)
+    })
+}
+
+#[test]
+fn every_tput_sample_belongs_to_a_run() {
+    let (_, ds) = world();
+    let run_ids: std::collections::HashSet<u32> = ds.runs.iter().map(|r| r.id).collect();
+    for s in &ds.tput {
+        assert!(run_ids.contains(&s.test_id), "orphan sample test {}", s.test_id);
+    }
+    for s in &ds.rtt {
+        assert!(run_ids.contains(&s.test_id), "orphan rtt test {}", s.test_id);
+    }
+}
+
+#[test]
+fn samples_lie_within_their_runs_time_window() {
+    let (_, ds) = world();
+    let runs: std::collections::HashMap<u32, _> =
+        ds.runs.iter().map(|r| (r.id, (r.start, r.end))).collect();
+    for s in &ds.tput {
+        let (start, end) = runs[&s.test_id];
+        assert!(s.t >= start && s.t < end, "sample outside run window");
+    }
+}
+
+#[test]
+fn physical_limits_respected() {
+    let (_, ds) = world();
+    for s in &ds.tput {
+        assert!(s.mbps >= 0.0 && s.mbps <= 3500.0, "tput {}", s.mbps);
+        assert!(s.rsrp_dbm <= -44.0 && s.rsrp_dbm >= -140.0);
+        assert!(s.mcs <= 28);
+        assert!((0.0..=1.0).contains(&s.bler));
+        assert!(s.carriers >= 1 && s.carriers <= 10);
+        assert!(s.speed_mph >= 0.0 && s.speed_mph <= 85.0);
+    }
+    for r in ds.rtt.iter().filter_map(|r| r.rtt_ms) {
+        assert!(r > 0.0 && r < 10_000.0, "rtt {r}");
+    }
+}
+
+#[test]
+fn run_kinds_complete_per_cycle() {
+    let (_, ds) = world();
+    for op in Operator::ALL {
+        let count = |k: TestKind| {
+            ds.runs
+                .iter()
+                .filter(|r| r.operator == op && r.kind == k && r.driving)
+                .count()
+        };
+        let dl = count(TestKind::DownlinkTput);
+        assert_eq!(dl, count(TestKind::UplinkTput), "{op:?}");
+        assert_eq!(dl, count(TestKind::Rtt), "{op:?}");
+        assert_eq!(dl, count(TestKind::Video), "{op:?}");
+        assert_eq!(dl, count(TestKind::Gaming), "{op:?}");
+        // AR/CAV run twice per cycle (raw + compressed).
+        assert_eq!(2 * dl, count(TestKind::Ar), "{op:?}");
+        assert_eq!(2 * dl, count(TestKind::Cav), "{op:?}");
+    }
+}
+
+#[test]
+fn handover_events_reference_real_tests() {
+    let (_, ds) = world();
+    let run_ids: std::collections::HashSet<u32> = ds.runs.iter().map(|r| r.id).collect();
+    for h in &ds.handovers {
+        if let Some(id) = h.test_id {
+            assert!(run_ids.contains(&id));
+        }
+        assert!(h.event.duration.as_millis() >= 15);
+        assert!(h.event.duration.as_millis() <= 4000);
+        assert_ne!(h.event.from_cell, h.event.to_cell);
+    }
+}
+
+#[test]
+fn uplink_never_exceeds_device_cap_and_is_slower_overall() {
+    let (_, ds) = world();
+    let mean = |dir: Direction| {
+        let v: Vec<f64> = ds
+            .tput_where(None, Some(dir), Some(true))
+            .map(|s| s.mbps)
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    for s in ds.tput_where(None, Some(Direction::Uplink), None) {
+        assert!(s.mbps <= 351.0, "UL sample {}", s.mbps);
+    }
+    assert!(mean(Direction::Downlink) > mean(Direction::Uplink));
+}
+
+#[test]
+fn coverage_miles_accumulate_to_tested_distance() {
+    let (_, ds) = world();
+    for op in Operator::ALL {
+        let cov_miles: f64 = ds
+            .coverage
+            .iter()
+            .filter(|c| c.operator == op)
+            .map(|c| c.miles)
+            .sum();
+        let run_miles: f64 = ds
+            .runs
+            .iter()
+            .filter(|r| r.operator == op && r.driving)
+            .map(|r| r.miles)
+            .sum();
+        // Coverage rows cover tput + rtt + app tests; gaps (no trace
+        // context) make them slightly smaller, never larger + slack.
+        assert!(
+            cov_miles <= run_miles * 1.1 + 1.0,
+            "{op:?}: cov {cov_miles} vs run {run_miles}"
+        );
+        assert!(cov_miles > run_miles * 0.3, "{op:?}: cov {cov_miles} vs run {run_miles}");
+    }
+}
+
+#[test]
+fn app_runs_have_matching_payloads() {
+    let (_, ds) = world();
+    for a in &ds.apps {
+        match a.kind {
+            TestKind::Ar | TestKind::Cav => {
+                assert!(a.offload.is_some() && a.video.is_none() && a.gaming.is_none())
+            }
+            TestKind::Video => {
+                assert!(a.video.is_some() && a.offload.is_none() && a.gaming.is_none())
+            }
+            TestKind::Gaming => {
+                assert!(a.gaming.is_some() && a.offload.is_none() && a.video.is_none())
+            }
+            other => panic!("unexpected app kind {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn dataset_serializes_and_roundtrips() {
+    let (_, ds) = world();
+    let json = serde_json::to_string(ds).expect("serialize");
+    let back: Dataset = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.tput.len(), ds.tput.len());
+    assert_eq!(back.runs.len(), ds.runs.len());
+    assert_eq!(back.handovers.len(), ds.handovers.len());
+    assert_eq!(back.tput.first(), ds.tput.first());
+}

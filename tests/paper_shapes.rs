@@ -1,0 +1,152 @@
+//! Shape assertions: the paper's headline findings must emerge from the
+//! simulation (orderings, crossovers, rough factors — not absolute Mbps).
+
+use std::sync::OnceLock;
+
+use wheels::core::campaign::{Campaign, CampaignConfig};
+use wheels::core::records::Dataset;
+use wheels::radio::tech::Direction;
+use wheels::ran::operator::Operator;
+use wheels::sim_core::stats::Cdf;
+
+fn ds() -> &'static Dataset {
+    static W: OnceLock<Dataset> = OnceLock::new();
+    W.get_or_init(|| {
+        let c = Campaign::standard(2022);
+        c.run(&CampaignConfig {
+            max_cycles: Some(30),
+            cycle_stride_s: 7000,
+            include_apps: false, // throughput/RTT shapes only — keep it fast
+            ..CampaignConfig::default()
+        })
+    })
+}
+
+fn median_tput(op: Operator, dir: Direction, driving: bool) -> f64 {
+    Cdf::from_samples(
+        ds().tput_where(Some(op), Some(dir), Some(driving))
+            .map(|s| s.mbps),
+    )
+    .median()
+    .unwrap_or(0.0)
+}
+
+#[test]
+fn finding_1_driving_collapses_throughput() {
+    // §5.1: driving medians are a few percent of static medians.
+    for op in Operator::ALL {
+        let s = median_tput(op, Direction::Downlink, false);
+        let d = median_tput(op, Direction::Downlink, true);
+        assert!(d < s * 0.4, "{op:?}: static {s} driving {d}");
+    }
+}
+
+#[test]
+fn finding_2_static_operator_ordering() {
+    // Fig. 3a: Verizon (mmWave) > AT&T (mmWave, fewer CCs) > T-Mobile
+    // (mid-band) in static downlink.
+    let v = median_tput(Operator::Verizon, Direction::Downlink, false);
+    let a = median_tput(Operator::Att, Direction::Downlink, false);
+    let t = median_tput(Operator::TMobile, Direction::Downlink, false);
+    assert!(v > a, "V {v} vs A {a}");
+    assert!(a > t * 0.8, "A {a} vs T {t}");
+}
+
+#[test]
+fn finding_3_low_throughput_tail_while_driving() {
+    // §5.1: a large fraction of driving samples below 5 Mbps.
+    let all: Vec<f64> = ds()
+        .tput_where(None, None, Some(true))
+        .map(|s| s.mbps)
+        .collect();
+    let frac = Cdf::from_samples(all.iter().copied()).fraction_at_or_below(5.0);
+    assert!(frac > 0.12, "low-throughput fraction {frac}");
+}
+
+#[test]
+fn finding_4_high_speed_5g_does_not_guarantee_performance() {
+    // §5.2/§5.6: plenty of poor samples even on high-speed 5G.
+    let hs: Vec<f64> = ds()
+        .tput_where(None, Some(Direction::Downlink), Some(true))
+        .filter(|s| s.tech.is_high_speed())
+        .map(|s| s.mbps)
+        .collect();
+    if hs.len() > 100 {
+        let frac = Cdf::from_samples(hs.iter().copied()).fraction_at_or_below(10.0);
+        assert!(frac > 0.05, "hs-5G poor fraction {frac}");
+    }
+}
+
+#[test]
+fn finding_5_no_kpi_strongly_predicts_throughput() {
+    use wheels::core::analysis::correlation::table2;
+    for row in table2(&ds().tput) {
+        if row.n < 100 {
+            continue;
+        }
+        assert!(
+            row.no_strong_correlation(0.8),
+            "{:?} {:?}: {:?}",
+            row.operator,
+            row.direction,
+            row.r
+        );
+    }
+}
+
+#[test]
+fn finding_6_handover_impact_small_and_balanced() {
+    use wheels::core::analysis::handover::{drop_fraction, impacts, improve_fraction};
+    let imp = impacts(ds());
+    assert!(imp.len() > 20, "only {} impacts", imp.len());
+    // Most HOs drop throughput briefly...
+    assert!(drop_fraction(&imp) > 0.5);
+    // ...but the post-HO throughput improves about as often as not.
+    let f = improve_fraction(&imp);
+    assert!((0.3..0.85).contains(&f), "improve fraction {f}");
+}
+
+#[test]
+fn finding_7_operator_diversity_supports_multiconnectivity() {
+    use wheels::core::analysis::diversity::{pair_samples, PAIRS};
+    // §5.4: at many places/times the best operator differs — both signs
+    // appear with substantial mass for every pair.
+    for (a, b) in PAIRS {
+        let pairs = pair_samples(&ds().tput, a, b, Direction::Downlink);
+        if pairs.len() < 100 {
+            continue;
+        }
+        let pos = pairs.iter().filter(|p| p.diff_mbps > 1.0).count() as f64 / pairs.len() as f64;
+        let neg = pairs.iter().filter(|p| p.diff_mbps < -1.0).count() as f64 / pairs.len() as f64;
+        assert!(pos > 0.12 && neg > 0.12, "{a:?}-{b:?}: pos {pos} neg {neg}");
+    }
+}
+
+#[test]
+fn finding_8_edge_beats_cloud_rtt() {
+    let edge: Vec<f64> = ds()
+        .rtt
+        .iter()
+        .filter(|r| {
+            r.operator == Operator::Verizon
+                && r.driving
+                && r.server == wheels::transport::servers::ServerKind::Edge
+        })
+        .filter_map(|r| r.rtt_ms)
+        .collect();
+    let cloud: Vec<f64> = ds()
+        .rtt
+        .iter()
+        .filter(|r| {
+            r.operator == Operator::Verizon
+                && r.driving
+                && r.server == wheels::transport::servers::ServerKind::Cloud
+        })
+        .filter_map(|r| r.rtt_ms)
+        .collect();
+    if edge.len() > 30 && cloud.len() > 30 {
+        let e = Cdf::from_samples(edge).median().unwrap();
+        let c = Cdf::from_samples(cloud).median().unwrap();
+        assert!(e < c, "edge {e} cloud {c}");
+    }
+}

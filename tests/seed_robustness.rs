@@ -1,0 +1,97 @@
+//! Seed robustness: the paper's qualitative findings must hold for any
+//! seed, not just the reference one — otherwise the reproduction would be
+//! a curve-fit, not a model.
+
+use wheels::core::campaign::{Campaign, CampaignConfig};
+use wheels::core::records::Dataset;
+use wheels::radio::tech::Direction;
+use wheels::ran::operator::Operator;
+use wheels::sim_core::stats::Cdf;
+
+fn small_world(seed: u64) -> Dataset {
+    let c = Campaign::standard(seed);
+    c.run(&CampaignConfig {
+        seed,
+        max_cycles: Some(24),
+        cycle_stride_s: 9_000,
+        include_apps: false,
+        ..CampaignConfig::default()
+    })
+}
+
+fn check_shapes(ds: &Dataset, seed: u64) {
+    // Static ≫ driving (pooled across operators — per-operator medians are
+    // noisy at this world size).
+    let stat = Cdf::from_samples(
+        ds.tput_where(None, Some(Direction::Downlink), Some(false))
+            .map(|s| s.mbps),
+    )
+    .median()
+    .unwrap();
+    let drv = Cdf::from_samples(
+        ds.tput_where(None, Some(Direction::Downlink), Some(true))
+            .map(|s| s.mbps),
+    )
+    .median()
+    .unwrap();
+    assert!(drv < stat * 0.5, "seed {seed}: static {stat} driving {drv}");
+    // DL > UL overall.
+    let med = |dir| {
+        Cdf::from_samples(ds.tput_where(None, Some(dir), Some(true)).map(|s| s.mbps))
+            .median()
+            .unwrap()
+    };
+    assert!(
+        med(Direction::Downlink) > med(Direction::Uplink),
+        "seed {seed}"
+    );
+    // T-Mobile leads 5G coverage.
+    use wheels::core::analysis::coverage::overall;
+    let t = overall(&ds.coverage, Operator::TMobile).pct_5g();
+    let v = overall(&ds.coverage, Operator::Verizon).pct_5g();
+    let a = overall(&ds.coverage, Operator::Att).pct_5g();
+    assert!(t > v && t > a, "seed {seed}: T {t} V {v} A {a}");
+    // No strong KPI correlation — at small world sizes a single clustered
+    // test can spike one cell, so require the *bulk* of cells to be weak.
+    let mut strong = 0;
+    let mut total = 0;
+    for row in wheels::core::analysis::correlation::table2(&ds.tput) {
+        if row.n > 200 {
+            total += 1;
+            if !row.no_strong_correlation(0.8) {
+                strong += 1;
+            }
+        }
+    }
+    assert!(strong * 4 <= total, "seed {seed}: {strong}/{total} rows with a strong cell");
+    // Handovers exist and are short.
+    assert!(!ds.handovers.is_empty(), "seed {seed}");
+    let med_dur = Cdf::from_samples(
+        ds.handovers
+            .iter()
+            .map(|h| h.event.duration.as_millis() as f64),
+    )
+    .median()
+    .unwrap();
+    assert!((25.0..150.0).contains(&med_dur), "seed {seed}: HO median {med_dur}");
+}
+
+#[test]
+fn shapes_hold_for_seed_5() {
+    let ds = small_world(5);
+    check_shapes(&ds, 5);
+}
+
+#[test]
+fn shapes_hold_for_seed_777() {
+    let ds = small_world(777);
+    check_shapes(&ds, 777);
+}
+
+#[test]
+fn different_seeds_different_datasets() {
+    let a = small_world(5);
+    let b = small_world(777);
+    assert_ne!(a.tput.first(), b.tput.first());
+    assert_ne!(a.handovers.len(), b.handovers.len());
+}
