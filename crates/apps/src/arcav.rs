@@ -119,7 +119,11 @@ impl OffloadRun {
         } else {
             config.raw_frame_kb * 1024.0
         };
-        let pre_ms = if compressed { config.compression_ms } else { 0.0 };
+        let pre_ms = if compressed {
+            config.compression_ms
+        } else {
+            0.0
+        };
         let post_ms = config.inference_ms
             + if compressed {
                 config.decompression_ms
@@ -185,8 +189,7 @@ impl OffloadRun {
             }
 
             // Server pipeline + result return.
-            let finish =
-                now + SimDuration::from_millis((post_ms + rtt_ms / 2.0).round() as u64);
+            let finish = now + SimDuration::from_millis((post_ms + rtt_ms / 2.0).round() as u64);
             let e2e_ms = finish.since(frame_t).as_millis() as f64;
             e2e.push(e2e_ms);
             frames_offloaded += 1;
@@ -221,21 +224,25 @@ impl OffloadRun {
 pub mod accuracy {
     /// mAP per E2E-latency bin (frame times), without compression.
     pub const MAP_RAW: [f64; 30] = [
-        38.45, 37.22, 36.04, 34.65, 33.36, 32.20, 31.08, 28.03, 27.01, 25.62, 25.77, 23.29,
-        22.75, 22.48, 21.59, 20.59, 20.11, 19.53, 18.40, 18.01, 17.52, 16.96, 16.59, 15.41,
-        15.78, 15.86, 14.81, 14.70, 14.44, 14.05,
+        38.45, 37.22, 36.04, 34.65, 33.36, 32.20, 31.08, 28.03, 27.01, 25.62, 25.77, 23.29, 22.75,
+        22.48, 21.59, 20.59, 20.11, 19.53, 18.40, 18.01, 17.52, 16.96, 16.59, 15.41, 15.78, 15.86,
+        14.81, 14.70, 14.44, 14.05,
     ];
     /// mAP per E2E-latency bin (frame times), with (lossy) compression.
     pub const MAP_COMPRESSED: [f64; 30] = [
-        38.45, 36.14, 34.75, 33.12, 31.82, 30.50, 29.53, 26.99, 25.73, 25.21, 24.35, 22.44,
-        21.56, 21.64, 21.16, 20.35, 19.69, 18.95, 17.61, 17.85, 17.00, 16.55, 15.97, 15.16,
-        14.94, 15.37, 14.71, 13.77, 13.62, 13.70,
+        38.45, 36.14, 34.75, 33.12, 31.82, 30.50, 29.53, 26.99, 25.73, 25.21, 24.35, 22.44, 21.56,
+        21.64, 21.16, 20.35, 19.69, 18.95, 17.61, 17.85, 17.00, 16.55, 15.97, 15.16, 14.94, 15.37,
+        14.71, 13.77, 13.62, 13.70,
     ];
 
     /// mAP for one offloaded frame whose E2E latency is `e2e_ms`, at the
     /// app's `frame_interval_ms`.
     pub fn map_for_latency(e2e_ms: f64, frame_interval_ms: f64, compressed: bool) -> f64 {
-        let table = if compressed { &MAP_COMPRESSED } else { &MAP_RAW };
+        let table = if compressed {
+            &MAP_COMPRESSED
+        } else {
+            &MAP_RAW
+        };
         let bin = (e2e_ms / frame_interval_ms).floor().max(0.0) as usize;
         table[bin.min(table.len() - 1)]
     }
@@ -246,7 +253,11 @@ pub mod accuracy {
     /// the floor where tracking is no better than stale boxes.
     pub fn tracking_decay_model(staleness_frames: f64, compressed: bool) -> f64 {
         let base = 38.45;
-        let (floor, tau) = if compressed { (10.8, 14.0) } else { (11.5, 15.7) };
+        let (floor, tau) = if compressed {
+            (10.8, 14.0)
+        } else {
+            (11.5, 15.7)
+        };
         floor + (base - floor) * (-staleness_frames / tau).exp()
     }
 
@@ -328,11 +339,7 @@ mod tests {
         // stages (34.8 + 44 + 19.1 ms) plus transfer exceed 100 ms.
         let cfg = AppConfig::cav();
         let stats = OffloadRun::execute(&cfg, &mut link(50.0, 30.0), SimTime::EPOCH, true);
-        let min = stats
-            .e2e_ms
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let min = stats.e2e_ms.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(min > 100.0, "min e2e {min}");
     }
 

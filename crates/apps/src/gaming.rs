@@ -197,7 +197,11 @@ mod tests {
         assert!((90.0..=100.0).contains(&b), "bitrate {b}");
         let l = stats.median_latency().unwrap();
         assert!(l < 30.0, "latency {l}");
-        assert!(stats.drop_rate_pct() < 2.0, "drops {}", stats.drop_rate_pct());
+        assert!(
+            stats.drop_rate_pct() < 2.0,
+            "drops {}",
+            stats.drop_rate_pct()
+        );
     }
 
     #[test]
@@ -260,7 +264,11 @@ mod tests {
         // the adaptive run's drop rate on a constrained link stays low
         // while its latency is allowed to rise — the paper's trade-off.
         let stats = GamingRun::execute(&mut link(25.0, 60.0), SimTime::EPOCH);
-        assert!(stats.drop_rate_pct() < 10.0, "drops {}", stats.drop_rate_pct());
+        assert!(
+            stats.drop_rate_pct() < 10.0,
+            "drops {}",
+            stats.drop_rate_pct()
+        );
         let lat = stats.median_latency().unwrap();
         assert!(lat > 30.0, "latency {lat} should exceed bare RTT/2");
     }

@@ -290,7 +290,11 @@ mod tests {
         // 3 Mbps cannot even sustain the 5 Mbps floor.
         let stats = VideoRun::execute(&mut link(3.0), SimTime::EPOCH);
         assert!(stats.avg_qoe() < 0.0, "qoe {}", stats.avg_qoe());
-        assert!(stats.rebuffer_pct() > 10.0, "rebuffer {}", stats.rebuffer_pct());
+        assert!(
+            stats.rebuffer_pct() > 10.0,
+            "rebuffer {}",
+            stats.rebuffer_pct()
+        );
         // Stuck at the lowest bitrate.
         assert!(stats.chunks.iter().all(|c| c.bitrate_mbps == 5.0));
     }

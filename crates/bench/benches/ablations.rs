@@ -126,11 +126,7 @@ fn ablation_bba(c: &mut Criterion) {
     assert!(bba.avg_qoe() > fixed.avg_qoe());
     c.bench_function("ablation_bba_session", |b| {
         b.iter(|| {
-            VideoRun::execute_with_abr(
-                &mut varying,
-                std::hint::black_box(SimTime::EPOCH),
-                Abr::Bba,
-            )
+            VideoRun::execute_with_abr(&mut varying, std::hint::black_box(SimTime::EPOCH), Abr::Bba)
         })
     });
 }

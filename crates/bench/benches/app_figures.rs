@@ -7,7 +7,9 @@ fn bench_apps(c: &mut Criterion) {
     let world = World::quick();
     let mut g = c.benchmark_group("app_figures");
     g.sample_size(10);
-    for id in ["fig13", "fig14", "fig15", "fig16", "fig18", "fig21", "fig22"] {
+    for id in [
+        "fig13", "fig14", "fig15", "fig16", "fig18", "fig21", "fig22",
+    ] {
         let out = wheels_experiments::run_by_id(world, id).expect("registered");
         print_once(id, &out);
         g.bench_function(id, |b| {

@@ -1,0 +1,122 @@
+//! Campaign-engine wall time across worker-thread counts.
+//!
+//! Deliberately not a Criterion bench: one end-to-end campaign build takes
+//! seconds, so a handful of timed runs per (scale, threads) point is the
+//! right granularity, and the results are recorded as a tracked baseline
+//! in `BENCH_campaign.json` at the repo root for regression comparison.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo bench -p wheels-bench --bench campaign              # Quick scale
+//! cargo bench -p wheels-bench --bench campaign -- --standard
+//! ```
+//!
+//! `--standard` adds the Standard scale (~200 cycles per operator; run it
+//! in release mode). The JSON records the host core count alongside each
+//! timing so baselines from different machines are comparable.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use wheels_core::campaign::{Campaign, CampaignConfig};
+use wheels_experiments::world::Scale;
+use wheels_ran::operator::Operator;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Point {
+    threads: usize,
+    secs: f64,
+    runs: usize,
+}
+
+fn time_scale(campaign: &Campaign, scale: Scale, reps: usize) -> Vec<Point> {
+    let mut points = Vec::new();
+    for threads in THREAD_COUNTS {
+        let cfg = CampaignConfig {
+            threads: Some(threads),
+            ..scale.config()
+        };
+        let mut best = f64::INFINITY;
+        let mut runs = 0usize;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let ds = campaign.run(&cfg);
+            best = best.min(t0.elapsed().as_secs_f64());
+            runs = ds.runs.len();
+        }
+        eprintln!("  {scale:?} threads={threads}: {best:.3}s ({runs} test runs)");
+        points.push(Point {
+            threads,
+            secs: best,
+            runs,
+        });
+    }
+    points
+}
+
+fn json_scale(name: &str, points: &[Point]) -> String {
+    let t1 = points
+        .iter()
+        .find(|p| p.threads == 1)
+        .map(|p| p.secs)
+        .unwrap_or(f64::NAN);
+    let entries: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "        {{ \"threads\": {}, \"secs\": {:.4}, \"speedup_vs_1\": {:.3} }}",
+                p.threads,
+                p.secs,
+                t1 / p.secs
+            )
+        })
+        .collect();
+    format!(
+        "    {{\n      \"scale\": \"{}\",\n      \"test_runs\": {},\n      \"points\": [\n{}\n      ]\n    }}",
+        name,
+        points.first().map(|p| p.runs).unwrap_or(0),
+        entries.join(",\n")
+    )
+}
+
+fn main() {
+    let standard = std::env::args().any(|a| a == "--standard");
+    // `cargo bench` also forwards its own flags (e.g. --bench); ignore
+    // everything we don't recognize.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("campaign bench: {cores} cores, standard={standard}");
+
+    let campaign = Campaign::standard(2022);
+    let _ = Operator::ALL; // world sanity anchor
+
+    let mut scales = Vec::new();
+    eprintln!("Quick scale:");
+    scales.push(json_scale("quick", &time_scale(&campaign, Scale::Quick, 3)));
+    if standard {
+        eprintln!("Standard scale:");
+        scales.push(json_scale(
+            "standard",
+            &time_scale(&campaign, Scale::Standard, 1),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"campaign\",\n  \"host_cores\": {},\n  \"scales\": [\n{}\n  ]\n}}\n",
+        cores,
+        scales.join(",\n")
+    );
+    // The bench process runs with the package as CWD; anchor the baseline
+    // at the repo root so it is tracked next to the other BENCH files.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let path = root.join("BENCH_campaign.json");
+    std::fs::write(&path, &json).expect("write BENCH_campaign.json");
+    eprintln!("wrote {}", path.display());
+    print!("{json}");
+}

@@ -7,7 +7,9 @@ fn bench_network(c: &mut Criterion) {
     let world = World::quick();
     let mut g = c.benchmark_group("network_figures");
     g.sample_size(10);
-    for id in ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"] {
+    for id in [
+        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    ] {
         let out = wheels_experiments::run_by_id(world, id).expect("registered");
         print_once(id, &out);
         g.bench_function(id, |b| {

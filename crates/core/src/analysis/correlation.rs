@@ -128,7 +128,10 @@ impl CorrelationRow {
 
     /// Look up Spearman rho for one KPI.
     pub fn get_rho(&self, kpi: Kpi) -> Option<f64> {
-        self.rho.iter().find(|(k, _)| *k == kpi).and_then(|(_, v)| *v)
+        self.rho
+            .iter()
+            .find(|(k, _)| *k == kpi)
+            .and_then(|(_, v)| *v)
     }
 
     /// The paper's headline check: no KPI strongly correlates with
@@ -207,7 +210,12 @@ mod tests {
         let samples: Vec<TputSample> = (0..100)
             .map(|i| {
                 // Throughput unrelated to the KPIs.
-                sample(((i * 37) % 100) as f64, -110.0 + (i % 40) as f64, (i % 28) as u8, (i % 80) as f64)
+                sample(
+                    ((i * 37) % 100) as f64,
+                    -110.0 + (i % 40) as f64,
+                    (i % 28) as u8,
+                    (i % 80) as f64,
+                )
             })
             .collect();
         let row = correlate(&samples, Operator::Verizon, Direction::Downlink);

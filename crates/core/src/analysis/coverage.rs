@@ -67,10 +67,7 @@ pub fn overall(samples: &[CoverageSample], op: Operator) -> TechShare {
 }
 
 /// Fig. 2b: share split by backlogged traffic direction.
-pub fn by_direction(
-    samples: &[CoverageSample],
-    op: Operator,
-) -> BTreeMap<Direction, TechShare> {
+pub fn by_direction(samples: &[CoverageSample], op: Operator) -> BTreeMap<Direction, TechShare> {
     let mut out: BTreeMap<Direction, TechShare> = BTreeMap::new();
     for s in samples.iter().filter(|s| s.operator == op) {
         if let Some(dir) = s.direction {
@@ -115,7 +112,10 @@ pub fn route_profile(
     while seg_start <= max_mile {
         let seg_end = seg_start + segment_miles;
         let mut share: WeightedShare<Option<Technology>> = WeightedShare::new();
-        for (m, t) in samples.iter().filter(|(m, _)| *m >= seg_start && *m < seg_end) {
+        for (m, t) in samples
+            .iter()
+            .filter(|(m, _)| *m >= seg_start && *m < seg_end)
+        {
             let _ = m;
             share.add(*t, 1.0);
         }
@@ -161,11 +161,32 @@ mod tests {
     #[test]
     fn overall_shares_sum_to_100() {
         let samples = vec![
-            cov(Operator::Verizon, Some(Technology::Lte), None, Timezone::Pacific, 60.0, 3.0),
-            cov(Operator::Verizon, Some(Technology::Nr5gMid), None, Timezone::Pacific, 60.0, 1.0),
+            cov(
+                Operator::Verizon,
+                Some(Technology::Lte),
+                None,
+                Timezone::Pacific,
+                60.0,
+                3.0,
+            ),
+            cov(
+                Operator::Verizon,
+                Some(Technology::Nr5gMid),
+                None,
+                Timezone::Pacific,
+                60.0,
+                1.0,
+            ),
             cov(Operator::Verizon, None, None, Timezone::Pacific, 60.0, 1.0),
             // Other operator ignored.
-            cov(Operator::Att, Some(Technology::LteA), None, Timezone::Pacific, 60.0, 9.0),
+            cov(
+                Operator::Att,
+                Some(Technology::LteA),
+                None,
+                Timezone::Pacific,
+                60.0,
+                9.0,
+            ),
         ];
         let s = overall(&samples, Operator::Verizon);
         assert!((s.pct(Technology::Lte) - 60.0).abs() < 1e-9);
@@ -178,9 +199,30 @@ mod tests {
     #[test]
     fn direction_split() {
         let samples = vec![
-            cov(Operator::TMobile, Some(Technology::Nr5gMid), Some(Direction::Downlink), Timezone::Central, 60.0, 2.0),
-            cov(Operator::TMobile, Some(Technology::Lte), Some(Direction::Uplink), Timezone::Central, 60.0, 2.0),
-            cov(Operator::TMobile, Some(Technology::Nr5gMid), None, Timezone::Central, 60.0, 5.0),
+            cov(
+                Operator::TMobile,
+                Some(Technology::Nr5gMid),
+                Some(Direction::Downlink),
+                Timezone::Central,
+                60.0,
+                2.0,
+            ),
+            cov(
+                Operator::TMobile,
+                Some(Technology::Lte),
+                Some(Direction::Uplink),
+                Timezone::Central,
+                60.0,
+                2.0,
+            ),
+            cov(
+                Operator::TMobile,
+                Some(Technology::Nr5gMid),
+                None,
+                Timezone::Central,
+                60.0,
+                5.0,
+            ),
         ];
         let by_dir = by_direction(&samples, Operator::TMobile);
         assert!((by_dir[&Direction::Downlink].pct_high_speed() - 100.0).abs() < 1e-9);
@@ -190,8 +232,22 @@ mod tests {
     #[test]
     fn timezone_and_speed_breakdowns() {
         let samples = vec![
-            cov(Operator::Att, Some(Technology::LteA), None, Timezone::Mountain, 70.0, 1.0),
-            cov(Operator::Att, Some(Technology::Nr5gLow), None, Timezone::Eastern, 10.0, 1.0),
+            cov(
+                Operator::Att,
+                Some(Technology::LteA),
+                None,
+                Timezone::Mountain,
+                70.0,
+                1.0,
+            ),
+            cov(
+                Operator::Att,
+                Some(Technology::Nr5gLow),
+                None,
+                Timezone::Eastern,
+                10.0,
+                1.0,
+            ),
         ];
         let tz = by_timezone(&samples, Operator::Att);
         assert_eq!(tz.len(), 2);

@@ -162,7 +162,12 @@ mod tests {
             // T-Mobile has no sample at 500 ms.
             sample(Operator::TMobile, 1000, 10.0, Technology::Nr5gMid),
         ];
-        let pairs = pair_samples(&samples, Operator::Verizon, Operator::TMobile, Direction::Downlink);
+        let pairs = pair_samples(
+            &samples,
+            Operator::Verizon,
+            Operator::TMobile,
+            Direction::Downlink,
+        );
         assert_eq!(pairs.len(), 1);
         assert!((pairs[0].diff_mbps - 60.0).abs() < 1e-9);
         assert_eq!(pairs[0].bin, PairBin::HtLt);
@@ -178,7 +183,12 @@ mod tests {
             sample(Operator::Verizon, 1000, 10.0, Technology::LteA),
             sample(Operator::TMobile, 1000, 20.0, Technology::Nr5gLow),
         ];
-        let pairs = pair_samples(&samples, Operator::Verizon, Operator::TMobile, Direction::Downlink);
+        let pairs = pair_samples(
+            &samples,
+            Operator::Verizon,
+            Operator::TMobile,
+            Direction::Downlink,
+        );
         let dist = bin_distribution(&pairs);
         let get = |b: PairBin| dist.iter().find(|(x, _)| *x == b).unwrap().1;
         assert!((get(PairBin::LtHt) - 1.0 / 3.0).abs() < 1e-9);
@@ -195,7 +205,12 @@ mod tests {
             sample(Operator::Verizon, 500, 5.0, Technology::Lte),
             sample(Operator::TMobile, 500, 25.0, Technology::Lte),
         ];
-        let pairs = pair_samples(&samples, Operator::Verizon, Operator::TMobile, Direction::Downlink);
+        let pairs = pair_samples(
+            &samples,
+            Operator::Verizon,
+            Operator::TMobile,
+            Direction::Downlink,
+        );
         let diffs = diffs_in_bin(&pairs, PairBin::LtLt);
         assert_eq!(diffs, vec![-20.0, 30.0]);
         assert!(diffs_in_bin(&pairs, PairBin::HtHt).is_empty());

@@ -164,8 +164,7 @@ mod tests {
     fn dataset_with_pattern(vals: [f64; 5], ho_bin: usize) -> Dataset {
         let mut ds = Dataset::default();
         for (i, v) in vals.iter().enumerate() {
-            ds.tput
-                .push(sample(1, SimTime((i as u64) * 500), *v));
+            ds.tput.push(sample(1, SimTime((i as u64) * 500), *v));
         }
         ds.handovers.push(ho(
             1,
@@ -274,12 +273,19 @@ mod tests {
     #[test]
     fn durations_filtered_by_direction() {
         let mut ds = Dataset::default();
-        ds.handovers.push(ho(1, SimTime::EPOCH, Technology::Lte, Technology::Lte));
+        ds.handovers
+            .push(ho(1, SimTime::EPOCH, Technology::Lte, Technology::Lte));
         let mut ul = ho(2, SimTime::EPOCH, Technology::Lte, Technology::Lte);
         ul.direction = Some(Direction::Uplink);
         ds.handovers.push(ul);
-        assert_eq!(durations_ms(&ds, Operator::Verizon, Direction::Downlink).len(), 1);
-        assert_eq!(durations_ms(&ds, Operator::Verizon, Direction::Uplink).len(), 1);
+        assert_eq!(
+            durations_ms(&ds, Operator::Verizon, Direction::Downlink).len(),
+            1
+        );
+        assert_eq!(
+            durations_ms(&ds, Operator::Verizon, Direction::Uplink).len(),
+            1
+        );
         assert!(durations_ms(&ds, Operator::TMobile, Direction::Downlink).is_empty());
     }
 }

@@ -11,6 +11,27 @@
 //! strapped all phones into the same car), which is what makes the Fig. 6
 //! operator-diversity analysis possible: for any time bin, all three
 //! operators were measured at the same place under the same conditions.
+//!
+//! # Parallel execution model
+//!
+//! The unit of parallelism is an **(operator × trace-segment) shard**, not
+//! an operator. The cycle schedule is a pure function of (trace, config) —
+//! every test has a fixed duration, so cycle start times can be computed
+//! up front without running anything. The trace is partitioned at the
+//! overnight gaps (one segment per drive day, optionally sub-split via
+//! [`CampaignConfig::shard_cycles`]), each shard runs independently on a
+//! worker pool with its own RNG stream (`campaign/{op}/{segment}`) and its
+//! own test-id range, and the shard datasets are merged in a fixed order
+//! and normalized — so the result is bit-identical at any thread count.
+//!
+//! Each drive shard cold-starts its [`RanSession`] a [`WARMUP`] window
+//! before its first cycle so the serving state (grant, A3 filter state) at
+//! the segment boundary matches a session that had been driving all along;
+//! warm-up KPIs and handovers are discarded.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use wheels_apps::arcav::{AppConfig, OffloadRun};
 use wheels_apps::gaming::GamingRun;
@@ -19,7 +40,7 @@ use wheels_apps::video::VideoRun;
 use wheels_geo::route::Route;
 use wheels_geo::trace::{DrivePlan, DriveTrace};
 use wheels_radio::tech::Direction;
-use wheels_ran::cells::Deployment;
+use wheels_ran::cells::{CellId, Deployment};
 use wheels_ran::operator::Operator;
 use wheels_ran::policy::TrafficDemand;
 use wheels_ran::session::{PollCtx, RanSession};
@@ -38,6 +59,9 @@ const TEST_GAP: SimDuration = SimDuration(3_000);
 const APP_TCP_EFF: f64 = 0.85;
 /// Synthetic XCAL volume per logged 500 ms record.
 const LOG_BYTES_PER_SAMPLE: f64 = 2600.0;
+/// Session warm-up window polled (and discarded) before a drive shard's
+/// first cycle, so mid-trace shards start with realistic serving state.
+const WARMUP: SimDuration = SimDuration(90_000);
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
@@ -58,6 +82,14 @@ pub struct CampaignConfig {
     /// trip uniformly, which keeps scaled-down runs spanning all four
     /// timezones.
     pub cycle_stride_s: u64,
+    /// Worker threads for shard execution (None = one per available
+    /// core). The shard plan — and therefore the output — depends only on
+    /// the config, never on this.
+    pub threads: Option<usize>,
+    /// Sub-split each drive day into shards of at most this many cycles
+    /// (None = one shard per drive day). Changing this changes the RNG
+    /// stream layout, so it is part of the config, not a runtime knob.
+    pub shard_cycles: Option<usize>,
 }
 
 impl Default for CampaignConfig {
@@ -69,8 +101,54 @@ impl Default for CampaignConfig {
             include_static: true,
             start_at_sample: 0,
             cycle_stride_s: 0,
+            threads: None,
+            shard_cycles: None,
         }
     }
+}
+
+/// Duration of one round-robin cycle, including the trailing inter-test
+/// gaps — a pure function of the config, which is what lets the shard
+/// planner precompute every cycle start time without simulating anything.
+pub fn cycle_duration(include_apps: bool) -> SimDuration {
+    let mut ms = measure::TPUT_TEST.as_millis() + TEST_GAP.as_millis(); // DL
+    ms += measure::TPUT_TEST.as_millis() + TEST_GAP.as_millis(); // UL
+    ms += measure::RTT_TEST.as_millis() + TEST_GAP.as_millis();
+    if include_apps {
+        for cfg in [AppConfig::ar(), AppConfig::cav()] {
+            // Raw and compressed variants each.
+            ms += 2 * (cfg.duration_s * 1000 + TEST_GAP.as_millis());
+        }
+        ms += wheels_apps::video::SESSION_S * 1000 + TEST_GAP.as_millis();
+        ms += wheels_apps::gaming::SESSION_S * 1000 + TEST_GAP.as_millis();
+    }
+    SimDuration(ms)
+}
+
+/// One trace segment's worth of cycles, run as an independent shard.
+#[derive(Debug, Clone)]
+struct Segment {
+    /// Global segment ordinal (time order) — keys the RNG stream and the
+    /// shard's test-id range.
+    index: usize,
+    /// Precomputed cycle start times within this segment.
+    starts: Vec<SimTime>,
+}
+
+/// One unit of work for the shard pool.
+struct ShardJob {
+    op: Operator,
+    segment: Option<Segment>,
+}
+
+/// What one shard hands back for order-independent merging.
+struct ShardOut {
+    op: Operator,
+    ds: Dataset,
+    /// Cells this shard's session was served by, unioned per operator in
+    /// the finalize step (Table 1's unique-cell counts must not double
+    /// count a cell seen by two shards).
+    cells: HashSet<CellId>,
 }
 
 /// The campaign: route, trace, per-operator deployments, servers.
@@ -103,68 +181,37 @@ impl Campaign {
         }
     }
 
-    /// The deployment of one operator.
+    /// The deployment of one operator. O(1): `standard()` builds the
+    /// deployments in `Operator::ALL` order, so the operator's position
+    /// indexes directly; hand-assembled campaigns that ordered them
+    /// differently fall back to a scan.
     pub fn deployment(&self, op: Operator) -> &Deployment {
-        self.deployments
-            .iter()
-            .find(|d| d.operator == op)
-            .expect("all operators deployed")
-    }
-
-    /// Run the full campaign for all three operators (in parallel threads,
-    /// all on the same simulated clock) and merge the shards.
-    pub fn run(&self, cfg: &CampaignConfig) -> Dataset {
-        let mut shards: Vec<Dataset> = Vec::new();
-        crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = Operator::ALL
+        let idx = Operator::ALL.iter().position(|o| *o == op).unwrap();
+        match self.deployments.get(idx) {
+            Some(d) if d.operator == op => d,
+            _ => self
+                .deployments
                 .iter()
-                .map(|op| s.spawn(move |_| self.run_operator(*op, cfg)))
-                .collect();
-            for h in handles {
-                shards.push(h.join().expect("operator shard panicked"));
-            }
-        })
-        .expect("campaign scope");
-        let mut out = Dataset::default();
-        for shard in shards {
-            out.merge(shard);
+                .find(|d| d.operator == op)
+                .expect("all operators deployed"),
         }
-        out
     }
 
-    /// Run the campaign for one operator.
-    pub fn run_operator(&self, op: Operator, cfg: &CampaignConfig) -> Dataset {
-        let dep = self.deployment(op);
-        let op_idx = Operator::ALL.iter().position(|o| *o == op).unwrap();
-        let rng = SimRng::seed(cfg.seed).split(&format!("campaign/{}", op.label()));
-        let mut runner = OpRunner {
-            route: &self.route,
-            trace: &self.trace,
-            fleet: &self.fleet,
-            session: RanSession::new(dep, TrafficDemand::BackloggedDownlink, rng.split("ran")),
-            rng,
-            ds: Dataset::default(),
-            next_id: (op_idx as u32 + 1) * 1_000_000,
-            op,
-            ho_mark: 0,
-        };
-
-        // Static baselines at each city stopover.
-        if cfg.include_static {
-            runner.run_static_stops(dep);
-        }
-
-        // The round-robin driving campaign.
+    /// Precompute every cycle start time — the same walk the runner used
+    /// to take, minus the simulation: skip overnight gaps and static
+    /// stops, advance by the (constant) cycle duration plus the stride.
+    fn cycle_starts(&self, cfg: &CampaignConfig) -> Vec<SimTime> {
         let samples = self.trace.samples();
+        let mut starts = Vec::new();
         if samples.is_empty() {
-            return runner.ds;
+            return starts;
         }
+        let step = cycle_duration(cfg.include_apps) + SimDuration::from_secs(cfg.cycle_stride_s);
         let mut t = samples[cfg.start_at_sample.min(samples.len() - 1)].t;
-        let trace_end = self.trace.samples().last().unwrap().t;
-        let mut cycles = 0usize;
+        let trace_end = samples.last().unwrap().t;
         while t < trace_end {
             if let Some(max) = cfg.max_cycles {
-                if cycles >= max {
+                if starts.len() >= max {
                     break;
                 }
             }
@@ -184,33 +231,182 @@ impl Campaign {
                 }
                 Some(_) => {}
             }
-            t = runner.run_cycle(t, cfg.include_apps);
-            t += SimDuration::from_secs(cfg.cycle_stride_s);
-            cycles += 1;
+            starts.push(t);
+            t += step;
         }
+        starts
+    }
 
-        // Table 1 accounting.
-        runner.ds.unique_cells.push((op, runner.session.unique_cell_count()));
-        let runtime_ms: u64 = runner
-            .ds
-            .runs
-            .iter()
-            .map(|r| r.end.since(r.start).as_millis())
-            .sum();
-        runner.ds.runtime_min.push((op, runtime_ms as f64 / 60_000.0));
-        runner.ds.log_bytes +=
-            (runtime_ms as f64 / measure::SAMPLE_MS as f64) * LOG_BYTES_PER_SAMPLE;
-        // Tag all handovers not already attributed to a test.
-        let events = runner.session.events();
-        for e in &events[runner.ho_mark..] {
-            runner.ds.handovers.push(TaggedHandover {
-                event: *e,
-                operator: op,
-                test_id: None,
-                direction: None,
-            });
+    /// Partition the cycle schedule into shard segments: one per drive
+    /// day (the overnight gaps are natural cut points — no session state
+    /// survives them), sub-split to at most `shard_cycles` cycles each.
+    /// The plan depends only on (trace, config), never on thread count.
+    fn segments(&self, cfg: &CampaignConfig) -> Vec<Segment> {
+        let cap = cfg.shard_cycles.unwrap_or(usize::MAX).max(1);
+        let mut segs: Vec<Segment> = Vec::new();
+        let mut cur_day: Option<u8> = None;
+        for t in self.cycle_starts(cfg) {
+            let day = match self.trace.sample_at(t) {
+                Some(s) => s.day,
+                None => continue,
+            };
+            let split =
+                cur_day != Some(day) || segs.last().map(|s| s.starts.len() >= cap).unwrap_or(true);
+            if split {
+                segs.push(Segment {
+                    index: segs.len(),
+                    starts: Vec::new(),
+                });
+                cur_day = Some(day);
+            }
+            segs.last_mut().unwrap().starts.push(t);
         }
-        runner.ds
+        segs
+    }
+
+    /// The full shard plan, in the fixed merge order.
+    fn plan(&self, cfg: &CampaignConfig) -> Vec<ShardJob> {
+        let segments = self.segments(cfg);
+        let mut jobs = Vec::new();
+        for op in Operator::ALL {
+            if cfg.include_static {
+                jobs.push(ShardJob { op, segment: None });
+            }
+            for seg in &segments {
+                jobs.push(ShardJob {
+                    op,
+                    segment: Some(seg.clone()),
+                });
+            }
+        }
+        jobs
+    }
+
+    /// Run the full campaign: execute the shard plan on a worker pool and
+    /// merge the results in plan order. Bit-identical at any thread count.
+    pub fn run(&self, cfg: &CampaignConfig) -> Dataset {
+        let jobs = self.plan(cfg);
+        let shards = self.run_jobs(&jobs, cfg);
+        self.finalize(shards, &Operator::ALL)
+    }
+
+    /// Run the campaign for one operator (sequentially, same shard plan —
+    /// the result matches that operator's slice of [`Campaign::run`]).
+    pub fn run_operator(&self, op: Operator, cfg: &CampaignConfig) -> Dataset {
+        let mut shards = Vec::new();
+        if cfg.include_static {
+            shards.push(self.run_shard(&ShardJob { op, segment: None }, cfg));
+        }
+        for seg in self.segments(cfg) {
+            shards.push(self.run_shard(
+                &ShardJob {
+                    op,
+                    segment: Some(seg),
+                },
+                cfg,
+            ));
+        }
+        self.finalize(shards, &[op])
+    }
+
+    /// Execute jobs on a pool of `cfg.threads` workers (default: one per
+    /// core). Workers pull jobs from a shared counter; results land in
+    /// per-job slots so the merge order is the plan order regardless of
+    /// which worker ran what.
+    fn run_jobs(&self, jobs: &[ShardJob], cfg: &CampaignConfig) -> Vec<ShardOut> {
+        let threads = cfg
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .clamp(1, jobs.len().max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ShardOut>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let out = self.run_shard(job, cfg);
+                    *slots[i].lock().unwrap() = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("shard completed"))
+            .collect()
+    }
+
+    /// Run one shard: the operator's static baselines (segment = None) or
+    /// one trace segment of drive cycles.
+    fn run_shard(&self, job: &ShardJob, cfg: &CampaignConfig) -> ShardOut {
+        let op = job.op;
+        let dep = self.deployment(op);
+        let op_idx = Operator::ALL.iter().position(|o| *o == op).unwrap() as u32;
+        let (rng, next_id) = match &job.segment {
+            // Static shard: keep the original per-operator stream and id
+            // range so static baselines are unchanged by the sharding.
+            None => (
+                SimRng::seed(cfg.seed).split(&format!("campaign/{}", op.label())),
+                (op_idx + 1) * 1_000_000,
+            ),
+            Some(seg) => (
+                SimRng::seed(cfg.seed).split(&format!("campaign/{}/{}", op.label(), seg.index)),
+                // Disjoint id ranges: 10k ids per segment, segments well
+                // clear of the static ranges.
+                (op_idx + 1) * 100_000_000 + seg.index as u32 * 10_000,
+            ),
+        };
+        let mut runner = OpRunner {
+            route: &self.route,
+            trace: &self.trace,
+            fleet: &self.fleet,
+            session: RanSession::new(dep, TrafficDemand::BackloggedDownlink, rng.split("ran")),
+            rng,
+            ds: Dataset::default(),
+            next_id,
+            op,
+            ho_mark: 0,
+        };
+        match &job.segment {
+            None => runner.run_static_stops(dep),
+            Some(seg) => runner.run_segment(seg, cfg.include_apps),
+        }
+        ShardOut {
+            op,
+            ds: runner.ds,
+            cells: runner.session.unique_cells().collect(),
+        }
+    }
+
+    /// Merge shard outputs (already in plan order) and compute the
+    /// post-merge Table 1 accounting: per-operator unique-cell unions,
+    /// runtimes, and the runtime-derived XCAL log volume.
+    fn finalize(&self, shards: Vec<ShardOut>, ops: &[Operator]) -> Dataset {
+        let mut out = Dataset::default();
+        let mut cells: Vec<HashSet<CellId>> = vec![HashSet::new(); ops.len()];
+        for shard in shards {
+            if let Some(i) = ops.iter().position(|o| *o == shard.op) {
+                cells[i].extend(shard.cells.iter().copied());
+            }
+            out.merge(shard.ds);
+        }
+        for (i, op) in ops.iter().enumerate() {
+            let runtime_ms: u64 = out
+                .runs
+                .iter()
+                .filter(|r| r.operator == *op)
+                .map(|r| r.end.since(r.start).as_millis())
+                .sum();
+            out.unique_cells.push((*op, cells[i].len()));
+            out.runtime_min.push((*op, runtime_ms as f64 / 60_000.0));
+            out.log_bytes += (runtime_ms as f64 / measure::SAMPLE_MS as f64) * LOG_BYTES_PER_SAMPLE;
+        }
+        out.normalize();
+        out
     }
 }
 
@@ -275,6 +471,49 @@ impl<'a> OpRunner<'a> {
         }
     }
 
+    /// Run one trace segment: warm the session up ahead of the first
+    /// cycle (KPIs and handovers discarded), run each precomputed cycle,
+    /// then record leftover handovers as passive (untagged).
+    fn run_segment(&mut self, seg: &Segment, include_apps: bool) {
+        let Some(&first) = seg.starts.first() else {
+            return;
+        };
+        let mut t = SimTime(first.0.saturating_sub(WARMUP.as_millis()));
+        while t < first {
+            if let Some(s) = self.trace.sample_at(t) {
+                self.session.poll(
+                    t,
+                    PollCtx {
+                        odo: s.odo,
+                        speed: s.speed,
+                        zone: s.zone,
+                        tz: s.tz,
+                    },
+                );
+            }
+            t += SimDuration(measure::SAMPLE_MS);
+        }
+        // Warm-up handovers belong to no test and would double against
+        // the neighbouring shard's — drop them.
+        self.ho_mark = self.session.events().len();
+        for &start in &seg.starts {
+            if self.trace.sample_at(start).is_none() {
+                continue;
+            }
+            self.run_cycle(start, include_apps);
+        }
+        let events = self.session.events();
+        for e in &events[self.ho_mark..] {
+            self.ds.handovers.push(TaggedHandover {
+                event: *e,
+                operator: self.op,
+                test_id: None,
+                direction: None,
+            });
+        }
+        self.ho_mark = events.len();
+    }
+
     /// Run one round-robin cycle starting at `t`; returns the end time.
     fn run_cycle(&mut self, t: SimTime, include_apps: bool) -> SimTime {
         let mut t = t;
@@ -295,7 +534,9 @@ impl<'a> OpRunner<'a> {
     fn current_path(&self, t: SimTime) -> wheels_transport::servers::NetPath {
         match self.trace.sample_at(t) {
             Some(s) => self.fleet.path(self.op, self.route, s.odo),
-            None => self.fleet.cloud_path(self.route, wheels_sim_core::units::Distance::ZERO),
+            None => self
+                .fleet
+                .cloud_path(self.route, wheels_sim_core::units::Distance::ZERO),
         }
     }
 
@@ -685,13 +926,13 @@ mod tests {
             );
         }
         // AR and CAV each ran compressed and raw.
-        let ar_runs: Vec<_> = ds
-            .apps
+        let ar_runs: Vec<_> = ds.apps.iter().filter(|a| a.kind == TestKind::Ar).collect();
+        assert!(ar_runs
             .iter()
-            .filter(|a| a.kind == TestKind::Ar)
-            .collect();
-        assert!(ar_runs.iter().any(|a| a.offload.as_ref().unwrap().compressed));
-        assert!(ar_runs.iter().any(|a| !a.offload.as_ref().unwrap().compressed));
+            .any(|a| a.offload.as_ref().unwrap().compressed));
+        assert!(ar_runs
+            .iter()
+            .any(|a| !a.offload.as_ref().unwrap().compressed));
     }
 
     #[test]

@@ -102,8 +102,12 @@ fn drm_span(drm: &DrmFile) -> Option<(SimTime, SimTime)> {
 /// span is fully inside (with slack), growing with the gap.
 fn mismatch_ms(log_lo: SimTime, log_hi: SimTime, drm_lo: SimTime, drm_hi: SimTime) -> u64 {
     const SLACK_MS: u64 = 3_000;
-    let lo_gap = drm_lo.as_millis().saturating_sub(log_lo.as_millis() + SLACK_MS);
-    let hi_gap = log_hi.as_millis().saturating_sub(drm_hi.as_millis() + SLACK_MS);
+    let lo_gap = drm_lo
+        .as_millis()
+        .saturating_sub(log_lo.as_millis() + SLACK_MS);
+    let hi_gap = log_hi
+        .as_millis()
+        .saturating_sub(drm_hi.as_millis() + SLACK_MS);
     lo_gap + hi_gap
 }
 

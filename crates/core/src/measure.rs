@@ -207,7 +207,9 @@ pub fn measure_rtt(
             test_id,
             operator,
             rtt_ms: res.rtt_ms,
-            tech: snap.map(|s| s.tech).unwrap_or(wheels_radio::tech::Technology::Lte),
+            tech: snap
+                .map(|s| s.tech)
+                .unwrap_or(wheels_radio::tech::Technology::Lte),
             speed_mph: c.speed_mph,
             tz: c.tz,
             server: path.kind,

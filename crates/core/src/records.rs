@@ -239,6 +239,31 @@ impl Dataset {
         self.runtime_min.extend(other.runtime_min);
     }
 
+    /// Bring every table into a canonical order so the dataset is
+    /// independent of the order its shards were merged in. All sorts are
+    /// stable and keyed on values that are themselves deterministic
+    /// (times, test ids, operators).
+    pub fn normalize(&mut self) {
+        fn op_idx(op: Operator) -> usize {
+            Operator::ALL.iter().position(|o| *o == op).unwrap()
+        }
+        self.tput.sort_by_key(|s| (s.t.as_millis(), s.test_id));
+        self.rtt.sort_by_key(|s| (s.t.as_millis(), s.test_id));
+        self.coverage
+            .sort_by_key(|s| (s.t.as_millis(), op_idx(s.operator)));
+        self.runs.sort_by_key(|r| (r.start.as_millis(), r.id));
+        self.handovers.sort_by_key(|h| {
+            (
+                h.event.start.as_millis(),
+                op_idx(h.operator),
+                h.event.to_cell,
+            )
+        });
+        self.apps.sort_by_key(|a| a.id);
+        self.unique_cells.sort_by_key(|(op, _)| op_idx(*op));
+        self.runtime_min.sort_by_key(|(op, _)| op_idx(*op));
+    }
+
     /// Throughput samples filtered the way most figures need.
     pub fn tput_where(
         &self,
@@ -260,8 +285,7 @@ impl Dataset {
         driving: Option<bool>,
     ) -> impl Iterator<Item = f64> + '_ {
         self.rtt.iter().filter_map(move |s| {
-            if operator.is_none_or(|o| s.operator == o)
-                && driving.is_none_or(|dr| s.driving == dr)
+            if operator.is_none_or(|o| s.operator == o) && driving.is_none_or(|dr| s.driving == dr)
             {
                 s.rtt_ms
             } else {
@@ -313,15 +337,16 @@ mod tests {
             handovers_in_bin: 0,
             driving,
         };
-        d.tput.push(mk(Operator::Verizon, Direction::Downlink, true, 50.0));
-        d.tput.push(mk(Operator::Verizon, Direction::Uplink, true, 5.0));
-        d.tput.push(mk(Operator::Att, Direction::Downlink, false, 700.0));
+        d.tput
+            .push(mk(Operator::Verizon, Direction::Downlink, true, 50.0));
+        d.tput
+            .push(mk(Operator::Verizon, Direction::Uplink, true, 5.0));
+        d.tput
+            .push(mk(Operator::Att, Direction::Downlink, false, 700.0));
+        assert_eq!(d.tput_where(Some(Operator::Verizon), None, None).count(), 2);
         assert_eq!(
-            d.tput_where(Some(Operator::Verizon), None, None).count(),
-            2
-        );
-        assert_eq!(
-            d.tput_where(None, Some(Direction::Downlink), Some(true)).count(),
+            d.tput_where(None, Some(Direction::Downlink), Some(true))
+                .count(),
             1
         );
         d.rtt.push(RttSample {

@@ -8,10 +8,10 @@
 //! distance = the cell's lateral offset, i.e. "facing the BS" — and run
 //! the instruments with a stationary context.
 
+use wheels_geo::route::{Route, ZoneClass};
 use wheels_radio::ca::aggregate;
 use wheels_radio::channel::LinkChannel;
 use wheels_radio::tech::{Direction, Technology};
-use wheels_geo::route::{Route, ZoneClass};
 use wheels_ran::cells::{Cell, Deployment};
 use wheels_ran::load::LoadModel;
 use wheels_ran::policy::TrafficDemand;
@@ -77,7 +77,12 @@ impl PinnedLink {
         }
     }
 
-    fn poll(&mut self, t: SimTime, op: wheels_ran::operator::Operator, rng: &mut SimRng) -> RanSnapshot {
+    fn poll(
+        &mut self,
+        t: SimTime,
+        op: wheels_ran::operator::Operator,
+        rng: &mut SimRng,
+    ) -> RanSnapshot {
         // Facing the BS: the tester walks toward it, so the distance is
         // the cell's lateral offset capped at ~90 m.
         let facing = Distance::from_m(self.cell.lateral.as_m().min(90.0));
@@ -215,9 +220,9 @@ pub fn run_city(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::OnceLock;
     use wheels_ran::operator::Operator;
     use wheels_sim_core::stats::Cdf;
-    use std::sync::OnceLock;
 
     struct Fix {
         route: Route,
@@ -283,7 +288,11 @@ mod tests {
         // Mbps to Gbps.
         let ds = run_all_cities(0, 1);
         let dl: Vec<f64> = ds
-            .tput_where(Some(Operator::Verizon), Some(Direction::Downlink), Some(false))
+            .tput_where(
+                Some(Operator::Verizon),
+                Some(Direction::Downlink),
+                Some(false),
+            )
             .map(|s| s.mbps)
             .collect();
         assert!(dl.len() > 100, "samples {}", dl.len());

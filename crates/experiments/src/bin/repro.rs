@@ -31,13 +31,10 @@ fn main() {
             "--standard" => scale = Scale::Standard,
             "--full" => scale = Scale::Full,
             "--seed" => {
-                seed = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--seed needs an integer");
-                        std::process::exit(2);
-                    });
+                seed = iter.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                });
             }
             other if other.starts_with("--") => {
                 eprintln!("unknown flag {other}");

@@ -91,16 +91,19 @@ pub fn realistic_mptcp_samples(tri: &[TriSample]) -> Vec<f64> {
 
 /// Render the extension.
 pub fn run(world: &World) -> String {
-    let mut out = String::from(
-        "Extension — multi-connectivity what-if (the paper's recommendation #2)\n\n",
-    );
+    let mut out =
+        String::from("Extension — multi-connectivity what-if (the paper's recommendation #2)\n\n");
     for dir in Direction::ALL {
         let tri = tri_samples(world, dir);
         if tri.len() < 20 {
             out.push_str(&format!("{}: insufficient concurrent bins\n", dir.label()));
             continue;
         }
-        out.push_str(&format!("{} ({} concurrent bins):\n", dir.label(), tri.len()));
+        out.push_str(&format!(
+            "{} ({} concurrent bins):\n",
+            dir.label(),
+            tri.len()
+        ));
         for (i, op) in Operator::ALL.iter().enumerate() {
             out.push_str(&format!(
                 "  single {:<9}: {}\n",
@@ -135,7 +138,9 @@ pub fn run(world: &World) -> String {
             below5(tri.iter().map(|s| s.bonded()).collect()),
         ));
         if let Some(g) = median_bonding_gain(&tri) {
-            out.push_str(&format!("  median bonding gain over best single: {g:.2}x\n"));
+            out.push_str(&format!(
+                "  median bonding gain over best single: {g:.2}x\n"
+            ));
         }
         out.push('\n');
     }

@@ -58,7 +58,10 @@ pub fn run(world: &World) -> String {
     let mut out =
         String::from("Fig. 10 — per-test performance vs fraction of time on high-speed 5G\n\n");
     for dir in Direction::ALL {
-        out.push_str(&format!("{} mean throughput (Mbps), tests bucketed by hs5G%:\n", dir.label()));
+        out.push_str(&format!(
+            "{} mean throughput (Mbps), tests bucketed by hs5G%:\n",
+            dir.label()
+        ));
         let mut rows = Vec::new();
         for op in Operator::ALL {
             let pts = tput_vs_hs5g(world, op, dir);
@@ -90,7 +93,11 @@ mod tests {
         let w = World::quick();
         let mut fracs: Vec<f64> = Vec::new();
         for op in Operator::ALL {
-            fracs.extend(tput_vs_hs5g(w, op, Direction::Downlink).iter().map(|(f, _)| *f));
+            fracs.extend(
+                tput_vs_hs5g(w, op, Direction::Downlink)
+                    .iter()
+                    .map(|(f, _)| *f),
+            );
         }
         assert!(fracs.iter().any(|f| *f < 0.1), "no low-hs5g tests");
         assert!(fracs.iter().any(|f| *f > 0.7), "no high-hs5g tests");

@@ -81,9 +81,11 @@ mod tests {
             d.extend(handover::durations_ms(&w.dataset, op, Direction::Uplink));
             Cdf::from_samples(d).median()
         };
-        if let (Some(v), Some(t), Some(a)) =
-            (med(Operator::Verizon), med(Operator::TMobile), med(Operator::Att))
-        {
+        if let (Some(v), Some(t), Some(a)) = (
+            med(Operator::Verizon),
+            med(Operator::TMobile),
+            med(Operator::Att),
+        ) {
             assert!(t > v, "T {t} should exceed V {v}");
             assert!((30.0..120.0).contains(&v), "V median {v}");
             assert!((45.0..150.0).contains(&t), "T median {t}");

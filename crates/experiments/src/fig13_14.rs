@@ -57,10 +57,7 @@ fn render_app(world: &World, op: Operator, kind: TestKind, config: &AppConfig) -
         if rs.is_empty() {
             continue;
         }
-        let e2e: Vec<f64> = rs
-            .iter()
-            .filter_map(|(s, _)| s.median_e2e_ms())
-            .collect();
+        let e2e: Vec<f64> = rs.iter().filter_map(|(s, _)| s.median_e2e_ms()).collect();
         let fps: Vec<f64> = rs
             .iter()
             .map(|(s, _)| s.offloaded_fps(config.duration_s))

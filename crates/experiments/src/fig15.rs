@@ -39,7 +39,10 @@ fn render_op(world: &World, op: Operator) -> String {
     let rebuf: Vec<f64> = rs.iter().map(|(s, _)| s.rebuffer_pct()).collect();
     let rates: Vec<f64> = rs.iter().map(|(s, _)| s.avg_bitrate()).collect();
     let mut out = String::new();
-    out.push_str(&format!("  QoE/run      : {}\n", fmt::cdf_line(qoes.iter().copied())));
+    out.push_str(&format!(
+        "  QoE/run      : {}\n",
+        fmt::cdf_line(qoes.iter().copied())
+    ));
     out.push_str(&format!("  rebuffer %   : {}\n", fmt::cdf_line(rebuf)));
     out.push_str(&format!("  bitrate Mbps : {}\n", fmt::cdf_line(rates)));
     let neg = qoes.iter().filter(|q| **q < 0.0).count() as f64 / qoes.len() as f64;
@@ -52,7 +55,11 @@ fn render_op(world: &World, op: Operator) -> String {
             .map(|(s, _)| s.avg_qoe())
             .collect();
         if sub.len() >= 3 {
-            out.push_str(&format!("  {} QoE: {}\n", server.label(), fmt::cdf_line(sub)));
+            out.push_str(&format!(
+                "  {} QoE: {}\n",
+                server.label(),
+                fmt::cdf_line(sub)
+            ));
         }
     }
     // High-speed-5G and handover relationships.
@@ -60,12 +67,18 @@ fn render_op(world: &World, op: Operator) -> String {
         .iter()
         .map(|(s, _)| (s.high_speed_5g_fraction, s.avg_qoe()))
         .unzip();
-    out.push_str(&format!("  corr(hs5G%, QoE) = {}\n", fmt::num(pearson(&h, &q))));
+    out.push_str(&format!(
+        "  corr(hs5G%, QoE) = {}\n",
+        fmt::num(pearson(&h, &q))
+    ));
     let (hos, q2): (Vec<f64>, Vec<f64>) = rs
         .iter()
         .map(|(s, _)| (s.handovers as f64, s.avg_qoe()))
         .unzip();
-    out.push_str(&format!("  corr(#HO, QoE)   = {}\n", fmt::num(pearson(&hos, &q2))));
+    out.push_str(&format!(
+        "  corr(#HO, QoE)   = {}\n",
+        fmt::num(pearson(&hos, &q2))
+    ));
     out
 }
 
@@ -102,7 +115,10 @@ mod tests {
         let med = Cdf::from_samples(rs.iter().map(|(s, _)| s.avg_qoe()))
             .median()
             .unwrap();
-        assert!(med < stat - 40.0, "driving median QoE {med} vs static {stat}");
+        assert!(
+            med < stat - 40.0,
+            "driving median QoE {med} vs static {stat}"
+        );
     }
 
     #[test]

@@ -25,7 +25,8 @@ pub fn runs(world: &World, op: Operator) -> Vec<&GamingStats> {
 pub fn best_static() -> (f64, f64, f64) {
     use wheels_apps::link::{ConstantLink, LinkState};
     let mut link = ConstantLink(LinkState::best_static());
-    let s = wheels_apps::gaming::GamingRun::execute(&mut link, wheels_sim_core::time::SimTime::EPOCH);
+    let s =
+        wheels_apps::gaming::GamingRun::execute(&mut link, wheels_sim_core::time::SimTime::EPOCH);
     (
         s.median_bitrate().unwrap_or(0.0),
         s.median_latency().unwrap_or(0.0),
@@ -44,17 +45,26 @@ fn render_op(world: &World, op: Operator) -> String {
     let mut out = String::new();
     out.push_str(&format!("  bitrate Mbps : {}\n", fmt::cdf_line(bitrates)));
     out.push_str(&format!("  latency ms   : {}\n", fmt::cdf_line(latencies)));
-    out.push_str(&format!("  frame drop % : {}\n", fmt::cdf_line(drops.iter().copied())));
+    out.push_str(&format!(
+        "  frame drop % : {}\n",
+        fmt::cdf_line(drops.iter().copied())
+    ));
     let (h, d): (Vec<f64>, Vec<f64>) = rs
         .iter()
         .map(|s| (s.high_speed_5g_fraction, s.drop_rate_pct()))
         .unzip();
-    out.push_str(&format!("  corr(hs5G%, drop%) = {}\n", fmt::num(pearson(&h, &d))));
+    out.push_str(&format!(
+        "  corr(hs5G%, drop%) = {}\n",
+        fmt::num(pearson(&h, &d))
+    ));
     let (hos, d2): (Vec<f64>, Vec<f64>) = rs
         .iter()
         .map(|s| (s.handovers as f64, s.drop_rate_pct()))
         .unzip();
-    out.push_str(&format!("  corr(#HO, drop%)   = {}\n", fmt::num(pearson(&hos, &d2))));
+    out.push_str(&format!(
+        "  corr(#HO, drop%)   = {}\n",
+        fmt::num(pearson(&hos, &d2))
+    ));
     out
 }
 

@@ -21,7 +21,14 @@ fn share_row(label: String, s: &coverage::TechShare) -> Vec<String> {
 }
 
 const HEADERS: [&str; 8] = [
-    "group", "LTE", "LTE-A", "5G-low", "5G-mid", "mmWave", "5G total", "high-speed",
+    "group",
+    "LTE",
+    "LTE-A",
+    "5G-low",
+    "5G-mid",
+    "mmWave",
+    "5G total",
+    "high-speed",
 ];
 
 /// Render Fig. 2a–d.

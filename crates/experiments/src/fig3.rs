@@ -58,10 +58,7 @@ mod tests {
         for op in Operator::ALL {
             let stat = median_tput(false, op, Direction::Downlink);
             let drv = median_tput(true, op, Direction::Downlink);
-            assert!(
-                drv < stat * 0.35,
-                "{op:?}: static {stat} driving {drv}"
-            );
+            assert!(drv < stat * 0.35, "{op:?}: static {stat} driving {drv}");
         }
     }
 

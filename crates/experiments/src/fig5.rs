@@ -63,12 +63,22 @@ mod tests {
         // §5.3 obs (1): Pacific is T-Mobile's best region (its mid-band is
         // densest there). Compare with Mountain, its weakest.
         let w = World::quick();
-        let pac = Cdf::from_samples(samples(w, Operator::TMobile, Direction::Downlink, Timezone::Pacific))
-            .median()
-            .unwrap_or(0.0);
-        let mtn = Cdf::from_samples(samples(w, Operator::TMobile, Direction::Downlink, Timezone::Mountain))
-            .median()
-            .unwrap_or(0.0);
+        let pac = Cdf::from_samples(samples(
+            w,
+            Operator::TMobile,
+            Direction::Downlink,
+            Timezone::Pacific,
+        ))
+        .median()
+        .unwrap_or(0.0);
+        let mtn = Cdf::from_samples(samples(
+            w,
+            Operator::TMobile,
+            Direction::Downlink,
+            Timezone::Mountain,
+        ))
+        .median()
+        .unwrap_or(0.0);
         assert!(pac > mtn * 0.5, "pacific {pac} mountain {mtn}");
     }
 

@@ -14,7 +14,8 @@ use crate::world::World;
 /// Render the figure.
 pub fn run(world: &World) -> String {
     let tput = &world.dataset.tput;
-    let mut out = String::from("Fig. 6 — operator-pair throughput differences (concurrent tests)\n\n");
+    let mut out =
+        String::from("Fig. 6 — operator-pair throughput differences (concurrent tests)\n\n");
     for dir in Direction::ALL {
         out.push_str(&format!("{}:\n", dir.label()));
         for (a, b) in PAIRS {
@@ -94,16 +95,8 @@ mod tests {
                 continue;
             }
             let dist = bin_distribution(&pairs);
-            let ltlt = dist
-                .iter()
-                .find(|(bn, _)| *bn == PairBin::LtLt)
-                .unwrap()
-                .1;
-            let htht = dist
-                .iter()
-                .find(|(bn, _)| *bn == PairBin::HtHt)
-                .unwrap()
-                .1;
+            let ltlt = dist.iter().find(|(bn, _)| *bn == PairBin::LtLt).unwrap().1;
+            let htht = dist.iter().find(|(bn, _)| *bn == PairBin::HtHt).unwrap().1;
             assert!(ltlt > htht, "{a:?}-{b:?}: LtLt {ltlt} HtHt {htht}");
         }
     }

@@ -26,12 +26,7 @@ pub fn tput_by_bin_tech(
 }
 
 /// RTT samples per (bin, tech).
-pub fn rtt_by_bin_tech(
-    world: &World,
-    op: Operator,
-    bin: SpeedBin,
-    tech: Technology,
-) -> Vec<f64> {
+pub fn rtt_by_bin_tech(world: &World, op: Operator, bin: SpeedBin, tech: Technology) -> Vec<f64> {
     world
         .dataset
         .rtt
@@ -56,8 +51,7 @@ fn render(world: &World, title: &str, rtt: bool) -> String {
                 let vals = if rtt {
                     rtt_by_bin_tech(world, op, bin, tech)
                 } else {
-                    let mut v =
-                        tput_by_bin_tech(world, op, Direction::Downlink, bin, tech);
+                    let mut v = tput_by_bin_tech(world, op, Direction::Downlink, bin, tech);
                     v.extend(tput_by_bin_tech(world, op, Direction::Uplink, bin, tech));
                     v
                 };

@@ -11,12 +11,18 @@ use crate::world::World;
 
 /// Per-test mean throughputs for one operator/direction (driving).
 pub fn test_means(world: &World, op: Operator, dir: Direction) -> Vec<f64> {
-    per_test(world, op, dir).into_iter().map(|(m, _)| m).collect()
+    per_test(world, op, dir)
+        .into_iter()
+        .map(|(m, _)| m)
+        .collect()
 }
 
 /// Per-test std-dev as % of mean.
 pub fn test_std_pcts(world: &World, op: Operator, dir: Direction) -> Vec<f64> {
-    per_test(world, op, dir).into_iter().map(|(_, s)| s).collect()
+    per_test(world, op, dir)
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect()
 }
 
 fn per_test(world: &World, op: Operator, dir: Direction) -> Vec<(f64, f64)> {
@@ -38,7 +44,12 @@ fn per_test(world: &World, op: Operator, dir: Direction) -> Vec<(f64, f64)> {
 /// Per-test mean RTTs (driving).
 pub fn rtt_means(world: &World, op: Operator) -> Vec<f64> {
     let mut by_test: HashMap<u32, Vec<f64>> = HashMap::new();
-    for s in world.dataset.rtt.iter().filter(|s| s.operator == op && s.driving) {
+    for s in world
+        .dataset
+        .rtt
+        .iter()
+        .filter(|s| s.operator == op && s.driving)
+    {
         if let Some(r) = s.rtt_ms {
             by_test.entry(s.test_id).or_default().push(r);
         }

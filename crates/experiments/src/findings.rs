@@ -164,7 +164,10 @@ pub fn run(world: &World) -> String {
         ));
     }
     let held = findings.iter().filter(|f| f.holds).count();
-    out.push_str(&format!("\n{held}/{} findings reproduced\n", findings.len()));
+    out.push_str(&format!(
+        "\n{held}/{} findings reproduced\n",
+        findings.len()
+    ));
     out
 }
 

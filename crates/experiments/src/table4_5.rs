@@ -83,7 +83,9 @@ mod tests {
     #[test]
     fn table4_prints_paper_constants() {
         let out = run_table4(World::quick());
-        for v in ["450", "2000", "50", "38", "6.3", "34.8", "24.9", "44", "19.1"] {
+        for v in [
+            "450", "2000", "50", "38", "6.3", "34.8", "24.9", "44", "19.1",
+        ] {
             assert!(out.contains(v), "missing {v} in\n{out}");
         }
     }

@@ -100,10 +100,12 @@ mod tests {
         assert!(w.dataset.rtt.len() > 500, "rtt {}", w.dataset.rtt.len());
         assert!(!w.dataset.apps.is_empty());
         assert!(!w.dataset.handovers.is_empty());
-        assert!(w
-            .dataset
-            .tput_where(None, Some(Direction::Uplink), Some(true))
-            .count() > 300);
+        assert!(
+            w.dataset
+                .tput_where(None, Some(Direction::Uplink), Some(true))
+                .count()
+                > 300
+        );
         // Static baselines present.
         assert!(w.dataset.tput.iter().any(|s| !s.driving));
     }

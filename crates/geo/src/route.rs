@@ -338,7 +338,10 @@ mod tests {
 
     #[test]
     fn haversine_zero_for_same_point() {
-        let p = LatLon { lat: 40.0, lon: -100.0 };
+        let p = LatLon {
+            lat: 40.0,
+            lon: -100.0,
+        };
         assert!(p.haversine(p).as_m() < 1e-6);
     }
 

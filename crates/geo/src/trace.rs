@@ -100,8 +100,7 @@ impl DrivePlan {
                     .major_cities()
                     .into_iter()
                     .find(|(i, d)| {
-                        !visited_cities.contains(i)
-                            && (d.as_km() - odo.as_km()).abs() < 2.0
+                        !visited_cities.contains(i) && (d.as_km() - odo.as_km()).abs() < 2.0
                     })
                     .map(|(i, _)| i)
                 {
@@ -189,10 +188,7 @@ impl DriveTrace {
 
     /// Total distance covered (final odometer).
     pub fn total_distance(&self) -> Distance {
-        self.samples
-            .last()
-            .map(|s| s.odo)
-            .unwrap_or(Distance::ZERO)
+        self.samples.last().map(|s| s.odo).unwrap_or(Distance::ZERO)
     }
 
     /// Cumulative active time.
@@ -255,8 +251,7 @@ mod tests {
     #[test]
     fn trace_spans_eight_days() {
         let (_, trace) = small_trace();
-        let days: std::collections::BTreeSet<u8> =
-            trace.samples().iter().map(|s| s.day).collect();
+        let days: std::collections::BTreeSet<u8> = trace.samples().iter().map(|s| s.day).collect();
         assert_eq!(days.len(), 8);
         assert_eq!(*days.iter().next().unwrap(), 0);
         assert_eq!(*days.iter().last().unwrap(), 7);

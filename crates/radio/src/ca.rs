@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 use wheels_sim_core::units::{DataRate, Db};
 
-use crate::mcs::{bler, harq_goodput_factor, mcs_from_sinr, spectral_efficiency};
+use crate::mcs::{bler, goodput_mcs, harq_goodput_factor, mcs_from_sinr, spectral_efficiency};
 use crate::tech::{Direction, Technology};
 
 /// One block of identical component carriers in an allocation.
@@ -48,7 +48,11 @@ impl CarrierAllocation {
 
     /// Clamp carrier counts to the device's per-technology limits.
     pub fn clamped_to_device(mut self, dir: Direction) -> Self {
-        self.primary.count = self.primary.count.min(self.primary.tech.max_ccs(dir)).max(1);
+        self.primary.count = self
+            .primary
+            .count
+            .min(self.primary.tech.max_ccs(dir))
+            .max(1);
         for c in &mut self.secondaries {
             c.count = c.count.min(c.tech.max_ccs(dir));
         }
@@ -124,7 +128,9 @@ fn component_rate(tech: Technology, count: u8, first_sinr: Db, dir: Direction) -
     let mut total = 0.0;
     for i in 0..count {
         let sinr = Db(first_sinr.0 - SECONDARY_SINR_STEP_DB * i as f64);
-        let m = mcs_from_sinr(sinr);
+        // Transmit with the goodput-optimal index; the XCAL-reported KPI
+        // (primary_mcs below) keeps the raw SINR-indicated index.
+        let m = goodput_mcs(sinr);
         let se = spectral_efficiency(m);
         let goodput = harq_goodput_factor(bler(sinr, m));
         total += bw_hz * se * effective_layers(sinr, max_layers) * goodput * OVERHEAD;

@@ -235,7 +235,13 @@ mod tests {
         let frac = mm.iter().filter(|s| s.blocked).count() as f64 / mm.len() as f64;
         assert!(frac > 0.05 && frac < 0.5, "blocked fraction {frac}");
         for tech in [Technology::Lte, Technology::Nr5gMid, Technology::Nr5gLow] {
-            let s = sample_many(tech, BeamProfile::neutral(), Distance::from_km(1.0), 1000, 4);
+            let s = sample_many(
+                tech,
+                BeamProfile::neutral(),
+                Distance::from_km(1.0),
+                1000,
+                4,
+            );
             assert!(s.iter().all(|x| !x.blocked), "{tech:?}");
         }
     }

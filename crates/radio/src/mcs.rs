@@ -48,10 +48,69 @@ pub fn spectral_efficiency(mcs: McsIndex) -> f64 {
 /// the link adaptation is perfect, collapsing toward 0 with headroom and
 /// toward 1 when the channel drops faster than adaptation tracks.
 pub fn bler(sinr: Db, mcs: McsIndex) -> f64 {
-    let err_db = sinr.0 - mcs_threshold_db(mcs);
+    bler_from_err(sinr.0 - mcs_threshold_db(mcs))
+}
+
+fn bler_from_err(err_db: f64) -> f64 {
     // err = 0 → 10%; slope 1.1 dB per e-fold.
     let x = -err_db / 1.1 + (0.1f64 / 0.9).ln();
     1.0 / (1.0 + (-x).exp())
+}
+
+/// Expected goodput-per-Hz of transmitting with `mcs` at `sinr`.
+fn goodput_per_hz(mcs: McsIndex, sinr_db: f64) -> f64 {
+    spectral_efficiency(mcs) * harq_goodput_factor(bler_from_err(sinr_db - mcs_threshold_db(mcs)))
+}
+
+/// SINR (dB) at which stepping up to each MCS index first *improves*
+/// expected goodput over staying one index lower. Near the spectral-
+/// efficiency cap the SE gain of a step shrinks below the BLER-reset
+/// cost, so the profitable switch point sits above the 10%-BLER
+/// operating point — and for the capped top index it never comes.
+fn goodput_up_thresholds() -> &'static [f64; 29] {
+    static THRESHOLDS: std::sync::OnceLock<[f64; 29]> = std::sync::OnceLock::new();
+    THRESHOLDS.get_or_init(|| {
+        let mut t = [f64::NEG_INFINITY; 29];
+        for k in 1..29usize {
+            let profitable = |s: f64| {
+                goodput_per_hz(McsIndex(k as u8), s) >= goodput_per_hz(McsIndex(k as u8 - 1), s)
+            };
+            let base = mcs_threshold_db(McsIndex(k as u8));
+            t[k] = if profitable(base) {
+                base
+            } else if !profitable(base + 60.0) {
+                f64::INFINITY
+            } else {
+                let (mut lo, mut hi) = (base, base + 60.0);
+                for _ in 0..80 {
+                    let mid = 0.5 * (lo + hi);
+                    if profitable(mid) {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                hi
+            };
+            // Keep the table sorted so the chain k ≥ k-1 ≥ ... holds at
+            // every switch point.
+            if t[k] < t[k - 1] {
+                t[k] = t[k - 1];
+            }
+        }
+        t
+    })
+}
+
+/// The MCS the scheduler actually transmits with: like
+/// [`mcs_from_sinr`], but it steps up only once the higher index
+/// improves expected goodput. This makes realized goodput monotone in
+/// SINR across MCS switch points (the raw table dips at switches near
+/// the spectral-efficiency cap).
+pub fn goodput_mcs(sinr: Db) -> McsIndex {
+    let t = goodput_up_thresholds();
+    let idx = t.partition_point(|&thr| sinr.0 >= thr);
+    McsIndex(idx.saturating_sub(1) as u8)
 }
 
 /// Goodput factor after HARQ: one retransmission recovers most errors, so

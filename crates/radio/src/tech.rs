@@ -55,6 +55,15 @@ impl Technology {
         Technology::Nr5gMmWave,
     ];
 
+    /// Number of technologies (for fixed-size per-tech tables).
+    pub const COUNT: usize = Technology::ALL.len();
+
+    /// Position in [`Technology::ALL`] — the dense index for per-tech
+    /// arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Display label matching the paper's figures.
     pub fn label(self) -> &'static str {
         match self {
@@ -173,9 +182,108 @@ impl Technology {
     }
 }
 
+/// A set of technologies as a fixed-size bitmask.
+///
+/// The serving-session hot path re-evaluates "which technologies have an
+/// in-range cell here" every poll; a `Copy` bitmask makes that check,
+/// the change-detection compare, and the sticky-grant bookkeeping free of
+/// heap allocation (a `Vec<Technology>` in the same role allocates per
+/// poll).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TechSet(u8);
+
+impl TechSet {
+    /// The empty set.
+    pub const EMPTY: TechSet = TechSet(0);
+
+    /// Add a technology.
+    pub fn insert(&mut self, t: Technology) {
+        self.0 |= 1 << t.index();
+    }
+
+    /// Membership test.
+    pub fn contains(self, t: Technology) -> bool {
+        self.0 & (1 << t.index()) != 0
+    }
+
+    /// True when no technology is present.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of technologies present.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Members in [`Technology::ALL`] order (slowest to fastest).
+    pub fn iter(self) -> impl Iterator<Item = Technology> {
+        Technology::ALL
+            .into_iter()
+            .filter(move |t| self.contains(*t))
+    }
+}
+
+impl FromIterator<Technology> for TechSet {
+    fn from_iter<I: IntoIterator<Item = Technology>>(iter: I) -> Self {
+        let mut s = TechSet::EMPTY;
+        for t in iter {
+            s.insert(t);
+        }
+        s
+    }
+}
+
+impl From<&[Technology]> for TechSet {
+    fn from(ts: &[Technology]) -> Self {
+        ts.iter().copied().collect()
+    }
+}
+
+impl<const N: usize> From<&[Technology; N]> for TechSet {
+    fn from(ts: &[Technology; N]) -> Self {
+        ts.iter().copied().collect()
+    }
+}
+
+impl From<&Vec<Technology>> for TechSet {
+    fn from(ts: &Vec<Technology>) -> Self {
+        ts.iter().copied().collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tech_index_matches_all_order() {
+        for (i, t) in Technology::ALL.into_iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+        assert_eq!(Technology::COUNT, 5);
+    }
+
+    #[test]
+    fn techset_round_trips() {
+        let mut s = TechSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(Technology::Nr5gMid);
+        s.insert(Technology::Lte);
+        assert!(s.contains(Technology::Lte));
+        assert!(s.contains(Technology::Nr5gMid));
+        assert!(!s.contains(Technology::Nr5gMmWave));
+        assert_eq!(s.len(), 2);
+        // Iteration follows ALL order.
+        let v: Vec<Technology> = s.iter().collect();
+        assert_eq!(v, vec![Technology::Lte, Technology::Nr5gMid]);
+        // Set equality is structural.
+        let s2: TechSet = [Technology::Nr5gMid, Technology::Lte]
+            .iter()
+            .copied()
+            .collect();
+        assert_eq!(s, s2);
+    }
 
     #[test]
     fn groupings_match_paper() {

@@ -12,7 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 use wheels_geo::route::Route;
-use wheels_radio::tech::Technology;
+use wheels_radio::tech::{TechSet, Technology};
 use wheels_sim_core::rng::SimRng;
 use wheels_sim_core::units::Distance;
 
@@ -66,8 +66,18 @@ pub struct Deployment {
     /// Cells sorted by `odo`, across all technologies.
     cells: Vec<Cell>,
     /// Index of cells by technology (indices into `cells`), each sorted by
-    /// `odo`.
-    by_tech: Vec<(Technology, Vec<u32>)>,
+    /// `odo`, addressed by [`Technology::index`] — a fixed-size array so
+    /// the per-poll lookup is a direct index, not a linear scan.
+    by_tech: [Vec<u32>; Technology::COUNT],
+}
+
+/// Build the per-technology index over an odo-sorted cell list.
+fn index_by_tech(cells: &[Cell]) -> [Vec<u32>; Technology::COUNT] {
+    let mut by_tech: [Vec<u32>; Technology::COUNT] = Default::default();
+    for (i, c) in cells.iter().enumerate() {
+        by_tech[c.tech.index()].push(i as u32);
+    }
+    by_tech
 }
 
 /// Sampling step when walking the route for deployment generation.
@@ -169,17 +179,7 @@ impl Deployment {
         }
 
         cells.sort_by(|a, b| a.odo.as_m().total_cmp(&b.odo.as_m()));
-        let mut by_tech: Vec<(Technology, Vec<u32>)> = Technology::ALL
-            .iter()
-            .map(|t| (*t, Vec::new()))
-            .collect();
-        for (i, c) in cells.iter().enumerate() {
-            let slot = by_tech
-                .iter_mut()
-                .find(|(t, _)| *t == c.tech)
-                .expect("all techs indexed");
-            slot.1.push(i as u32);
-        }
+        let by_tech = index_by_tech(&cells);
         Deployment {
             operator,
             cells,
@@ -192,17 +192,7 @@ impl Deployment {
     /// re-sorted by odometer.
     pub fn from_cells(operator: Operator, mut cells: Vec<Cell>) -> Self {
         cells.sort_by(|a, b| a.odo.as_m().total_cmp(&b.odo.as_m()));
-        let mut by_tech: Vec<(Technology, Vec<u32>)> = Technology::ALL
-            .iter()
-            .map(|t| (*t, Vec::new()))
-            .collect();
-        for (i, c) in cells.iter().enumerate() {
-            let slot = by_tech
-                .iter_mut()
-                .find(|(t, _)| *t == c.tech)
-                .expect("all techs indexed");
-            slot.1.push(i as u32);
-        }
+        let by_tech = index_by_tech(&cells);
         Deployment {
             operator,
             cells,
@@ -217,47 +207,77 @@ impl Deployment {
 
     /// Number of cells of one technology.
     pub fn count_of(&self, tech: Technology) -> usize {
-        self.by_tech
-            .iter()
-            .find(|(t, _)| *t == tech)
-            .map(|(_, v)| v.len())
-            .unwrap_or(0)
+        self.by_tech[tech.index()].len()
     }
 
     /// The in-range cells of `tech` around route position `ue_odo`,
-    /// nearest first.
+    /// nearest first (convenience wrapper over [`candidates_into`]).
+    ///
+    /// [`candidates_into`]: Deployment::candidates_into
     pub fn candidates(&self, tech: Technology, ue_odo: Distance) -> Vec<&Cell> {
+        let mut out = Vec::new();
+        self.candidates_into(tech, ue_odo, &mut out);
+        out
+    }
+
+    /// Fill `out` with the in-range cells of `tech` around `ue_odo`,
+    /// nearest first. The buffer is cleared first; re-using one buffer
+    /// across polls keeps the hot path free of per-sample allocation.
+    pub fn candidates_into<'d>(
+        &'d self,
+        tech: Technology,
+        ue_odo: Distance,
+        out: &mut Vec<&'d Cell>,
+    ) {
+        out.clear();
         let radius_m = tech.cell_radius().as_m() * 1.25;
         let lo = Distance::from_m((ue_odo.as_m() - radius_m).max(0.0));
         let hi = Distance::from_m(ue_odo.as_m() + radius_m);
-        let idxs = &self
-            .by_tech
-            .iter()
-            .find(|(t, _)| *t == tech)
-            .expect("all techs indexed")
-            .1;
+        let idxs = &self.by_tech[tech.index()];
         // Cells and the per-tech index are both odo-sorted; binary search
         // the window.
         let start = idxs.partition_point(|&i| self.cells[i as usize].odo < lo);
-        let mut out: Vec<&Cell> = idxs[start..]
-            .iter()
-            .map(|&i| &self.cells[i as usize])
-            .take_while(|c| c.odo <= hi)
-            .filter(|c| c.in_range(ue_odo))
-            .collect();
-        out.sort_by(|a, b| {
+        out.extend(
+            idxs[start..]
+                .iter()
+                .map(|&i| &self.cells[i as usize])
+                .take_while(|c| c.odo <= hi)
+                .filter(|c| c.in_range(ue_odo)),
+        );
+        // In-place sort: `sort_unstable_by` does not allocate (the stable
+        // sort's merge buffer would count as a per-sample allocation).
+        out.sort_unstable_by(|a, b| {
             a.distance_to(ue_odo)
                 .as_m()
                 .total_cmp(&b.distance_to(ue_odo).as_m())
         });
-        out
+    }
+
+    /// Whether `tech` has at least one in-range cell at `ue_odo`.
+    ///
+    /// Short-circuits on the first hit — unlike [`candidates`], it never
+    /// collects or sorts, so probing all five technologies per poll costs
+    /// one windowed scan each.
+    ///
+    /// [`candidates`]: Deployment::candidates
+    pub fn has_coverage(&self, tech: Technology, ue_odo: Distance) -> bool {
+        let radius_m = tech.cell_radius().as_m() * 1.25;
+        let lo = Distance::from_m((ue_odo.as_m() - radius_m).max(0.0));
+        let hi = Distance::from_m(ue_odo.as_m() + radius_m);
+        let idxs = &self.by_tech[tech.index()];
+        let start = idxs.partition_point(|&i| self.cells[i as usize].odo < lo);
+        idxs[start..]
+            .iter()
+            .map(|&i| &self.cells[i as usize])
+            .take_while(|c| c.odo <= hi)
+            .any(|c| c.in_range(ue_odo))
     }
 
     /// Technologies with at least one in-range cell at `ue_odo`.
-    pub fn available_techs(&self, ue_odo: Distance) -> Vec<Technology> {
+    pub fn available_techs(&self, ue_odo: Distance) -> TechSet {
         Technology::ALL
             .into_iter()
-            .filter(|t| !self.candidates(*t, ue_odo).is_empty())
+            .filter(|t| self.has_coverage(*t, ue_odo))
             .collect()
     }
 
@@ -270,7 +290,7 @@ impl Deployment {
         let mut km = 0.0;
         while km < total_km {
             n += 1;
-            if !self.candidates(tech, Distance::from_km(km)).is_empty() {
+            if self.has_coverage(tech, Distance::from_km(km)) {
                 covered += 1;
             }
             km += step_km;
@@ -334,10 +354,7 @@ mod tests {
         // deployed counts should be the same order of magnitude.
         for op in Operator::ALL {
             let n = get(op).cells().len();
-            assert!(
-                (500..15_000).contains(&n),
-                "{op:?} deployed {n} cells"
-            );
+            assert!((500..15_000).contains(&n), "{op:?} deployed {n} cells");
         }
     }
 
@@ -356,7 +373,11 @@ mod tests {
     fn mmwave_exists_only_near_cities() {
         let route = Route::standard();
         for op in Operator::ALL {
-            for c in get(op).cells().iter().filter(|c| c.tech == Technology::Nr5gMmWave) {
+            for c in get(op)
+                .cells()
+                .iter()
+                .filter(|c| c.tech == Technology::Nr5gMmWave)
+            {
                 let zone = route.zone_at(c.odo);
                 assert_ne!(
                     zone,
@@ -400,14 +421,44 @@ mod tests {
         let mut n = 0;
         for km in (0..5700).step_by(13) {
             n += 1;
-            if d
-                .available_techs(Distance::from_km(km as f64))
-                .contains(&Technology::Lte)
+            if d.available_techs(Distance::from_km(km as f64))
+                .contains(Technology::Lte)
             {
                 with_lte += 1;
             }
         }
         assert!(with_lte as f64 / n as f64 > 0.97);
+    }
+
+    #[test]
+    fn has_coverage_agrees_with_candidates() {
+        let d = get(Operator::Verizon);
+        for km in (0..5700).step_by(53) {
+            let odo = Distance::from_km(km as f64);
+            for tech in Technology::ALL {
+                assert_eq!(
+                    d.has_coverage(tech, odo),
+                    !d.candidates(tech, odo).is_empty(),
+                    "{tech:?} at {km} km"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_into_reuses_buffer() {
+        let d = get(Operator::TMobile);
+        let mut buf: Vec<&Cell> = Vec::new();
+        let mut last_cap = 0;
+        for km in (0..500).step_by(7) {
+            let odo = Distance::from_km(km as f64);
+            d.candidates_into(Technology::Lte, odo, &mut buf);
+            assert_eq!(buf.len(), d.candidates(Technology::Lte, odo).len());
+            // Capacity only ever grows: the buffer is reused, not
+            // reallocated per call.
+            assert!(buf.capacity() >= last_cap);
+            last_cap = buf.capacity();
+        }
     }
 
     #[test]

@@ -169,12 +169,7 @@ mod tests {
         let a = m.share(CellId(7), ZoneClass::Suburban, SimTime::from_secs(0), 12.0);
         // 100 ms later, load should be nearly identical (same base, burst
         // rarely flips in 100 ms).
-        let b = m.share(
-            CellId(7),
-            ZoneClass::Suburban,
-            SimTime(100),
-            12.0,
-        );
+        let b = m.share(CellId(7), ZoneClass::Suburban, SimTime(100), 12.0);
         assert!((a - b).abs() < 0.01, "a {a} b {b}");
         assert_eq!(m.tracked_cells(), 1);
     }
@@ -197,12 +192,7 @@ mod tests {
         let mut m = LoadModel::new(SimRng::seed(5));
         let mut values = Vec::new();
         for s in 0..600 {
-            values.push(m.share(
-                CellId(1),
-                ZoneClass::Highway,
-                SimTime::from_secs(s),
-                12.0,
-            ));
+            values.push(m.share(CellId(1), ZoneClass::Highway, SimTime::from_secs(s), 12.0));
         }
         let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = values.iter().cloned().fold(0.0, f64::max);

@@ -234,12 +234,14 @@ mod tests {
     #[test]
     fn tmobile_leads_highway_midband() {
         for tz in Timezone::ALL {
-            let t = Operator::TMobile
-                .strategy()
-                .coverage(Technology::Nr5gMid, ZoneClass::Highway, tz);
-            let v = Operator::Verizon
-                .strategy()
-                .coverage(Technology::Nr5gMid, ZoneClass::Highway, tz);
+            let t =
+                Operator::TMobile
+                    .strategy()
+                    .coverage(Technology::Nr5gMid, ZoneClass::Highway, tz);
+            let v =
+                Operator::Verizon
+                    .strategy()
+                    .coverage(Technology::Nr5gMid, ZoneClass::Highway, tz);
             let a = Operator::Att
                 .strategy()
                 .coverage(Technology::Nr5gMid, ZoneClass::Highway, tz);
@@ -250,12 +252,14 @@ mod tests {
     #[test]
     fn verizon_leads_city_mmwave() {
         for tz in Timezone::ALL {
-            let v = Operator::Verizon
-                .strategy()
-                .coverage(Technology::Nr5gMmWave, ZoneClass::City, tz);
-            let t = Operator::TMobile
-                .strategy()
-                .coverage(Technology::Nr5gMmWave, ZoneClass::City, tz);
+            let v =
+                Operator::Verizon
+                    .strategy()
+                    .coverage(Technology::Nr5gMmWave, ZoneClass::City, tz);
+            let t =
+                Operator::TMobile
+                    .strategy()
+                    .coverage(Technology::Nr5gMmWave, ZoneClass::City, tz);
             let a = Operator::Att
                 .strategy()
                 .coverage(Technology::Nr5gMmWave, ZoneClass::City, tz);

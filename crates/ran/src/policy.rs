@@ -14,7 +14,7 @@
 //! serving technology.
 
 use serde::{Deserialize, Serialize};
-use wheels_radio::tech::Technology;
+use wheels_radio::tech::{TechSet, Technology};
 use wheels_sim_core::rng::SimRng;
 use wheels_sim_core::time::Timezone;
 
@@ -165,13 +165,18 @@ impl UpgradePolicy {
     /// Walks the available technologies from fastest to slowest; each 5G
     /// tier is granted with its policy probability, otherwise the walk
     /// falls through to the next tier, ending at the best available 4G.
+    ///
+    /// `available` is anything convertible to a [`TechSet`] — the session
+    /// hot path passes the bitmask directly (no allocation), tests and
+    /// ablations can keep passing slices.
     pub fn select(
         &self,
         demand: TrafficDemand,
-        available: &[Technology],
+        available: impl Into<TechSet>,
         tz: Timezone,
         rng: &mut SimRng,
     ) -> Option<Technology> {
+        let available: TechSet = available.into();
         if available.is_empty() {
             return None;
         }
@@ -184,7 +189,7 @@ impl UpgradePolicy {
             Technology::Lte,
         ];
         for tech in order {
-            if !available.contains(&tech) {
+            if !available.contains(tech) {
                 continue;
             }
             if self.eager {
@@ -205,14 +210,9 @@ impl UpgradePolicy {
             }
         }
         // Nothing granted (e.g. only a 5G cell in range but the policy
-        // refused it): fall back to the slowest available technology.
-        available.iter().copied().min_by_key(|t| match t {
-            Technology::Lte => 0,
-            Technology::LteA => 1,
-            Technology::Nr5gLow => 2,
-            Technology::Nr5gMid => 3,
-            Technology::Nr5gMmWave => 4,
-        })
+        // refused it): fall back to the slowest available technology
+        // (TechSet iterates slowest-first).
+        available.iter().next()
     }
 }
 
@@ -280,9 +280,7 @@ mod tests {
         // eastern half, so only its western zones are asserted.
         for op in Operator::ALL {
             for tz in Timezone::ALL {
-                if op == Operator::TMobile
-                    && matches!(tz, Timezone::Central | Timezone::Eastern)
-                {
+                if op == Operator::TMobile && matches!(tz, Timezone::Central | Timezone::Eastern) {
                     continue;
                 }
                 let idle = select_fraction(

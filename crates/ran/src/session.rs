@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 use wheels_geo::route::ZoneClass;
 use wheels_radio::ca::{aggregate, CarrierAllocation, CarrierComponent};
 use wheels_radio::channel::LinkChannel;
-use wheels_radio::tech::{Direction, Technology};
+use wheels_radio::tech::{Direction, TechSet, Technology};
 use wheels_sim_core::rng::SimRng;
 use wheels_sim_core::time::{SimDuration, SimTime, Timezone, WallClock};
 use wheels_sim_core::units::{DataRate, Db, Dbm, Distance, Speed};
@@ -189,11 +189,7 @@ pub fn local_hour(t: SimTime, tz: Timezone) -> f64 {
 /// technology — operator-specific CA depth (Verizon's mmWave spectrum runs
 /// near the S21's 8-CC limit, T-Mobile aggregates two n41 carriers) and an
 /// LTE anchor riding along on NSA technologies.
-pub fn typical_allocation(
-    op: Operator,
-    tech: Technology,
-    rng: &mut SimRng,
-) -> CarrierAllocation {
+pub fn typical_allocation(op: Operator, tech: Technology, rng: &mut SimRng) -> CarrierAllocation {
     match tech {
         Technology::Lte => CarrierAllocation::single(Technology::Lte),
         Technology::LteA => CarrierAllocation {
@@ -273,8 +269,11 @@ pub struct RanSession<'a> {
     pending: Option<PendingHandover>,
     /// Sticky availability context: the policy re-rolls only when this
     /// changes.
-    last_available: Vec<Technology>,
+    last_available: TechSet,
     granted: Option<Technology>,
+    /// Scratch buffer for candidate lookups — reused across polls so the
+    /// steady-state hot path performs no heap allocation.
+    cand: Vec<&'a Cell>,
     /// A3 state: candidate neighbor and for how long it has won.
     a3_candidate: Option<(CellId, u64)>,
     neighbor_smoothed: HashMap<CellId, f64>,
@@ -297,8 +296,9 @@ impl<'a> RanSession<'a> {
             rng: rng.split("session"),
             serving: None,
             pending: None,
-            last_available: Vec::new(),
+            last_available: TechSet::EMPTY,
             granted: None,
+            cand: Vec::new(),
             a3_candidate: None,
             neighbor_smoothed: HashMap::new(),
             last_poll: None,
@@ -317,7 +317,7 @@ impl<'a> RanSession<'a> {
             // the network re-decides the serving layer for the new demand
             // (this is what downgrades uplink-heavy UEs off high-speed 5G,
             // Fig. 2b).
-            self.last_available.clear();
+            self.last_available = TechSet::EMPTY;
             self.granted = None;
         }
     }
@@ -330,7 +330,7 @@ impl<'a> RanSession<'a> {
     /// Replace the upgrade policy (ablations), forcing a re-evaluation.
     pub fn set_policy(&mut self, policy: UpgradePolicy) {
         self.policy = policy;
-        self.last_available.clear();
+        self.last_available = TechSet::EMPTY;
     }
 
     /// Completed handovers so far.
@@ -341,6 +341,13 @@ impl<'a> RanSession<'a> {
     /// Number of distinct cells this session has been served by.
     pub fn unique_cell_count(&self) -> usize {
         self.unique_cells.len()
+    }
+
+    /// The distinct cells this session has been served by (unordered).
+    /// The campaign runner unions these across trace-segment shards so
+    /// Table 1's per-operator unique-cell counts stay merge-correct.
+    pub fn unique_cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.unique_cells.iter().copied()
     }
 
     /// The technology most recently granted by the upgrade policy (may
@@ -409,7 +416,7 @@ impl<'a> RanSession<'a> {
             self.serving = None;
             self.pending = None;
             self.granted = None;
-            self.last_available.clear();
+            self.last_available = TechSet::EMPTY;
             self.a3_candidate = None;
             self.neighbor_smoothed.clear();
         }
@@ -441,7 +448,7 @@ impl<'a> RanSession<'a> {
         if available.is_empty() {
             self.serving = None;
             self.granted = None;
-            self.last_available.clear();
+            self.last_available = TechSet::EMPTY;
             return None;
         }
         let serving_lost = self
@@ -457,22 +464,20 @@ impl<'a> RanSession<'a> {
             let faster_appeared = match self.granted {
                 Some(g) => available
                     .iter()
-                    .any(|t| speed_rank(*t) > speed_rank(g) && !self.last_available.contains(t)),
+                    .any(|t| speed_rank(t) > speed_rank(g) && !self.last_available.contains(t)),
                 None => true,
             };
             let keep = !serving_lost
                 && !faster_appeared
-                && self
-                    .granted
-                    .map(|g| available.contains(&g))
-                    .unwrap_or(false);
+                && self.granted.map(|g| available.contains(g)).unwrap_or(false);
             if !keep {
-                self.granted =
-                    self.policy.select(self.demand, &available, ctx.tz, &mut self.rng);
+                self.granted = self
+                    .policy
+                    .select(self.demand, available, ctx.tz, &mut self.rng);
                 #[cfg(feature = "dbg")]
                 eprintln!("re-roll: avail={:?} granted={:?}", available, self.granted);
             }
-            self.last_available = available.clone();
+            self.last_available = available;
         }
         let target_tech = self.granted?;
 
@@ -486,12 +491,9 @@ impl<'a> RanSession<'a> {
                 .map(|s| s.cell.tech != target_tech)
                 .unwrap_or(true);
         if need_new_cell && self.pending.is_none() {
-            let target = self
-                .deployment
-                .candidates(target_tech, ctx.odo)
-                .first()
-                .copied()
-                .copied();
+            let dep = self.deployment;
+            dep.candidates_into(target_tech, ctx.odo, &mut self.cand);
+            let target = self.cand.first().copied().copied();
             if let Some(target) = target {
                 if self.serving.is_some() {
                     if target.id != self.serving.as_ref().unwrap().cell.id {
@@ -511,18 +513,17 @@ impl<'a> RanSession<'a> {
         if self.pending.is_none() {
             if let Some(s) = &self.serving {
                 let serving_id = s.cell.id;
-                let serving_mean = s.channel.mean_rsrp(s.cell.distance_to(ctx.odo)).0 + s.cell.power_offset_db;
+                let serving_mean =
+                    s.channel.mean_rsrp(s.cell.distance_to(ctx.odo)).0 + s.cell.power_offset_db;
                 let serving_level = if s.smoothed_rsrp.is_nan() {
                     serving_mean
                 } else {
                     s.smoothed_rsrp
                 };
                 let tech = s.cell.tech;
-                let best_neighbor = self
-                    .deployment
-                    .candidates(tech, ctx.odo)
-                    .into_iter().find(|c| c.id != serving_id)
-                    .copied();
+                let dep = self.deployment;
+                dep.candidates_into(tech, ctx.odo, &mut self.cand);
+                let best_neighbor = self.cand.iter().find(|c| c.id != serving_id).map(|c| **c);
                 if let Some(nb) = best_neighbor {
                     // Neighbor level: deterministic mean with the same
                     // reporting offsets as the serving sample, plus its own
@@ -583,7 +584,9 @@ impl<'a> RanSession<'a> {
 
         let s = self.serving.as_mut()?;
         let dist = s.cell.distance_to(ctx.odo);
-        let mut sample = s.channel.sample(&mut self.rng, dist, moved, dt_ms.max(1), ctx.speed);
+        let mut sample = s
+            .channel
+            .sample(&mut self.rng, dist, moved, dt_ms.max(1), ctx.speed);
         // Site-quality offset applies to both the report and the link.
         sample.rsrp = Dbm((sample.rsrp.0 + s.cell.power_offset_db).clamp(-140.0, -44.0));
         sample.snr = Db(sample.snr.0 + s.cell.power_offset_db);
@@ -625,8 +628,8 @@ impl<'a> RanSession<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wheels_geo::route::Route;
     use std::sync::OnceLock;
+    use wheels_geo::route::Route;
 
     fn fixtures() -> &'static (Route, Vec<(Operator, Deployment)>) {
         static FIX: OnceLock<(Route, Vec<(Operator, Deployment)>)> = OnceLock::new();
@@ -688,7 +691,11 @@ mod tests {
         );
         let snaps = drive(&mut s, route, 100.0, 60, 65.0, 500);
         let served = snaps.iter().flatten().count();
-        assert!(served as f64 / snaps.len() as f64 > 0.9, "served {served}/{}", snaps.len());
+        assert!(
+            served as f64 / snaps.len() as f64 > 0.9,
+            "served {served}/{}",
+            snaps.len()
+        );
         for snap in snaps.iter().flatten() {
             assert!(snap.share >= crate::load::MIN_SHARE - 1e-9 && snap.share <= 1.0);
             assert!(snap.rsrp.0 <= -44.0 && snap.rsrp.0 >= -140.0);
@@ -736,7 +743,8 @@ mod tests {
     fn handover_interruptions_near_operator_median() {
         let (route, _) = fixtures();
         for op in Operator::ALL {
-            let mut s = RanSession::new(dep(op), TrafficDemand::BackloggedDownlink, SimRng::seed(4));
+            let mut s =
+                RanSession::new(dep(op), TrafficDemand::BackloggedDownlink, SimRng::seed(4));
             drive(&mut s, route, 300.0, 3600, 66.0, 500);
             let durs: Vec<f64> = s
                 .events()
@@ -766,11 +774,7 @@ mod tests {
             SimRng::seed(5),
         );
         let snaps = drive(&mut s, route, 200.0, 2400, 65.0, 100);
-        let in_ho: Vec<_> = snaps
-            .iter()
-            .flatten()
-            .filter(|s| s.in_handover)
-            .collect();
+        let in_ho: Vec<_> = snaps.iter().flatten().filter(|s| s.in_handover).collect();
         assert!(!in_ho.is_empty(), "no in-handover polls observed");
         for snap in in_ho {
             assert_eq!(snap.dl_rate, DataRate::ZERO);
@@ -792,9 +796,10 @@ mod tests {
         let frac_5g = |demand: TrafficDemand, seed: u64| {
             let mut s = RanSession::new(dep(Operator::Verizon), demand, SimRng::seed(seed));
             let snaps = drive(&mut s, route, chicago_km - 20.0, 3600, 25.0, 500);
-            let (n5, n) = snaps.iter().flatten().fold((0u32, 0u32), |(a, b), s| {
-                (a + s.tech.is_5g() as u32, b + 1)
-            });
+            let (n5, n) = snaps
+                .iter()
+                .flatten()
+                .fold((0u32, 0u32), |(a, b), s| (a + s.tech.is_5g() as u32, b + 1));
             n5 as f64 / n.max(1) as f64
         };
         let idle = frac_5g(TrafficDemand::IcmpOnly, 6);
@@ -831,7 +836,10 @@ mod tests {
             TrafficDemand::BackloggedDownlink,
             SimRng::seed(9),
         );
-        for snap in drive(&mut s, route, 1500.0, 600, 60.0, 500).iter().flatten() {
+        for snap in drive(&mut s, route, 1500.0, 600, 60.0, 500)
+            .iter()
+            .flatten()
+        {
             assert!(snap.carriers >= 1);
             assert!(snap.primary_mcs <= 28);
             assert!((0.0..=1.0).contains(&snap.primary_bler));
@@ -850,8 +858,16 @@ mod tests {
         let (route, _) = fixtures();
         let mut total_hos = 0usize;
         let mut total_miles = 0.0;
-        for (op, seed) in [(Operator::Verizon, 10u64), (Operator::TMobile, 11), (Operator::Att, 12)] {
-            let mut s = RanSession::new(dep(op), TrafficDemand::BackloggedDownlink, SimRng::seed(seed));
+        for (op, seed) in [
+            (Operator::Verizon, 10u64),
+            (Operator::TMobile, 11),
+            (Operator::Att, 12),
+        ] {
+            let mut s = RanSession::new(
+                dep(op),
+                TrafficDemand::BackloggedDownlink,
+                SimRng::seed(seed),
+            );
             let secs = 1800;
             drive(&mut s, route, 900.0, secs, 65.0, 500);
             total_hos += s.events().len();
@@ -908,8 +924,6 @@ mod tests {
         // Epoch = midnight PDT.
         assert!((local_hour(SimTime::EPOCH, Timezone::Pacific) - 0.0).abs() < 1e-9);
         assert!((local_hour(SimTime::EPOCH, Timezone::Eastern) - 3.0).abs() < 1e-9);
-        assert!(
-            (local_hour(SimTime::from_hours(26), Timezone::Pacific) - 2.0).abs() < 1e-9
-        );
+        assert!((local_hour(SimTime::from_hours(26), Timezone::Pacific) - 2.0).abs() < 1e-9);
     }
 }

@@ -151,7 +151,11 @@ impl TwoStateMarkov {
     /// much shorter than the dwell times, so multi-flip corrections are
     /// negligible.
     pub fn step(&mut self, rng: &mut SimRng, delta: f64) -> bool {
-        let dwell = if self.state { self.mean_on } else { self.mean_off };
+        let dwell = if self.state {
+            self.mean_on
+        } else {
+            self.mean_off
+        };
         let p_flip = 1.0 - (-delta.max(0.0) / dwell).exp();
         if rng.chance(p_flip) {
             self.state = !self.state;
@@ -215,8 +219,8 @@ mod tests {
         let mut p = Ar1::new(0.9, 2.0);
         let samples: Vec<f64> = (0..100_000).map(|_| p.step(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let sd = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64)
-            .sqrt();
+        let sd =
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64).sqrt();
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((sd - 2.0).abs() < 0.15, "sd {sd}");
     }

@@ -59,7 +59,8 @@ impl SimRng {
         // basis offsets. Not cryptographic — just a stable, well-mixed
         // derivation that rand_chacha then stretches.
         for (lane, chunk) in child.chunks_exact_mut(8).enumerate() {
-            let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ (lane as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut h: u64 =
+                0xcbf2_9ce4_8422_2325 ^ (lane as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             for &b in self.seed.iter().chain(label.as_bytes()) {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x0000_0100_0000_01B3);

@@ -79,12 +79,7 @@ impl MptcpFlow {
 mod tests {
     use super::*;
 
-    fn run_bond(
-        rates: &[[f64; 3]],
-        rtts: [f64; 3],
-        tick_ms: f64,
-        ticks_per_step: usize,
-    ) -> f64 {
+    fn run_bond(rates: &[[f64; 3]], rtts: [f64; 3], tick_ms: f64, ticks_per_step: usize) -> f64 {
         let mut bond = MptcpFlow::new(3);
         let mut bytes = 0.0;
         for step in rates {

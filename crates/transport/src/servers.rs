@@ -123,15 +123,10 @@ impl ServerFleet {
 
     /// Whether `odo` lies within an edge metro.
     pub fn in_edge_metro(route: &Route, odo: Distance) -> bool {
-        route
-            .waypoints()
-            .iter()
-            .enumerate()
-            .any(|(i, w)| {
-                w.edge_city
-                    && (route.waypoint_odometer(i).as_km() - odo.as_km()).abs()
-                        <= EDGE_METRO_RADIUS_KM
-            })
+        route.waypoints().iter().enumerate().any(|(i, w)| {
+            w.edge_city
+                && (route.waypoint_odometer(i).as_km() - odo.as_km()).abs() <= EDGE_METRO_RADIUS_KM
+        })
     }
 }
 

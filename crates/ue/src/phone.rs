@@ -74,10 +74,10 @@ impl<'a> Phone<'a> {
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
+    use std::sync::OnceLock;
     use wheels_geo::route::Route;
     use wheels_geo::trace::DrivePlan;
     use wheels_sim_core::time::SimDuration;
-    use std::sync::OnceLock;
 
     pub(crate) struct Fixture {
         #[allow(dead_code)]

@@ -183,10 +183,7 @@ mod tests {
         assert_eq!(files.len(), 1);
         let f = &files[0];
         // Filename: 10:00 PDT. Content: 13:00 EDT — 3 h apart numerically.
-        assert_eq!(
-            f.records[0].edt_ms - f.filename_local_ms,
-            3 * 3_600_000
-        );
+        assert_eq!(f.records[0].edt_ms - f.filename_local_ms, 3 * 3_600_000);
     }
 
     #[test]
@@ -195,7 +192,9 @@ mod tests {
         let t = SimTime::from_hours(30);
         l.open_file(t, Timezone::Mountain);
         l.log(&snap(t));
-        l.log(&snap(t + wheels_sim_core::time::SimDuration::from_millis(500)));
+        l.log(&snap(
+            t + wheels_sim_core::time::SimDuration::from_millis(500),
+        ));
         let files = l.finish();
         assert_eq!(files[0].record_sim_time(0), Some(t));
         assert_eq!(

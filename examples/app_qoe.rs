@@ -125,6 +125,8 @@ fn main() {
             );
         }
     }
-    println!("\n(the paper's §7 finding: driving QoE collapses vs static, edge helps, \
-              handovers barely matter)");
+    println!(
+        "\n(the paper's §7 finding: driving QoE collapses vs static, edge helps, \
+              handovers barely matter)"
+    );
 }

@@ -49,7 +49,8 @@ fn main() {
         let n = trace.samples().len();
         let mut idx = 0;
         while idx + 30 < n {
-            let rows = HandoverLogger::run(&dep, &trace, idx, idx + 30, rng.split(&format!("p{idx}")));
+            let rows =
+                HandoverLogger::run(&dep, &trace, idx, idx + 30, rng.split(&format!("p{idx}")));
             for (i, r) in rows.iter().enumerate() {
                 let s = &trace.samples()[idx + i / 5];
                 passive[(s.odo.as_km() / SEG_KM) as usize].push(r.tech);

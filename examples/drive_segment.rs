@@ -44,7 +44,10 @@ fn main() {
         })
         .collect();
 
-    println!("approaching Chicago from {start_km:.0} km at {:.0} mph", speed.as_mph());
+    println!(
+        "approaching Chicago from {start_km:.0} km at {:.0} mph",
+        speed.as_mph()
+    );
     println!(
         "{:<6} {:<9} {:>8} {:>8} {:>9} {:>9}  (per operator)",
         "t(s)", "zone", "tech", "RSRP", "DL Mbps", "UL Mbps"

@@ -81,12 +81,18 @@ fn main() {
             test_id: 3,
             stamp: StampKind::Local(Timezone::Pacific),
             entries_ms: (0..20)
-                .map(|k| WallClock::local_ms(test_a + SimDuration::from_secs(5 + k), Timezone::Pacific))
+                .map(|k| {
+                    WallClock::local_ms(test_a + SimDuration::from_secs(5 + k), Timezone::Pacific)
+                })
                 .collect(),
         },
     ];
 
-    println!("\nsynchronizing {} app logs against {} XCAL files...", logs.len(), drms.len());
+    println!(
+        "\nsynchronizing {} app logs against {} XCAL files...",
+        logs.len(),
+        drms.len()
+    );
     for (log, result) in logs.iter().zip(sync_all(&logs, &drms)) {
         match result {
             Ok(s) => println!(

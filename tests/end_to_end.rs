@@ -28,10 +28,18 @@ fn every_tput_sample_belongs_to_a_run() {
     let (_, ds) = world();
     let run_ids: std::collections::HashSet<u32> = ds.runs.iter().map(|r| r.id).collect();
     for s in &ds.tput {
-        assert!(run_ids.contains(&s.test_id), "orphan sample test {}", s.test_id);
+        assert!(
+            run_ids.contains(&s.test_id),
+            "orphan sample test {}",
+            s.test_id
+        );
     }
     for s in &ds.rtt {
-        assert!(run_ids.contains(&s.test_id), "orphan rtt test {}", s.test_id);
+        assert!(
+            run_ids.contains(&s.test_id),
+            "orphan rtt test {}",
+            s.test_id
+        );
     }
 }
 
@@ -135,7 +143,10 @@ fn coverage_miles_accumulate_to_tested_distance() {
             cov_miles <= run_miles * 1.1 + 1.0,
             "{op:?}: cov {cov_miles} vs run {run_miles}"
         );
-        assert!(cov_miles > run_miles * 0.3, "{op:?}: cov {cov_miles} vs run {run_miles}");
+        assert!(
+            cov_miles > run_miles * 0.3,
+            "{op:?}: cov {cov_miles} vs run {run_miles}"
+        );
     }
 }
 

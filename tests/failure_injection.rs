@@ -6,11 +6,11 @@ use wheels::apps::arcav::{AppConfig, OffloadRun};
 use wheels::apps::link::LinkState;
 use wheels::apps::video::VideoRun;
 use wheels::geo::route::Route;
+use wheels::radio::tech::Technology;
 use wheels::ran::cells::{Cell, CellId, Deployment};
 use wheels::ran::operator::Operator;
 use wheels::ran::policy::TrafficDemand;
 use wheels::ran::session::{PollCtx, RanSession};
-use wheels::radio::tech::Technology;
 use wheels::sim_core::rng::SimRng;
 use wheels::sim_core::time::{SimDuration, SimTime};
 use wheels::sim_core::units::{DataRate, Distance, Speed};
@@ -148,7 +148,11 @@ fn ar_app_survives_mid_run_outage() {
     let cfg = AppConfig::ar();
     let stats = OffloadRun::execute(&cfg, &mut sampler, SimTime::EPOCH, true);
     // Frames flow before and after, but a third of the run is dead.
-    assert!(stats.frames_offloaded > 10, "offloaded {}", stats.frames_offloaded);
+    assert!(
+        stats.frames_offloaded > 10,
+        "offloaded {}",
+        stats.frames_offloaded
+    );
     assert!(
         stats.frames_offloaded < stats.frames_total,
         "outage must cost frames"

@@ -108,7 +108,9 @@ fn corrupted_log_is_rejected_not_misattributed() {
         stamp: StampKind::Utc,
         entries_ms: (0..10)
             .map(|k| {
-                WallClock::utc_ms(starts[0] + SimDuration::from_hours(5) + SimDuration::from_secs(k))
+                WallClock::utc_ms(
+                    starts[0] + SimDuration::from_hours(5) + SimDuration::from_secs(k),
+                )
             })
             .collect(),
     };

@@ -63,7 +63,10 @@ fn check_shapes(ds: &Dataset, seed: u64) {
             }
         }
     }
-    assert!(strong * 4 <= total, "seed {seed}: {strong}/{total} rows with a strong cell");
+    assert!(
+        strong * 4 <= total,
+        "seed {seed}: {strong}/{total} rows with a strong cell"
+    );
     // Handovers exist and are short.
     assert!(!ds.handovers.is_empty(), "seed {seed}");
     let med_dur = Cdf::from_samples(
@@ -73,7 +76,10 @@ fn check_shapes(ds: &Dataset, seed: u64) {
     )
     .median()
     .unwrap();
-    assert!((25.0..150.0).contains(&med_dur), "seed {seed}: HO median {med_dur}");
+    assert!(
+        (25.0..150.0).contains(&med_dur),
+        "seed {seed}: HO median {med_dur}"
+    );
 }
 
 #[test]

@@ -1,0 +1,201 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro and builder surface the bench targets use
+//! (`criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `bench_function`, `sample_size`, `Bencher::iter`, `black_box`) with a
+//! real wall-clock measurement loop: warm up, auto-scale the batch size
+//! to ~10 ms, then report min/mean/max over the collected samples. There
+//! are no statistical comparisons to prior runs and no HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed samples per benchmark (override per-group via
+/// `sample_size`).
+const DEFAULT_SAMPLES: usize = 20;
+
+/// Target wall time for one timed sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Measure `f`, calling it repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: grow the batch until one batch takes
+        // at least the target sample time.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let took = start.elapsed();
+            if took >= TARGET_SAMPLE || batch >= 1 << 30 {
+                self.iters_per_sample = batch;
+                break;
+            }
+            let scale =
+                (TARGET_SAMPLE.as_secs_f64() / took.as_secs_f64().max(1e-9)).clamp(2.0, 1000.0);
+            batch = (batch as f64 * scale).ceil() as u64;
+        }
+        // Timed samples.
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let per_iter = |d: &Duration| d.as_secs_f64() / self.iters_per_sample as f64;
+        let times: Vec<f64> = self.samples.iter().map(per_iter).collect();
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{name:<40} time: [{} {} {}]",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.3} s", secs)
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Apply command-line configuration (`--bench` / filter substrings,
+    /// as cargo-bench passes them).
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut filter = None;
+        for a in args.iter() {
+            if a == "--bench" || a == "--test" || a.starts_with('-') {
+                continue;
+            }
+            filter = Some(a.clone());
+        }
+        self.filter = filter;
+        self
+    }
+
+    fn enabled(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => name.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Measure a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self, name, DEFAULT_SAMPLES, f);
+        self
+    }
+
+    /// Print the end-of-run summary (no-op in the stand-in).
+    pub fn final_summary(&self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &Criterion, name: &str, samples: usize, mut f: F) {
+    if !c.enabled(name) {
+        return;
+    }
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        target_samples: samples,
+    };
+    f(&mut b);
+    b.report(name);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measure one function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(self.criterion, &full, self.sample_size, f);
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}

@@ -1,0 +1,242 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Only the sampling surface the workspace actually uses is provided, and
+//! each sampler reproduces the upstream 0.8 algorithm **bit for bit**
+//! (Lemire-style widening-multiply integer sampling with the shift-
+//! approximated rejection zone, `[1, 2)` mantissa-fill float sampling,
+//! `u64`-scaled Bernoulli). Reproducibility of the simulator's published
+//! seeds depends on this equivalence.
+
+pub use rand_core::{Error, RngCore, SeedableRng};
+
+/// Types that can be sampled uniformly from a half-open range with the
+/// exact upstream `rand 0.8` algorithm.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Sample from `[low, high)`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $gen:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "UniformSampler::sample_single: low >= high");
+                let range = high.wrapping_sub(low) as $unsigned as $u_large;
+                let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                    // Exact modulus zone for the narrow types.
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    // Upstream's conservative shift approximation.
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = $gen(rng) as $u_large;
+                    let (hi, lo) = wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+#[inline(always)]
+fn gen_u32<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+    rng.next_u32()
+}
+
+#[inline(always)]
+fn gen_u64<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+    rng.next_u64()
+}
+
+/// Widening multiply helper matching upstream's `WideningMultiply`.
+trait Wmul: Sized {
+    fn wmul_impl(self, other: Self) -> (Self, Self);
+}
+
+impl Wmul for u32 {
+    #[inline(always)]
+    fn wmul_impl(self, other: u32) -> (u32, u32) {
+        let t = (self as u64) * (other as u64);
+        ((t >> 32) as u32, t as u32)
+    }
+}
+
+impl Wmul for u64 {
+    #[inline(always)]
+    fn wmul_impl(self, other: u64) -> (u64, u64) {
+        let t = (self as u128) * (other as u128);
+        ((t >> 64) as u64, t as u64)
+    }
+}
+
+impl Wmul for usize {
+    #[inline(always)]
+    fn wmul_impl(self, other: usize) -> (usize, usize) {
+        let (hi, lo) = (self as u64).wmul_impl(other as u64);
+        (hi as usize, lo as usize)
+    }
+}
+
+#[inline(always)]
+fn wmul<T: Wmul>(a: T, b: T) -> (T, T) {
+    a.wmul_impl(b)
+}
+
+uniform_int_impl!(u8, u8, u32, gen_u32);
+uniform_int_impl!(u16, u16, u32, gen_u32);
+uniform_int_impl!(u32, u32, u32, gen_u32);
+uniform_int_impl!(u64, u64, u64, gen_u64);
+uniform_int_impl!(usize, usize, usize, gen_u64);
+uniform_int_impl!(i32, u32, u32, gen_u32);
+uniform_int_impl!(i64, u64, u64, gen_u64);
+
+macro_rules! uniform_float_impl {
+    ($ty:ty, $uty:ty, $bits_to_discard:expr, $exp_bits:expr, $exp_bias:expr, $gen:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                debug_assert!(low < high, "UniformSampler::sample_single: low >= high");
+                let scale = high - low;
+                // Upstream: value in [1, 2) by filling the mantissa, then
+                // shift to [0, 1) and apply the affine map.
+                let bits: $uty = $gen(rng) as $uty;
+                let fraction = bits >> $bits_to_discard;
+                let value1_2 = <$ty>::from_bits((($exp_bias as $uty) << ($exp_bits)) | fraction);
+                let value0_1 = value1_2 - 1.0;
+                value0_1 * scale + low
+            }
+        }
+    };
+}
+
+uniform_float_impl!(f32, u32, 32 - 23, 23, 127u32, gen_u32);
+uniform_float_impl!(f64, u64, 64 - 52, 52, 1023u64, gen_u64);
+
+/// The `Standard` distribution marker (subset).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+/// Distribution trait (subset of `rand::distributions::Distribution`).
+pub trait Distribution<T> {
+    /// Sample a value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Upstream compares the most significant bit of a u32.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Multiply-based method, 53 random bits, [0, 1).
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / ((1u32 << 24) as f32))
+    }
+}
+
+/// User-facing extension trait (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample uniformly from `[low, high)`.
+    fn gen_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T {
+        T::sample_single(range.start, range.end, self)
+    }
+
+    /// Bernoulli draw with probability `p` (caller guarantees `0 < p < 1`;
+    /// `p >= 1` always returns true, matching upstream's saturation).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        if p >= 1.0 {
+            return true;
+        }
+        // Upstream Bernoulli: p scaled to the full u64 range.
+        let p_int = (p * (2.0 * (1u64 << 63) as f64)) as u64;
+        self.next_u64() < p_int
+    }
+
+    /// Sample from the `Standard` distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Compatibility module paths used by downstream `use` statements.
+pub mod distributions {
+    pub use super::{Distribution, Standard};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter RNG to pin sampler arithmetic against hand-computed
+    /// values.
+    struct Fixed(u64);
+    impl RngCore for Fixed {
+        fn next_u32(&mut self) -> u32 {
+            self.0 as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn float_range_uses_mantissa_fill() {
+        // bits = u64::MAX ⇒ fraction all-ones ⇒ value1_2 just below 2.0.
+        let mut rng = Fixed(u64::MAX);
+        let v = rng.gen_range(0.0f64..1.0);
+        assert!(v > 0.9999999999999997 && v < 1.0, "{v}");
+        let mut rng = Fixed(0);
+        assert_eq!(rng.gen_range(3.0f64..5.0), 3.0);
+    }
+
+    #[test]
+    fn int_range_lemire_hi_word() {
+        // v * range >> 64 with v = 2^63 and range 10 ⇒ hi = 5.
+        let mut rng = Fixed(1u64 << 63);
+        assert_eq!(rng.gen_range(0u64..10), 5);
+    }
+
+    #[test]
+    fn gen_bool_threshold() {
+        let mut rng = Fixed(0);
+        assert!(rng.gen_bool(0.5));
+        let mut rng = Fixed(u64::MAX);
+        assert!(!rng.gen_bool(0.5));
+    }
+}

@@ -1,0 +1,226 @@
+//! Offline stand-in for `rand_chacha` 0.3: a bit-compatible ChaCha RNG.
+//!
+//! The workspace pins all simulation randomness to ChaCha12 for
+//! cross-version stability, so this stand-in must produce *exactly* the
+//! same stream as upstream `rand_chacha::ChaCha12Rng`:
+//!
+//! - key = the 32-byte seed (8 little-endian words),
+//! - 64-bit block counter in words 12–13, 64-bit stream id (0) in 14–15,
+//! - four blocks generated per refill (counters c..c+4), words consumed in
+//!   block order through `rand_core::block::BlockRng`.
+//!
+//! The implementation is verified against the published ChaCha20 test
+//! vector (all-zero key/nonce) which exercises the same block function.
+
+use rand_core::block::{BlockRng, BlockRngCore};
+use rand_core::{Error, RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+/// Blocks generated per refill (matches upstream's SIMD-oriented buffer).
+const BLOCKS_PER_REFILL: u64 = 4;
+/// Words per refill: 4 blocks × 16 words.
+const BUFFER_WORDS: usize = 64;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha_block(key: &[u32; 8], counter: u64, stream: u64, rounds: usize, out: &mut [u32]) {
+    let mut state: [u32; 16] = [
+        CONSTANTS[0],
+        CONSTANTS[1],
+        CONSTANTS[2],
+        CONSTANTS[3],
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        stream as u32,
+        (stream >> 32) as u32,
+    ];
+    let initial = state;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (o, (s, i)) in out.iter_mut().zip(state.iter().zip(initial.iter())) {
+        *o = s.wrapping_add(*i);
+    }
+}
+
+/// Fixed-size results buffer (needed because `[u32; 64]` has no `Default`).
+#[derive(Clone, Debug)]
+pub struct Results(pub [u32; BUFFER_WORDS]);
+
+impl Default for Results {
+    fn default() -> Self {
+        Results([0; BUFFER_WORDS])
+    }
+}
+
+impl AsRef<[u32]> for Results {
+    fn as_ref(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+impl AsMut<[u32]> for Results {
+    fn as_mut(&mut self) -> &mut [u32] {
+        &mut self.0
+    }
+}
+
+macro_rules! chacha_rng {
+    ($core:ident, $rng:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone, Debug)]
+        pub struct $core {
+            key: [u32; 8],
+            counter: u64,
+            stream: u64,
+        }
+
+        impl BlockRngCore for $core {
+            type Item = u32;
+            type Results = Results;
+
+            fn generate(&mut self, results: &mut Results) {
+                for b in 0..BLOCKS_PER_REFILL {
+                    let start = (b as usize) * 16;
+                    chacha_block(
+                        &self.key,
+                        self.counter.wrapping_add(b),
+                        self.stream,
+                        $rounds,
+                        &mut results.0[start..start + 16],
+                    );
+                }
+                self.counter = self.counter.wrapping_add(BLOCKS_PER_REFILL);
+            }
+        }
+
+        impl SeedableRng for $core {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: [u8; 32]) -> Self {
+                let mut key = [0u32; 8];
+                for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *k = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                $core {
+                    key,
+                    counter: 0,
+                    stream: 0,
+                }
+            }
+        }
+
+        #[doc = $doc]
+        #[derive(Clone, Debug)]
+        pub struct $rng(BlockRng<$core>);
+
+        impl SeedableRng for $rng {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: [u8; 32]) -> Self {
+                $rng(BlockRng::new($core::from_seed(seed)))
+            }
+        }
+
+        impl RngCore for $rng {
+            fn next_u32(&mut self) -> u32 {
+                self.0.next_u32()
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                self.0.fill_bytes(dest)
+            }
+            fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+                self.0.fill_bytes(dest);
+                Ok(())
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha12Core,
+    ChaCha12Rng,
+    12,
+    "ChaCha with 12 rounds — the workspace's pinned simulation RNG."
+);
+chacha_rng!(
+    ChaCha20Core,
+    ChaCha20Rng,
+    20,
+    "ChaCha with 20 rounds (kept for test-vector verification)."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha20_zero_key_test_vector() {
+        // djb's original ChaCha20 vector: all-zero key, nonce and counter.
+        // First 32 bytes of the keystream.
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        let mut out = [0u8; 32];
+        rng.fill_bytes(&mut out);
+        let expect: [u8; 32] = [
+            0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90, 0x40, 0x5d, 0x6a, 0xe5, 0x53, 0x86,
+            0xbd, 0x28, 0xbd, 0xd2, 0x19, 0xb8, 0xa0, 0x8d, 0xed, 0x1a, 0xa8, 0x36, 0xef, 0xcc,
+            0x8b, 0x77, 0x0d, 0xc7,
+        ];
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn blocks_are_sequential_across_refills() {
+        // Word 64 (first word of the second refill) must come from block
+        // counter 4, i.e. the stream is a plain sequential block stream.
+        let mut rng = ChaCha12Rng::from_seed([7u8; 32]);
+        let first_refill: Vec<u32> = (0..64).map(|_| rng.next_u32()).collect();
+        let w64 = rng.next_u32();
+        let mut direct = [0u32; 16];
+        let core = ChaCha12Core::from_seed([7u8; 32]);
+        chacha_block(&core.key, 4, 0, 12, &mut direct);
+        assert_eq!(w64, direct[0]);
+        let mut b0 = [0u32; 16];
+        chacha_block(&core.key, 0, 0, 12, &mut b0);
+        assert_eq!(&first_refill[..16], &b0);
+    }
+
+    #[test]
+    fn next_u64_is_two_words_lo_hi() {
+        let mut a = ChaCha12Rng::from_seed([3u8; 32]);
+        let mut b = ChaCha12Rng::from_seed([3u8; 32]);
+        let w0 = u64::from(b.next_u32());
+        let w1 = u64::from(b.next_u32());
+        assert_eq!(a.next_u64(), (w1 << 32) | w0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for `rand_core` 0.6.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! the handful of `rand_core` items the workspace uses are reimplemented
+//! here with the same semantics (including `BlockRng`'s exact word
+//! consumption order, which the deterministic simulation depends on).
+
+use core::fmt;
+
+/// Error type for RNG operations (infallible in this workspace).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Construct from a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fill `dest` with random data (fallible form).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A random number generator that can be explicitly seeded.
+pub trait SeedableRng: Sized {
+    /// Seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Create a new instance from a seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Create a new instance seeded from a `u64` (splitmix-style spread,
+    /// matching upstream `rand_core::SeedableRng::seed_from_u64`).
+    fn seed_from_u64(mut state: u64) -> Self {
+        // Upstream uses splitmix64 to fill the seed buffer.
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+            state = state.wrapping_add(PHI);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z = z ^ (z >> 31);
+            let bytes = (z as u32).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Trait for RNG cores that generate blocks of 32-bit words, mirroring
+/// `rand_core::block::BlockRngCore`.
+pub mod block {
+    use super::RngCore;
+
+    /// A block-generating RNG core.
+    pub trait BlockRngCore {
+        /// Word type (always u32 here).
+        type Item;
+        /// The results buffer type.
+        type Results: AsRef<[u32]> + AsMut<[u32]> + Default;
+        /// Generate a new block of results.
+        fn generate(&mut self, results: &mut Self::Results);
+    }
+
+    /// Wrapper that consumes a `BlockRngCore`'s output word by word, with
+    /// the exact index bookkeeping of upstream `rand_core::block::BlockRng`
+    /// (this ordering is load-bearing for reproducibility).
+    #[derive(Clone, Debug)]
+    pub struct BlockRng<R: BlockRngCore> {
+        results: R::Results,
+        index: usize,
+        /// The wrapped core.
+        pub core: R,
+    }
+
+    impl<R: BlockRngCore> BlockRng<R> {
+        /// Create a new `BlockRng` from an existing core.
+        pub fn new(core: R) -> Self {
+            let results = R::Results::default();
+            BlockRng {
+                index: results.as_ref().len(),
+                results,
+                core,
+            }
+        }
+
+        fn generate_and_set(&mut self, index: usize) {
+            assert!(index < self.results.as_ref().len());
+            self.core.generate(&mut self.results);
+            self.index = index;
+        }
+    }
+
+    impl<R: BlockRngCore> RngCore for BlockRng<R> {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= self.results.as_ref().len() {
+                self.generate_and_set(0);
+            }
+            let value = self.results.as_ref()[self.index];
+            self.index += 1;
+            value
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let read_u64 = |results: &[u32], index: usize| {
+                let data = &results[index..=index + 1];
+                (u64::from(data[1]) << 32) | u64::from(data[0])
+            };
+            let len = self.results.as_ref().len();
+            let index = self.index;
+            if index < len - 1 {
+                self.index += 2;
+                read_u64(self.results.as_ref(), index)
+            } else if index >= len {
+                self.generate_and_set(2);
+                read_u64(self.results.as_ref(), 0)
+            } else {
+                let x = u64::from(self.results.as_ref()[len - 1]);
+                self.generate_and_set(1);
+                let y = u64::from(self.results.as_ref()[0]);
+                (y << 32) | x
+            }
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut read_len = 0;
+            while read_len < dest.len() {
+                if self.index >= self.results.as_ref().len() {
+                    self.generate_and_set(0);
+                }
+                let (consumed_u32, filled_u8) = fill_via_u32_chunks(
+                    &self.results.as_ref()[self.index..],
+                    &mut dest[read_len..],
+                );
+                self.index += consumed_u32;
+                read_len += filled_u8;
+            }
+        }
+    }
+
+    /// Fill `dest` from `src` words (little-endian), as upstream
+    /// `rand_core::impls::fill_via_u32_chunks`.
+    fn fill_via_u32_chunks(src: &[u32], dest: &mut [u8]) -> (usize, usize) {
+        let size = core::mem::size_of::<u32>();
+        let chunk_size_u8 = core::cmp::min(core::mem::size_of_val(src), dest.len());
+        let chunk_size_u32 = chunk_size_u8.div_ceil(size);
+        let mut i = 0;
+        for (wi, out) in dest[..chunk_size_u8].chunks_mut(size).enumerate() {
+            let bytes = src[wi].to_le_bytes();
+            out.copy_from_slice(&bytes[..out.len()]);
+            i = wi + 1;
+        }
+        let _ = i;
+        (chunk_size_u32, chunk_size_u8)
+    }
+}

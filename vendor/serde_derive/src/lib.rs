@@ -1,0 +1,390 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the value-tree `serde::Serialize` / `Deserialize`
+//! traits from the companion `serde` stand-in. The item is parsed by hand
+//! from the raw token stream (no `syn`/`quote` available offline), which
+//! is sufficient for the shapes this workspace derives on: named structs,
+//! tuple structs, unit structs, enums with unit and newtype variants, and
+//! generic parameters with optional bounds. `#[serde(...)]` attributes
+//! are not supported (none exist in this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Kind {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<(String, bool)>),
+}
+
+struct Item {
+    name: String,
+    /// Generic type params as (name, bounds-source) pairs.
+    params: Vec<(String, String)>,
+    kind: Kind,
+}
+
+fn tokens_to_string(toks: &[TokenTree]) -> String {
+    // TokenStream's Display knows about joint punctuation (`::`), unlike
+    // naive per-token joining.
+    toks.iter().cloned().collect::<TokenStream>().to_string()
+}
+
+/// Split a token slice on commas that sit outside `<...>` nesting.
+/// Parens/brackets/braces arrive as single `Group` tokens, so only angle
+/// brackets need explicit depth tracking.
+fn split_top_level(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle = 0i32;
+    for t in toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                current.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                current.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut current));
+            }
+            _ => current.push(t.clone()),
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Advance past attributes (`#[...]`, including expanded doc comments)
+/// and visibility (`pub`, `pub(...)`), returning the new cursor.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other}"),
+        };
+        fields.push(name);
+        i += 1;
+        // Skip ':' then the type up to the next top-level comma.
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, bool)> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    split_top_level(&toks)
+        .into_iter()
+        .filter_map(|seg| {
+            let i = skip_attrs_and_vis(&seg, 0);
+            let name = match seg.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                None => return None,
+                Some(other) => panic!("serde_derive: expected variant name, got {other}"),
+            };
+            let newtype = matches!(
+                seg.get(i + 1),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            );
+            if let Some(TokenTree::Group(g)) = seg.get(i + 1) {
+                if g.delimiter() == Delimiter::Brace {
+                    panic!("serde_derive: struct variants are not supported");
+                }
+            }
+            Some((name, newtype))
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kw = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other}"),
+    };
+    i += 1;
+
+    let mut params = Vec::new();
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1i32;
+        let mut inner = Vec::new();
+        while depth > 0 {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    inner.push(toks[i].clone());
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth > 0 {
+                        inner.push(toks[i].clone());
+                    }
+                }
+                t => inner.push(t.clone()),
+            }
+            i += 1;
+        }
+        for seg in split_top_level(&inner) {
+            let pname = match &seg[0] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive: unsupported generic param {other}"),
+            };
+            let bounds = if seg.len() > 2 {
+                tokens_to_string(&seg[2..])
+            } else {
+                String::new()
+            };
+            params.push((pname, bounds));
+        }
+    }
+
+    if matches!(toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        panic!("serde_derive: where clauses are not supported");
+    }
+
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Kind::Tuple(split_top_level(&inner).len())
+            }
+            _ => Kind::Unit,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive: enum without a body"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Item { name, params, kind }
+}
+
+/// Build `impl<...bounds...> Trait for Name<...>` generics fragments.
+fn generics(item: &Item, extra_bound: &str) -> (String, String) {
+    if item.params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let mut impl_params = Vec::new();
+    let mut ty_params = Vec::new();
+    for (name, bounds) in &item.params {
+        if bounds.is_empty() {
+            impl_params.push(format!("{name}: {extra_bound}"));
+        } else {
+            impl_params.push(format!("{name}: {bounds} + {extra_bound}"));
+        }
+        ty_params.push(name.clone());
+    }
+    (
+        format!("<{}>", impl_params.join(", ")),
+        format!("<{}>", ty_params.join(", ")),
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (ig, tg) = generics(&item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, newtype)| {
+                    if *newtype {
+                        format!(
+                            "{name}::{v}(__x) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                             ::serde::Serialize::to_value(__x))]),"
+                        )
+                    } else {
+                        format!(
+                            "{name}::{v} => \
+                             ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let out = format!(
+        "impl{ig} ::serde::Serialize for {name}{tg} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("serde_derive: generated Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (ig, tg) = generics(&item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::get_field(__m, \"{f}\"))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Object(__m) => \
+                 ::std::result::Result::Ok({name} {{ {} }}),\n\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::Error::msg(\"expected object for struct {name}\")),\n\
+                 }}",
+                entries.join(" ")
+            )
+        }
+        Kind::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?,"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Array(__items) if __items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({})),\n\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::Error::msg(\"expected {n}-element array for {name}\")),\n\
+                 }}",
+                entries.join(" ")
+            )
+        }
+        Kind::Unit => format!(
+            "match __v {{\n\
+             ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+             _ => ::std::result::Result::Err(\
+             ::serde::Error::msg(\"expected null for unit struct {name}\")),\n\
+             }}"
+        ),
+        Kind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, newtype)| !newtype)
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter(|(_, newtype)| *newtype)
+                .map(|(v, _)| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(&__m[0].1)?)),"
+                    )
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::Error::msg(\"unknown variant of {name}\")),\n\
+                 }},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => \
+                 match __m[0].0.as_str() {{\n\
+                 {data_arms}\n\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::Error::msg(\"unknown variant of {name}\")),\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::Error::msg(\"expected variant of {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    let out = format!(
+        "impl{ig} ::serde::Deserialize for {name}{tg} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl")
+}
