@@ -36,7 +36,7 @@ const MAX_BUFFER_S: f64 = 30.0;
 /// BBA: map buffer level to a bitrate (Mbps).
 pub fn bba_pick(buffer_s: f64) -> f64 {
     if buffer_s <= BBA_RESERVOIR_S {
-        return *BITRATES_MBPS.last().unwrap();
+        return *BITRATES_MBPS.last().expect("bitrate ladder is non-empty");
     }
     if buffer_s >= BBA_RESERVOIR_S + BBA_CUSHION_S {
         return BITRATES_MBPS[0];
@@ -45,7 +45,7 @@ pub fn bba_pick(buffer_s: f64) -> f64 {
     let f = (buffer_s - BBA_RESERVOIR_S) / BBA_CUSHION_S;
     let ladder: Vec<f64> = BITRATES_MBPS.iter().rev().copied().collect();
     let lo = ladder[0];
-    let hi = *ladder.last().unwrap();
+    let hi = *ladder.last().expect("bitrate ladder is non-empty");
     let target = lo + (hi - lo) * f;
     // Highest encoded rate not exceeding the target.
     ladder
@@ -120,7 +120,7 @@ impl Abr {
                 .iter()
                 .copied()
                 .min_by(|a, b| (a - target).abs().total_cmp(&(b - target).abs()))
-                .unwrap(),
+                .expect("bitrate ladder is non-empty"),
         }
     }
 }

@@ -20,6 +20,8 @@
 //! `repro` binary with `--standard`/`--full` for the higher-fidelity runs
 //! recorded in EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 /// Re-export for bench targets.
 pub use wheels_experiments::world::{Scale, World};
 
@@ -31,7 +33,7 @@ pub fn print_once(id: &str, text: &str) {
     use std::sync::OnceLock;
     static PRINTED: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
     let set = PRINTED.get_or_init(|| Mutex::new(HashSet::new()));
-    let mut set = set.lock().unwrap();
+    let mut set = set.lock().expect("dedup-print mutex poisoned");
     if set.insert(id.to_string()) {
         eprintln!("\n----- {id} -----\n{text}");
     }

@@ -124,7 +124,7 @@ pub fn route_profile(
             let dominant = core::iter::once(None)
                 .chain(Technology::ALL.iter().map(|t| Some(*t)))
                 .max_by(|a, b| share.weight(a).total_cmp(&share.weight(b)))
-                .unwrap();
+                .expect("iterator is non-empty by construction");
             out.push((seg_start, dominant));
         }
         seg_start = seg_end;

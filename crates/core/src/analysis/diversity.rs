@@ -7,7 +7,7 @@
 //! (everything else), giving the HT-HT / HT-LT / LT-HT / LT-LT bins of
 //! Fig. 6b–d.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use wheels_radio::tech::Direction;
@@ -77,7 +77,9 @@ pub fn pair_samples(
     b: Operator,
     dir: Direction,
 ) -> Vec<PairSample> {
-    let index = |op: Operator| -> HashMap<u64, &TputSample> {
+    // BTreeMap so the join below walks bins in time order — with a hash
+    // map, ties in `diff_mbps` would land in input-dependent order.
+    let index = |op: Operator| -> BTreeMap<u64, &TputSample> {
         samples
             .iter()
             .filter(|s| s.operator == op && s.direction == dir && s.driving)

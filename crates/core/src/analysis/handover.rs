@@ -7,7 +7,7 @@
 //!   and `ΔT₂ = (T4+T5)/2 − (T1+T2)/2` is the post-vs-pre change, broken
 //!   down by handover type (4G→4G, 5G→5G, 4G→5G, 5G→4G).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use wheels_radio::tech::Direction;
@@ -58,7 +58,7 @@ pub struct HoImpact {
 /// test with enough surrounding samples.
 pub fn impacts(ds: &Dataset) -> Vec<HoImpact> {
     // Index throughput samples by test.
-    let mut by_test: HashMap<u32, Vec<&TputSample>> = HashMap::new();
+    let mut by_test: BTreeMap<u32, Vec<&TputSample>> = BTreeMap::new();
     for s in &ds.tput {
         by_test.entry(s.test_id).or_default().push(s);
     }

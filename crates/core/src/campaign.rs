@@ -29,7 +29,7 @@
 //! the segment boundary matches a session that had been driving all along;
 //! warm-up KPIs and handovers are discarded.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -148,7 +148,7 @@ struct ShardOut {
     /// Cells this shard's session was served by, unioned per operator in
     /// the finalize step (Table 1's unique-cell counts must not double
     /// count a cell seen by two shards).
-    cells: HashSet<CellId>,
+    cells: BTreeSet<CellId>,
 }
 
 /// The campaign: route, trace, per-operator deployments, servers.
@@ -168,7 +168,7 @@ impl Campaign {
     pub fn standard(seed: u64) -> Self {
         let route = Route::standard();
         let rng = SimRng::seed(seed);
-        let trace = DrivePlan::default().generate(&route, &mut rng.split("trace"));
+        let trace = DrivePlan::default().generate(&route, &mut rng.split("campaign/drive-plan"));
         let deployments = Operator::ALL
             .into_iter()
             .map(|op| Deployment::generate(&route, op, &mut rng.split(op.label())))
@@ -186,7 +186,7 @@ impl Campaign {
     /// indexes directly; hand-assembled campaigns that ordered them
     /// differently fall back to a scan.
     pub fn deployment(&self, op: Operator) -> &Deployment {
-        let idx = Operator::ALL.iter().position(|o| *o == op).unwrap();
+        let idx = op.index();
         match self.deployments.get(idx) {
             Some(d) if d.operator == op => d,
             _ => self
@@ -208,7 +208,7 @@ impl Campaign {
         }
         let step = cycle_duration(cfg.include_apps) + SimDuration::from_secs(cfg.cycle_stride_s);
         let mut t = samples[cfg.start_at_sample.min(samples.len() - 1)].t;
-        let trace_end = samples.last().unwrap().t;
+        let trace_end = samples.last().expect("checked non-empty above").t;
         while t < trace_end {
             if let Some(max) = cfg.max_cycles {
                 if starts.len() >= max {
@@ -259,7 +259,10 @@ impl Campaign {
                 });
                 cur_day = Some(day);
             }
-            segs.last_mut().unwrap().starts.push(t);
+            segs.last_mut()
+                .expect("split pushed a segment on the first iteration")
+                .starts
+                .push(t);
         }
         segs
     }
@@ -330,13 +333,17 @@ impl Campaign {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(i) else { break };
                     let out = self.run_shard(job, cfg);
-                    *slots[i].lock().unwrap() = Some(out);
+                    *slots[i].lock().expect("shard slot mutex poisoned") = Some(out);
                 });
             }
         });
         slots
             .into_iter()
-            .map(|m| m.into_inner().unwrap().expect("shard completed"))
+            .map(|m| {
+                m.into_inner()
+                    .expect("shard slot mutex poisoned")
+                    .expect("shard completed")
+            })
             .collect()
     }
 
@@ -345,7 +352,8 @@ impl Campaign {
     fn run_shard(&self, job: &ShardJob, cfg: &CampaignConfig) -> ShardOut {
         let op = job.op;
         let dep = self.deployment(op);
-        let op_idx = Operator::ALL.iter().position(|o| *o == op).unwrap() as u32;
+        // lint: allow(lossy-cast, operator index is 0..3, exact in u32)
+        let op_idx = op.index() as u32;
         let (rng, next_id) = match &job.segment {
             // Static shard: keep the original per-operator stream and id
             // range so static baselines are unchanged by the sharding.
@@ -357,6 +365,7 @@ impl Campaign {
                 SimRng::seed(cfg.seed).split(&format!("campaign/{}/{}", op.label(), seg.index)),
                 // Disjoint id ranges: 10k ids per segment, segments well
                 // clear of the static ranges.
+                // lint: allow(lossy-cast, segment count is bounded by trace days x shard_cycles, far below u32)
                 (op_idx + 1) * 100_000_000 + seg.index as u32 * 10_000,
             ),
         };
@@ -364,7 +373,11 @@ impl Campaign {
             route: &self.route,
             trace: &self.trace,
             fleet: &self.fleet,
-            session: RanSession::new(dep, TrafficDemand::BackloggedDownlink, rng.split("ran")),
+            session: RanSession::new(
+                dep,
+                TrafficDemand::BackloggedDownlink,
+                rng.split("campaign/ran"),
+            ),
             rng,
             ds: Dataset::default(),
             next_id,
@@ -387,7 +400,7 @@ impl Campaign {
     /// runtimes, and the runtime-derived XCAL log volume.
     fn finalize(&self, shards: Vec<ShardOut>, ops: &[Operator]) -> Dataset {
         let mut out = Dataset::default();
-        let mut cells: Vec<HashSet<CellId>> = vec![HashSet::new(); ops.len()];
+        let mut cells: Vec<BTreeSet<CellId>> = vec![BTreeSet::new(); ops.len()];
         for shard in shards {
             if let Some(i) = ops.iter().position(|o| *o == shard.op) {
                 cells[i].extend(shard.cells.iter().copied());
@@ -434,6 +447,7 @@ impl<'a> OpRunner<'a> {
     fn drain_handovers(&mut self, test_id: u32, direction: Option<Direction>) -> u32 {
         let events = self.session.events();
         let new = &events[self.ho_mark..];
+        // lint: allow(lossy-cast, handovers per test are far below u32::MAX)
         let n = new.len() as u32;
         for e in new {
             self.ds.handovers.push(TaggedHandover {
@@ -638,7 +652,7 @@ impl<'a> OpRunner<'a> {
             self.op,
             path,
             true,
-            self.rng.split(&format!("rtt/{id}")),
+            self.rng.split(&format!("campaign/rtt/{id}")),
         );
         let end = start + measure::RTT_TEST;
         self.ds.rtt.extend(samples);

@@ -134,8 +134,8 @@ pub fn sync_log(log: &AppLog, drms: &[DrmFile]) -> Result<SyncedLog, SyncError> 
             .map(|ms| to_sim(*ms, log.stamp, zone))
             .collect();
         let Some(entries) = converted else { continue };
-        let lo = *entries.iter().min().unwrap();
-        let hi = *entries.iter().max().unwrap();
+        let lo = *entries.iter().min().expect("non-empty log checked above");
+        let hi = *entries.iter().max().expect("non-empty log checked above");
         for (i, drm) in drms.iter().enumerate() {
             let Some((dlo, dhi)) = drm_span(drm) else {
                 continue;

@@ -141,6 +141,7 @@ pub fn measure_tput(
                     mcs: s.primary_mcs,
                     bler: s.primary_bler,
                     carriers: s.carriers,
+                    // lint: allow(lossy-cast, clamped to 255 on the previous call)
                     handovers_in_bin: (ho_count_probe - bin_ho_start).min(255) as u8,
                     driving,
                 });

@@ -244,24 +244,21 @@ impl Dataset {
     /// stable and keyed on values that are themselves deterministic
     /// (times, test ids, operators).
     pub fn normalize(&mut self) {
-        fn op_idx(op: Operator) -> usize {
-            Operator::ALL.iter().position(|o| *o == op).unwrap()
-        }
         self.tput.sort_by_key(|s| (s.t.as_millis(), s.test_id));
         self.rtt.sort_by_key(|s| (s.t.as_millis(), s.test_id));
         self.coverage
-            .sort_by_key(|s| (s.t.as_millis(), op_idx(s.operator)));
+            .sort_by_key(|s| (s.t.as_millis(), s.operator.index()));
         self.runs.sort_by_key(|r| (r.start.as_millis(), r.id));
         self.handovers.sort_by_key(|h| {
             (
                 h.event.start.as_millis(),
-                op_idx(h.operator),
+                h.operator.index(),
                 h.event.to_cell,
             )
         });
         self.apps.sort_by_key(|a| a.id);
-        self.unique_cells.sort_by_key(|(op, _)| op_idx(*op));
-        self.runtime_min.sort_by_key(|(op, _)| op_idx(*op));
+        self.unique_cells.sort_by_key(|(op, _)| op.index());
+        self.runtime_min.sort_by_key(|(op, _)| op.index());
     }
 
     /// Throughput samples filtered the way most figures need.

@@ -70,9 +70,10 @@ impl PinnedLink {
         };
         PinnedLink {
             cell,
-            channel: LinkChannel::new(cell.tech, beam, &mut rng.split("chan")).with_static_los(),
-            alloc: typical_allocation(dep.operator, cell.tech, &mut rng.split("alloc")),
-            load: LoadModel::new(rng.split("load")),
+            channel: LinkChannel::new(cell.tech, beam, &mut rng.split("probe/chan"))
+                .with_static_los(),
+            alloc: typical_allocation(dep.operator, cell.tech, &mut rng.split("probe/ca")),
+            load: LoadModel::new(rng.split("probe/cell-load")),
             tz,
         }
     }
@@ -137,9 +138,9 @@ pub fn run_city(
     let tz = route.timezone_at(ue_odo);
     let path = fleet.path(dep.operator, route, ue_odo);
 
-    let mut pinned = PinnedLink::new(dep, target, tz, &mut rng.split("pin"));
-    let mut pin_rng = rng.split("pin-noise");
-    let mut session = RanSession::new(dep, TrafficDemand::IcmpOnly, rng.split("static"));
+    let mut pinned = PinnedLink::new(dep, target, tz, &mut rng.split("probe/stand"));
+    let mut pin_rng = rng.split("probe/pin-noise");
+    let mut session = RanSession::new(dep, TrafficDemand::IcmpOnly, rng.split("probe/static"));
     let ctx = PollCtx {
         odo: ue_odo,
         speed: Speed::ZERO,
@@ -193,7 +194,7 @@ pub fn run_city(
                     dep.operator,
                     path,
                     false,
-                    rng.split(&format!("rtt/{id}")),
+                    rng.split(&format!("probe/rtt/{id}")),
                 );
                 ds.rtt.extend(samples);
                 (t + measure::RTT_TEST, hs5g)

@@ -10,7 +10,7 @@
 //! - **best-of** (an ideal switcher always on the best operator),
 //! - **bonded** (an ideal MPTCP aggregating all three).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wheels_radio::tech::Direction;
 use wheels_ran::operator::Operator;
@@ -40,9 +40,9 @@ impl TriSample {
 
 /// Collect all bins where all three operators have a driving sample.
 pub fn tri_samples(world: &World, dir: Direction) -> Vec<TriSample> {
-    let mut by_bin: HashMap<u64, [Option<f64>; 3]> = HashMap::new();
+    let mut by_bin: BTreeMap<u64, [Option<f64>; 3]> = BTreeMap::new();
     for s in world.dataset.tput_where(None, Some(dir), Some(true)) {
-        let idx = Operator::ALL.iter().position(|o| *o == s.operator).unwrap();
+        let idx = s.operator.index();
         by_bin.entry(s.t.as_millis() / 500).or_default()[idx] = Some(s.mbps);
     }
     let mut out: Vec<TriSample> = by_bin

@@ -64,8 +64,8 @@ pub fn fit(world: &World, op: Operator, dir: Direction) -> MultivariateRow {
             let mut v: Vec<f64> = Kpi::ALL.iter().map(|k| k.value(s)).collect();
             // Technology class as ordinal (the joint model may use it; a
             // drive test *can* observe this one).
-            v.push(s.tech.is_high_speed() as u8 as f64);
-            v.push(s.tech.is_5g() as u8 as f64);
+            v.push(f64::from(u8::from(s.tech.is_high_speed())));
+            v.push(f64::from(u8::from(s.tech.is_5g())));
             v
         })
         .collect();

@@ -1,7 +1,7 @@
 //! Fig. 10: per-test performance against the fraction of time connected
 //! to high-speed 5G (mmWave/mid-band).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wheels_core::records::TestKind;
 use wheels_radio::tech::Direction;
@@ -17,7 +17,7 @@ pub fn tput_vs_hs5g(world: &World, op: Operator, dir: Direction) -> Vec<(f64, f6
         Direction::Downlink => TestKind::DownlinkTput,
         Direction::Uplink => TestKind::UplinkTput,
     };
-    let mut by_test: HashMap<u32, Vec<f64>> = HashMap::new();
+    let mut by_test: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
     for s in world.dataset.tput_where(Some(op), Some(dir), Some(true)) {
         by_test.entry(s.test_id).or_default().push(s.mbps);
     }

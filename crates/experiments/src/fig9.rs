@@ -1,6 +1,6 @@
 //! Fig. 9: per-test (30 s / 20 s) means and within-test variability.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wheels_radio::tech::Direction;
 use wheels_ran::operator::Operator;
@@ -26,7 +26,7 @@ pub fn test_std_pcts(world: &World, op: Operator, dir: Direction) -> Vec<f64> {
 }
 
 fn per_test(world: &World, op: Operator, dir: Direction) -> Vec<(f64, f64)> {
-    let mut by_test: HashMap<u32, Vec<f64>> = HashMap::new();
+    let mut by_test: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
     for s in world.dataset.tput_where(Some(op), Some(dir), Some(true)) {
         by_test.entry(s.test_id).or_default().push(s.mbps);
     }
@@ -35,7 +35,7 @@ fn per_test(world: &World, op: Operator, dir: Direction) -> Vec<(f64, f64)> {
         .filter(|v| v.len() >= 20)
         .map(|v| {
             let c = Cdf::from_samples(v.iter().copied());
-            let s = c.summary().unwrap();
+            let s = c.summary().expect("v.len() >= 20 filtered above");
             (s.mean, s.std_dev_pct_of_mean())
         })
         .collect()
@@ -43,7 +43,7 @@ fn per_test(world: &World, op: Operator, dir: Direction) -> Vec<(f64, f64)> {
 
 /// Per-test mean RTTs (driving).
 pub fn rtt_means(world: &World, op: Operator) -> Vec<f64> {
-    let mut by_test: HashMap<u32, Vec<f64>> = HashMap::new();
+    let mut by_test: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
     for s in world
         .dataset
         .rtt

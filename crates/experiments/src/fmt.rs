@@ -41,7 +41,7 @@ pub fn cdf_line(values: impl IntoIterator<Item = f64>) -> String {
         Some(s) => format!(
             "n={:<6} p10={:<8.2} p25={:<8.2} p50={:<8.2} p75={:<8.2} p90={:<8.2} max={:.2}",
             s.n,
-            c.quantile(0.10).unwrap(),
+            c.quantile(0.10).expect("summary() was Some, so non-empty"),
             s.p25,
             s.median,
             s.p75,

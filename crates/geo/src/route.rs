@@ -226,7 +226,10 @@ impl Route {
 
     /// Total road length.
     pub fn total(&self) -> Distance {
-        *self.odometer.last().unwrap()
+        *self
+            .odometer
+            .last()
+            .expect("odometer has one entry per waypoint")
     }
 
     /// All waypoints.

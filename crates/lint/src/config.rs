@@ -1,0 +1,99 @@
+//! Per-crate lint configuration.
+//!
+//! Crates are identified by their directory name under `crates/` (the
+//! workspace root package is `"wheels"`). The default configuration
+//! encodes the workspace's reproducibility contract; a JSON file with the
+//! same shape can be passed to the CLI via `--config` to override it.
+
+use serde::{Deserialize, Serialize};
+
+/// Which crates each rule applies to, and what the walker skips.
+///
+/// A `--config` JSON file must spell out every field (the vendored serde
+/// stand-in has no `#[serde(default)]`); start from
+/// `serde_json::to_string(&Config::default())`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Config {
+    /// Directory names never descended into (anywhere in the tree).
+    pub skip_dirs: Vec<String>,
+    /// Crates where wall-clock time, OS entropy, and environment reads
+    /// are forbidden (the simulator and analysis stack). Binaries under
+    /// `src/bin/` are exempt everywhere — they are entry points, not
+    /// simulation code.
+    pub nondet_crates: Vec<String>,
+    /// Crates whose outputs become datasets or figures: `HashMap` /
+    /// `HashSet` are flagged because their iteration order can leak into
+    /// emitted tables.
+    pub dataset_crates: Vec<String>,
+    /// Crates exempt from the RNG stream-label rule (e.g. this tool,
+    /// which has no RNG but does string-match on `split`).
+    pub label_exempt_crates: Vec<String>,
+    /// Crates exempt from the unwrap-in-lib rule.
+    pub unwrap_exempt_crates: Vec<String>,
+    /// Path prefixes (relative to the workspace root, `/`-separated)
+    /// where unannotated `as` casts to integer types are flagged.
+    pub lossy_paths: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        fn v(items: &[&str]) -> Vec<String> {
+            items.iter().map(|s| s.to_string()).collect()
+        }
+        Config {
+            skip_dirs: v(&["vendor", "target"]),
+            nondet_crates: v(&[
+                "sim-core",
+                "geo",
+                "radio",
+                "ran",
+                "transport",
+                "ue",
+                "apps",
+                "core",
+                "experiments",
+                "wheels",
+            ]),
+            dataset_crates: v(&["core", "experiments"]),
+            label_exempt_crates: v(&["lint"]),
+            unwrap_exempt_crates: vec![],
+            lossy_paths: v(&["crates/core/src", "crates/experiments/src"]),
+        }
+    }
+}
+
+impl Config {
+    /// True if a directory with this name must not be descended into.
+    pub fn skips_dir(&self, name: &str) -> bool {
+        self.skip_dirs.iter().any(|d| d == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_skips_vendor_and_target() {
+        let c = Config::default();
+        assert!(c.skips_dir("vendor"));
+        assert!(c.skips_dir("target"));
+        assert!(!c.skips_dir("src"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let c = Config::default();
+        let s = serde_json::to_string(&c).expect("serialize");
+        let back: Config = serde_json::from_str(&s).expect("deserialize");
+        assert_eq!(back.dataset_crates, c.dataset_crates);
+    }
+
+    #[test]
+    fn json_keeps_skip_dirs() {
+        let s = serde_json::to_string(&Config::default()).expect("serialize");
+        let back: Config = serde_json::from_str(&s).expect("deserialize");
+        assert!(back.skips_dir("vendor"));
+        assert!(back.skips_dir("target"));
+    }
+}

@@ -1,0 +1,78 @@
+//! # wheels-lint
+//!
+//! Determinism & hygiene static analysis for the wheels workspace.
+//!
+//! The simulator's headline guarantee — bit-identical datasets from a
+//! published seed, at any thread count — is a property of the *whole*
+//! tree, and nothing in the type system stops a future change from
+//! iterating a `HashMap` into an output table or reading the wall clock
+//! inside the simulator. This crate enforces those invariants
+//! mechanically: a self-contained Rust lexer (the build environment is
+//! registry-free, so no `syn`) feeds a token-pattern rule engine with six
+//! domain rules:
+//!
+//! 1. **nondeterminism** — no `Instant::now` / `SystemTime::now` /
+//!    `thread_rng` / `from_entropy` / `rand::random` / `env::var` in
+//!    simulator and analysis crates (binaries exempt);
+//! 2. **hash-iteration** — no `HashMap`/`HashSet` in dataset-producing
+//!    crates, whose iteration order can leak into emitted tables;
+//! 3. **rng-stream-labels** — every `SimRng::split("…")` label literal
+//!    is unique workspace-wide and follows the `area/{…}` scheme;
+//! 4. **unwrap-in-lib** — no bare `.unwrap()` / `panic!` in library code
+//!    without a justification comment;
+//! 5. **lossy-cast** — no unannotated `as`-casts to integer types in
+//!    record/analysis paths;
+//! 6. **crate-hygiene** — every crate root carries
+//!    `#![forbid(unsafe_code)]` and a `//!` doc header.
+//!
+//! A finding is silenced in place with `// lint: allow(rule, reason)` on
+//! the offending line or the line above; the reason is mandatory.
+//!
+//! Run it three ways: `cargo run -p wheels-lint -- --workspace [--json]`,
+//! the fixture tests under `tests/`, and the workspace-clean integration
+//! test in the root package (tier 1).
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+use std::io;
+use std::path::Path;
+
+pub use config::Config;
+pub use report::{Finding, Report};
+pub use workspace::SourceFile;
+
+/// Lint a set of already-loaded source files.
+pub fn lint_sources(files: &[SourceFile], cfg: &Config) -> Report {
+    let mut findings = Vec::new();
+    let mut labels = rules::LabelRegistry::default();
+    for file in files {
+        let lexed = lexer::lex(&file.src);
+        let mask = lexer::test_mask(&lexed.toks);
+        rules::nondeterminism(file, &lexed, &mask, cfg, &mut findings);
+        rules::hash_iteration(file, &lexed, &mask, cfg, &mut findings);
+        rules::collect_labels(file, &lexed, &mask, cfg, &mut labels);
+        rules::unwrap_in_lib(file, &lexed, &mask, cfg, &mut findings);
+        rules::lossy_cast(file, &lexed, &mask, cfg, &mut findings);
+        rules::crate_hygiene(file, &lexed, &mask, cfg, &mut findings);
+    }
+    rules::label_findings(&labels, &mut findings);
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    Report {
+        findings,
+        files_checked: files.len(),
+    }
+}
+
+/// Lint the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let files = workspace::collect_workspace(root, cfg)?;
+    Ok(lint_sources(&files, cfg))
+}

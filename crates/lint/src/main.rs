@@ -1,0 +1,85 @@
+//! CLI for `wheels-lint`.
+//!
+//! ```text
+//! cargo run -p wheels-lint -- --workspace [--json] [--root DIR] [--config FILE]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wheels_lint::{lint_workspace, Config};
+
+const USAGE: &str = "usage: wheels-lint --workspace [--json] [--root DIR] [--config FILE]";
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage_error("--root requires a directory"),
+            },
+            "--config" => match args.next() {
+                Some(file) => config_path = Some(PathBuf::from(file)),
+                None => return usage_error("--config requires a file"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !workspace {
+        return usage_error("--workspace is required");
+    }
+
+    let cfg = match config_path {
+        None => Config::default(),
+        Some(path) => match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str::<Config>(&s).map_err(|e| e.to_string()))
+        {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("wheels-lint: cannot load config {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    match lint_workspace(&root, &cfg) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("wheels-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("wheels-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

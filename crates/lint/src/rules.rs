@@ -1,0 +1,494 @@
+//! The rule catalogue.
+//!
+//! Every rule is a token-pattern pass over one lexed file, except the RNG
+//! stream-label rule, which also aggregates a workspace-wide registry so
+//! it can enforce label uniqueness across crates. Each rule can be
+//! silenced at a site with `// lint: allow(rule-name, reason)` on the
+//! offending line or the line above — the reason is mandatory.
+
+use std::collections::BTreeMap;
+
+use crate::config::Config;
+use crate::lexer::{LexedFile, Tok, TokKind};
+use crate::report::Finding;
+use crate::workspace::SourceFile;
+
+/// Rule names, in catalogue order.
+pub const RULE_NAMES: [&str; 6] = [
+    "nondeterminism",
+    "hash-iteration",
+    "rng-stream-labels",
+    "unwrap-in-lib",
+    "lossy-cast",
+    "crate-hygiene",
+];
+
+/// Integer cast targets the lossy-cast rule watches.
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Methods that make the rounding of a float→int cast explicit.
+const ROUNDING_METHODS: [&str; 4] = ["round", "floor", "ceil", "trunc"];
+
+/// One `split("…")` call site collected for the label registry.
+#[derive(Debug, Clone)]
+pub struct LabelSite {
+    /// The label literal (format skeleton for `format!` labels).
+    pub label: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Position.
+    pub line: u32,
+    /// Position.
+    pub col: u32,
+    /// Whether the site carries an allow directive for the rule.
+    pub allowed: bool,
+    /// Offending source line.
+    pub snippet: String,
+}
+
+/// Workspace-wide registry of RNG stream labels, keyed by literal.
+#[derive(Debug, Default)]
+pub struct LabelRegistry {
+    sites: BTreeMap<String, Vec<LabelSite>>,
+}
+
+/// True if a finding of `rule` at `line` is suppressed by an allow
+/// directive (on the same line or the line above) with a non-empty reason.
+fn allowed(lexed: &LexedFile, rule: &str, line: u32) -> bool {
+    [line.saturating_sub(1), line].iter().any(|l| {
+        lexed.allows.get(l).is_some_and(|v| {
+            v.iter()
+                .any(|a| a.rule == rule && !a.reason.trim().is_empty())
+        })
+    })
+}
+
+fn snippet(lexed: &LexedFile, line: u32) -> String {
+    lexed
+        .lines
+        .get(line as usize - 1)
+        .cloned()
+        .unwrap_or_default()
+}
+
+fn finding(
+    rule: &'static str,
+    file: &SourceFile,
+    lexed: &LexedFile,
+    tok: &Tok,
+    message: String,
+) -> Finding {
+    Finding {
+        rule,
+        file: file.rel_path.clone(),
+        line: tok.line,
+        col: tok.col,
+        message,
+        snippet: snippet(lexed, tok.line),
+    }
+}
+
+/// Is `toks[k]` followed by `::seg`?
+fn path_seg(toks: &[Tok], k: usize, seg: &str) -> bool {
+    toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(k + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(k + 3).is_some_and(|t| t.ident() == Some(seg))
+}
+
+/// Is `toks[k]` preceded by `seg::`?
+fn path_pred(toks: &[Tok], k: usize, seg: &str) -> bool {
+    k >= 3
+        && toks[k - 1].is_punct(':')
+        && toks[k - 2].is_punct(':')
+        && toks[k - 3].ident() == Some(seg)
+}
+
+/// Rule 1 — nondeterminism: wall-clock time, OS entropy, and environment
+/// reads are forbidden in simulator/analysis crates (binaries exempt).
+pub fn nondeterminism(
+    file: &SourceFile,
+    lexed: &LexedFile,
+    mask: &[bool],
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    if file.is_bin || !cfg.nondet_crates.contains(&file.crate_name) {
+        return;
+    }
+    const RULE: &str = RULE_NAMES[0];
+    for (k, t) in lexed.toks.iter().enumerate() {
+        if mask[k] || allowed(lexed, RULE, t.line) {
+            continue;
+        }
+        let Some(id) = t.ident() else { continue };
+        let msg = match id {
+            "Instant" | "SystemTime" if path_seg(&lexed.toks, k, "now") => format!(
+                "`{id}::now()` reads the wall clock — simulation time must come from `SimTime` so runs are reproducible"
+            ),
+            "thread_rng" => "`thread_rng()` is OS-seeded — all randomness must flow through `SimRng::seed(..)`/`split(..)`".to_string(),
+            "from_entropy" => "`from_entropy()` seeds from the OS — derive generators from the campaign seed instead".to_string(),
+            "random" if path_pred(&lexed.toks, k, "rand") => {
+                "`rand::random()` is OS-seeded — draw from a `SimRng` stream instead".to_string()
+            }
+            "var" | "var_os" | "vars" if path_pred(&lexed.toks, k, "env") => format!(
+                "`env::{id}` makes output depend on the process environment — thread configuration through typed config structs"
+            ),
+            _ => continue,
+        };
+        out.push(finding(RULE, file, lexed, t, msg));
+    }
+}
+
+/// Rule 2 — hash-iteration: `HashMap`/`HashSet` in dataset-producing
+/// crates; their iteration order is nondeterministic and can leak into
+/// emitted tables.
+pub fn hash_iteration(
+    file: &SourceFile,
+    lexed: &LexedFile,
+    mask: &[bool],
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    if !cfg.dataset_crates.contains(&file.crate_name) {
+        return;
+    }
+    const RULE: &str = RULE_NAMES[1];
+    for (k, t) in lexed.toks.iter().enumerate() {
+        if mask[k] || allowed(lexed, RULE, t.line) {
+            continue;
+        }
+        if let Some(id @ ("HashMap" | "HashSet")) = t.ident() {
+            let alt = if id == "HashMap" {
+                "BTreeMap"
+            } else {
+                "BTreeSet"
+            };
+            out.push(finding(
+                RULE,
+                file,
+                lexed,
+                t,
+                format!(
+                    "`{id}` in dataset-producing crate `{}` — iteration order is nondeterministic; use `{alt}` or sort before emitting",
+                    file.crate_name
+                ),
+            ));
+        }
+    }
+}
+
+/// Rule 3 (collection half) — gather every `split("…")` label literal.
+/// Labels built with `format!("…", ..)` contribute their format skeleton;
+/// fully dynamic labels cannot be checked lexically and are skipped.
+pub fn collect_labels(
+    file: &SourceFile,
+    lexed: &LexedFile,
+    mask: &[bool],
+    cfg: &Config,
+    reg: &mut LabelRegistry,
+) {
+    if cfg.label_exempt_crates.contains(&file.crate_name) {
+        return;
+    }
+    const RULE: &str = RULE_NAMES[2];
+    let toks = &lexed.toks;
+    for k in 0..toks.len() {
+        if mask[k] {
+            continue;
+        }
+        if toks[k].ident() != Some("split")
+            || k == 0
+            || !toks[k - 1].is_punct('.')
+            || !toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+        {
+            continue;
+        }
+        let mut j = k + 2;
+        if toks.get(j).is_some_and(|t| t.is_punct('&')) {
+            j += 1;
+        }
+        let lit = match toks.get(j) {
+            Some(t) if t.kind == TokKind::Str => Some(t),
+            Some(t)
+                if t.ident() == Some("format")
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct('!'))
+                    && toks.get(j + 2).is_some_and(|t| t.is_punct('(')) =>
+            {
+                toks.get(j + 3).filter(|t| t.kind == TokKind::Str)
+            }
+            _ => None,
+        };
+        let Some(lit) = lit else { continue };
+        reg.sites
+            .entry(lit.text.clone())
+            .or_default()
+            .push(LabelSite {
+                label: lit.text.clone(),
+                file: file.rel_path.clone(),
+                line: lit.line,
+                col: lit.col,
+                allowed: allowed(lexed, RULE, lit.line),
+                snippet: snippet(lexed, lit.line),
+            });
+    }
+}
+
+/// Does a label follow the `area/{…}` scheme: a static lowercase
+/// `[a-z0-9_-]+` area prefix, a `/`, and a non-empty remainder?
+fn label_well_formed(label: &str) -> bool {
+    match label.split_once('/') {
+        None => false,
+        Some((area, rest)) => {
+            !area.is_empty()
+                && !rest.is_empty()
+                && area
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-')
+        }
+    }
+}
+
+/// Rule 3 (verdict half) — every collected label must be well-formed and
+/// unique across the workspace; two sites reusing one literal silently
+/// correlate their streams when handed the same parent generator.
+pub fn label_findings(reg: &LabelRegistry, out: &mut Vec<Finding>) {
+    const RULE: &str = RULE_NAMES[2];
+    for (label, sites) in &reg.sites {
+        for (idx, site) in sites.iter().enumerate() {
+            if site.allowed {
+                continue;
+            }
+            if !label_well_formed(label) {
+                out.push(Finding {
+                    rule: RULE,
+                    file: site.file.clone(),
+                    line: site.line,
+                    col: site.col,
+                    message: format!(
+                        "RNG stream label \"{label}\" does not follow the `area/{{…}}` scheme (lowercase area prefix, then `/`)"
+                    ),
+                    snippet: site.snippet.clone(),
+                });
+            }
+            if idx > 0 {
+                let first = &sites[0];
+                out.push(Finding {
+                    rule: RULE,
+                    file: site.file.clone(),
+                    line: site.line,
+                    col: site.col,
+                    message: format!(
+                        "duplicate RNG stream label \"{label}\" (first used at {}:{}:{}) — reusing a label risks correlated streams",
+                        first.file, first.line, first.col
+                    ),
+                    snippet: site.snippet.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 4 — unwrap-in-lib: bare `.unwrap()` / `panic!` in library code
+/// must either become `expect("why this holds")` / a proper error, or
+/// carry a justification comment.
+pub fn unwrap_in_lib(
+    file: &SourceFile,
+    lexed: &LexedFile,
+    mask: &[bool],
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    if file.is_bin || cfg.unwrap_exempt_crates.contains(&file.crate_name) {
+        return;
+    }
+    const RULE: &str = RULE_NAMES[3];
+    let toks = &lexed.toks;
+    for k in 0..toks.len() {
+        if mask[k] || allowed(lexed, RULE, toks[k].line) {
+            continue;
+        }
+        let Some(id) = toks[k].ident() else { continue };
+        if id == "unwrap"
+            && k > 0
+            && toks[k - 1].is_punct('.')
+            && toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(k + 2).is_some_and(|t| t.is_punct(')'))
+        {
+            out.push(finding(
+                RULE,
+                file,
+                lexed,
+                &toks[k],
+                "bare `.unwrap()` in library code — use `expect(\"why this holds\")`, return an error, or justify with `// lint: allow(unwrap-in-lib, reason)`".to_string(),
+            ));
+        }
+        if id == "panic" && toks.get(k + 1).is_some_and(|t| t.is_punct('!')) {
+            out.push(finding(
+                RULE,
+                file,
+                lexed,
+                &toks[k],
+                "`panic!` in library code — return an error, or justify with `// lint: allow(unwrap-in-lib, reason)`".to_string(),
+            ));
+        }
+    }
+}
+
+/// Rule 5 — lossy-cast: in record/analysis paths, `as`-casts to integer
+/// types silently truncate; make the rounding explicit (`.round() as`)
+/// or justify the cast.
+pub fn lossy_cast(
+    file: &SourceFile,
+    lexed: &LexedFile,
+    mask: &[bool],
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    if !cfg
+        .lossy_paths
+        .iter()
+        .any(|p| file.rel_path.starts_with(p.as_str()))
+    {
+        return;
+    }
+    const RULE: &str = RULE_NAMES[4];
+    let toks = &lexed.toks;
+    for k in 0..toks.len() {
+        if mask[k] || allowed(lexed, RULE, toks[k].line) {
+            continue;
+        }
+        if toks[k].ident() != Some("as") {
+            continue;
+        }
+        let Some(ty) = toks.get(k + 1).and_then(|t| t.ident()) else {
+            continue;
+        };
+        if !INT_TYPES.contains(&ty) {
+            continue;
+        }
+        if k == 0 {
+            continue;
+        }
+        let prev = &toks[k - 1];
+        // Integer literals cast to an integer type are not flagged.
+        if prev.kind == TokKind::Num && !prev.text.contains('.') {
+            continue;
+        }
+        // `x.round() as u64` — rounding already explicit.
+        if prev.is_punct(')') && rounded_call(toks, k - 1) {
+            continue;
+        }
+        out.push(finding(
+            RULE,
+            file,
+            lexed,
+            &toks[k],
+            format!(
+                "`as {ty}` in a record/analysis path truncates silently — use `.round()`/`.floor()`/`.ceil()` before the cast, or justify with `// lint: allow(lossy-cast, reason)`"
+            ),
+        ));
+    }
+}
+
+/// Scan back from a `)` at `close`: is the matching call one of the
+/// explicit rounding methods?
+fn rounded_call(toks: &[Tok], close: usize) -> bool {
+    let mut depth = 0i32;
+    let mut j = close;
+    loop {
+        let t = &toks[j];
+        if t.is_punct(')') {
+            depth += 1;
+        } else if t.is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                return j > 0
+                    && toks[j - 1]
+                        .ident()
+                        .is_some_and(|id| ROUNDING_METHODS.contains(&id));
+            }
+        }
+        if j == 0 {
+            return false;
+        }
+        j -= 1;
+    }
+}
+
+/// Rule 6 — crate-hygiene: every crate root carries
+/// `#![forbid(unsafe_code)]` and a `//!` doc header.
+pub fn crate_hygiene(
+    file: &SourceFile,
+    lexed: &LexedFile,
+    _mask: &[bool],
+    _cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    if !file.is_crate_root {
+        return;
+    }
+    const RULE: &str = RULE_NAMES[5];
+    if allowed(lexed, RULE, 1) {
+        return;
+    }
+    let toks = &lexed.toks;
+    let has_forbid = (0..toks.len()).any(|k| {
+        toks[k].ident() == Some("forbid")
+            && toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+            && toks
+                .get(k + 2)
+                .is_some_and(|t| t.ident() == Some("unsafe_code"))
+    });
+    let top = Tok {
+        kind: TokKind::Punct,
+        text: String::new(),
+        line: 1,
+        col: 1,
+    };
+    if !has_forbid {
+        out.push(finding(
+            RULE,
+            file,
+            lexed,
+            &top,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        ));
+    }
+    if !lexed.has_inner_doc {
+        out.push(finding(
+            RULE,
+            file,
+            lexed,
+            &top,
+            "crate root is missing a `//!` doc header".to_string(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_scheme() {
+        assert!(label_well_formed("geo/speed"));
+        assert!(label_well_formed("campaign/{}/{}"));
+        assert!(label_well_formed("probe/rtt/{id}"));
+        assert!(!label_well_formed("trace"));
+        assert!(!label_well_formed("city{i}"));
+        assert!(!label_well_formed("/x"));
+        assert!(!label_well_formed("area/"));
+        assert!(!label_well_formed("Area/x"));
+    }
+
+    #[test]
+    fn rounding_scan() {
+        let lexed = crate::lexer::lex("let x = (a.round() as u64, a.min(b) as u64);");
+        let toks = &lexed.toks;
+        let closes: Vec<usize> = (0..toks.len()).filter(|k| toks[*k].is_punct(')')).collect();
+        assert!(rounded_call(toks, closes[0]));
+        assert!(!rounded_call(toks, closes[1]));
+    }
+}

@@ -1,0 +1,5 @@
+//! A tidy crate root: doc header plus the unsafe ban.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,14 @@
+use std::collections::BTreeMap;
+
+pub fn count(keys: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for k in keys {
+        *m.entry(*k).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn lookup_only() -> bool {
+    // lint: allow(hash-iteration, keyed membership check only, never iterated)
+    std::collections::HashSet::<u32>::new().is_empty()
+}

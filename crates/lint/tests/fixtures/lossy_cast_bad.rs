@@ -1,0 +1,7 @@
+pub fn bucket(x: f64) -> u32 {
+    (x / 10.0) as u32
+}
+
+pub fn clamp8(x: f64) -> u8 {
+    x.min(255.0) as u8
+}

@@ -1,0 +1,16 @@
+pub fn bucket(x: f64) -> u32 {
+    (x / 10.0).floor() as u32
+}
+
+pub fn clamp8(x: f64) -> u8 {
+    x.min(255.0).round() as u8
+}
+
+pub fn exact() -> u64 {
+    500 as u64
+}
+
+pub fn truncating(x: f64) -> u32 {
+    // lint: allow(lossy-cast, truncation is the intended binning semantics)
+    x as u32
+}

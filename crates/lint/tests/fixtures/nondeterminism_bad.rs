@@ -1,0 +1,15 @@
+use std::time::Instant;
+
+pub fn elapsed() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn draw() -> u64 {
+    let mut r = rand::thread_rng();
+    rand::random()
+}
+
+pub fn home() -> Option<String> {
+    std::env::var("HOME").ok()
+}

@@ -1,0 +1,15 @@
+//! Deterministic counterpart: time and randomness flow through the
+//! simulation clock and seeded streams.
+
+pub fn elapsed(t0: SimTime, t1: SimTime) -> f64 {
+    t1.since(t0).as_secs_f64()
+}
+
+pub fn draw(rng: &mut SimRng) -> u64 {
+    rng.uniform_u64(0, 100)
+}
+
+pub fn profiled() -> std::time::Instant {
+    // lint: allow(nondeterminism, profiling probe never feeds the dataset)
+    std::time::Instant::now()
+}

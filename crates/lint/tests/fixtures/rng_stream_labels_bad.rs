@@ -1,0 +1,6 @@
+pub fn streams(rng: &SimRng, id: u32) {
+    let a = rng.split("trace");
+    let b = rng.split("area/x");
+    let c = rng.split("area/x");
+    let d = rng.split(&format!("rtt/{id}"));
+}

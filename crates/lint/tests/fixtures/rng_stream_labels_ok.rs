@@ -1,0 +1,7 @@
+pub fn streams(rng: &SimRng, id: u32) {
+    let a = rng.split("fixture/trace");
+    let b = rng.split("fixture/area-x");
+    let c = rng.split(&format!("fixture/rtt/{id}"));
+    // lint: allow(rng-stream-labels, legacy label kept for seed compatibility)
+    let d = rng.split("legacy");
+}

@@ -1,0 +1,7 @@
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn fail() {
+    panic!("boom");
+}

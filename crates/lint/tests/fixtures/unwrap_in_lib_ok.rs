@@ -1,0 +1,12 @@
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().expect("caller guarantees non-empty input")
+}
+
+pub fn checked_first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn invariant(xs: &[u32]) -> u32 {
+    // lint: allow(unwrap-in-lib, slice is built two lines up with one element)
+    *xs.first().unwrap()
+}

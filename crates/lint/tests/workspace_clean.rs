@@ -1,0 +1,21 @@
+//! The shipped tree must lint clean: every rule enabled, zero findings.
+
+use std::path::Path;
+
+use wheels_lint::{lint_workspace, Config};
+
+#[test]
+fn shipped_workspace_has_no_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = lint_workspace(&root, &Config::default()).expect("workspace scan succeeds");
+    assert!(
+        report.files_checked > 50,
+        "expected to scan the full workspace, saw {} files",
+        report.files_checked
+    );
+    assert!(
+        report.is_clean(),
+        "workspace has lint findings:\n{}",
+        report.render_text()
+    );
+}

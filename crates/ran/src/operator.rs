@@ -25,6 +25,16 @@ impl Operator {
     /// All operators in the paper's column order.
     pub const ALL: [Operator; 3] = [Operator::Verizon, Operator::TMobile, Operator::Att];
 
+    /// Position in [`Operator::ALL`] — the paper's column order. Lets
+    /// callers index per-operator tables without an unwrap-bearing scan.
+    pub fn index(self) -> usize {
+        match self {
+            Operator::Verizon => 0,
+            Operator::TMobile => 1,
+            Operator::Att => 2,
+        }
+    }
+
     /// Display label.
     pub fn label(self) -> &'static str {
         match self {

@@ -287,13 +287,13 @@ pub struct RanSession<'a> {
 impl<'a> RanSession<'a> {
     /// Open a session on `deployment` with the given traffic demand.
     pub fn new(deployment: &'a Deployment, demand: TrafficDemand, rng: SimRng) -> Self {
-        let load = LoadModel::new(rng.split("load"));
+        let load = LoadModel::new(rng.split("ran/load"));
         RanSession {
             deployment,
             policy: UpgradePolicy::of(deployment.operator),
             demand,
             load,
-            rng: rng.split("session"),
+            rng: rng.split("ran/session"),
             serving: None,
             pending: None,
             last_available: TechSet::EMPTY,
@@ -424,7 +424,7 @@ impl<'a> RanSession<'a> {
         // Complete a pending handover.
         if let Some(p) = &self.pending {
             if now >= p.until {
-                let p = self.pending.take().unwrap();
+                let p = self.pending.take().expect("pending checked above");
                 if let Some(s) = &self.serving {
                     self.events.push(HandoverEvent {
                         start: p.start,
@@ -495,8 +495,8 @@ impl<'a> RanSession<'a> {
             dep.candidates_into(target_tech, ctx.odo, &mut self.cand);
             let target = self.cand.first().copied().copied();
             if let Some(target) = target {
-                if self.serving.is_some() {
-                    if target.id != self.serving.as_ref().unwrap().cell.id {
+                if let Some(serving_id) = self.serving.as_ref().map(|s| s.cell.id) {
+                    if target.id != serving_id {
                         self.start_handover(now, target);
                     }
                 } else {

@@ -104,7 +104,7 @@ impl Cdf {
         (0..n)
             .map(|i| {
                 let q = i as f64 / (n - 1) as f64;
-                (self.quantile(q).unwrap(), q)
+                (self.quantile(q).expect("non-empty checked above"), q)
             })
             .collect()
     }

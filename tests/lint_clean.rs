@@ -1,0 +1,21 @@
+//! Tier-1 gate: the repository must pass its own static analysis.
+//!
+//! This is the test-harness twin of `cargo run -p wheels-lint -- --workspace`:
+//! any rule violation (nondeterminism, hash iteration, malformed or duplicate
+//! RNG stream labels, unwrap in library code, lossy casts on dataset paths,
+//! crate hygiene) fails the build here with the full diagnostic listing.
+
+use wheels_lint::{lint_workspace, Config};
+
+#[test]
+fn repository_passes_its_own_lints() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let report =
+        lint_workspace(root.as_ref(), &Config::default()).expect("workspace scan succeeds");
+    assert!(
+        report.is_clean(),
+        "wheels-lint found {} problem(s):\n{}",
+        report.findings.len(),
+        report.render_text()
+    );
+}
