@@ -1,0 +1,245 @@
+//! Analysis-pipeline query times — cold brute-force scans vs the indexed
+//! dataset view — plus full-repro wall time across runner thread counts.
+//!
+//! Like the campaign bench, deliberately not Criterion: one query pass
+//! over a Standard-scale dataset and one full repro run are the right
+//! granularity, and the results land in `BENCH_analysis.json` at the repo
+//! root as a tracked baseline.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo bench -p wheels-bench --bench analysis              # Quick scale
+//! cargo bench -p wheels-bench --bench analysis -- --standard
+//! ```
+//!
+//! `--standard` adds the Standard scale. The JSON records the host core
+//! count next to the timings: the indexed-vs-cold query speedup is
+//! thread-independent, but the repro speedup-vs-1-thread columns are only
+//! meaningful on a multi-core host.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use wheels_core::analysis::view::DatasetView;
+use wheels_core::records::Dataset;
+use wheels_experiments::world::{Scale, World};
+use wheels_experiments::{registry, render_report};
+use wheels_radio::tech::{Direction, Technology};
+use wheels_ran::operator::Operator;
+use wheels_sim_core::stats::Cdf;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn op_filters() -> Vec<Option<Operator>> {
+    std::iter::once(None)
+        .chain(Operator::ALL.into_iter().map(Some))
+        .collect()
+}
+
+fn dir_filters() -> Vec<Option<Direction>> {
+    std::iter::once(None)
+        .chain(Direction::ALL.into_iter().map(Some))
+        .collect()
+}
+
+/// The figure pipeline's query mix, brute force: every CDF is a fresh
+/// filtered scan plus sort, every technology slice a full-table scan —
+/// what each experiment did before the view existed.
+fn cold_pass(ds: &Dataset) -> f64 {
+    let mut acc = 0.0;
+    for &op in &op_filters() {
+        for &dir in &dir_filters() {
+            for drv in [None, Some(false), Some(true)] {
+                let c = Cdf::from_samples(ds.tput_where(op, dir, drv).map(|s| s.mbps));
+                acc += c.median().unwrap_or(0.0) + c.quantile(0.9).unwrap_or(0.0);
+            }
+        }
+        for drv in [None, Some(false), Some(true)] {
+            let c = Cdf::from_samples(ds.rtt_where(op, drv));
+            acc += c.median().unwrap_or(0.0);
+        }
+    }
+    for op in Operator::ALL {
+        for dir in Direction::ALL {
+            for tech in Technology::ALL {
+                acc += ds
+                    .tput_where(Some(op), Some(dir), Some(true))
+                    .filter(|s| s.tech == tech)
+                    .map(|s| s.mbps)
+                    .sum::<f64>();
+            }
+        }
+    }
+    acc
+}
+
+/// The same query mix through the view: memoized CDFs and partition
+/// indices instead of scans.
+fn indexed_pass(view: &DatasetView) -> f64 {
+    let mut acc = 0.0;
+    for &op in &op_filters() {
+        for &dir in &dir_filters() {
+            for drv in [None, Some(false), Some(true)] {
+                let c = view.tput_cdf(op, dir, drv);
+                acc += c.median().unwrap_or(0.0) + c.quantile(0.9).unwrap_or(0.0);
+            }
+        }
+        for drv in [None, Some(false), Some(true)] {
+            acc += view.rtt_cdf(op, drv).median().unwrap_or(0.0);
+        }
+    }
+    for op in Operator::ALL {
+        for dir in Direction::ALL {
+            for tech in Technology::ALL {
+                acc += view
+                    .tput_tech(op, dir, true, tech)
+                    .map(|s| s.mbps)
+                    .sum::<f64>();
+            }
+        }
+    }
+    acc
+}
+
+fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let sink = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        // Keep the optimizer honest.
+        assert!(sink.is_finite());
+    }
+    best
+}
+
+struct ScaleResult {
+    name: &'static str,
+    tput_samples: usize,
+    view_build_secs: f64,
+    cold_secs: f64,
+    indexed_secs: f64,
+    repro: Vec<(usize, f64)>,
+}
+
+fn bench_scale(name: &'static str, scale: Scale, reps: usize, time_repro: bool) -> ScaleResult {
+    eprintln!("{name} scale: building world...");
+    let world = World::build_with(scale, 2022, None);
+    let ds = world.dataset().clone();
+
+    let t0 = Instant::now();
+    let fresh = DatasetView::new(ds.clone());
+    let view_build_secs = t0.elapsed().as_secs_f64();
+    drop(fresh);
+
+    let cold_secs = best_of(reps, || cold_pass(&ds));
+    // One warm-up pass populates the memoized CDFs; steady-state queries
+    // are what the figures pay after World::build.
+    let _ = indexed_pass(world.view());
+    let indexed_secs = best_of(reps, || indexed_pass(world.view()));
+    eprintln!(
+        "  {} tput samples: cold {:.4}s, indexed {:.6}s ({:.0}x), view build {:.3}s",
+        ds.tput.len(),
+        cold_secs,
+        indexed_secs,
+        cold_secs / indexed_secs,
+        view_build_secs
+    );
+
+    let mut repro = Vec::new();
+    if time_repro {
+        let reg = registry();
+        for threads in THREAD_COUNTS {
+            let t0 = Instant::now();
+            let report = render_report(&world, &reg, Some(threads));
+            let secs = t0.elapsed().as_secs_f64();
+            assert!(!report.is_empty());
+            eprintln!("  repro threads={threads}: {secs:.3}s");
+            repro.push((threads, secs));
+        }
+    }
+
+    ScaleResult {
+        name,
+        tput_samples: ds.tput.len(),
+        view_build_secs,
+        cold_secs,
+        indexed_secs,
+        repro,
+    }
+}
+
+fn json_scale(r: &ScaleResult) -> String {
+    let repro_t1 = r
+        .repro
+        .iter()
+        .find(|(t, _)| *t == 1)
+        .map(|(_, s)| *s)
+        .unwrap_or(f64::NAN);
+    let repro: Vec<String> = r
+        .repro
+        .iter()
+        .map(|(threads, secs)| {
+            format!(
+                "        {{ \"threads\": {}, \"secs\": {:.4}, \"speedup_vs_1\": {:.3} }}",
+                threads,
+                secs,
+                repro_t1 / secs
+            )
+        })
+        .collect();
+    let repro = if repro.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n{}\n      ]", repro.join(",\n"))
+    };
+    format!(
+        "    {{\n      \"scale\": \"{}\",\n      \"tput_samples\": {},\n      \
+         \"view_build_secs\": {:.4},\n      \"cold_query_secs\": {:.4},\n      \
+         \"indexed_query_secs\": {:.6},\n      \"query_speedup\": {:.1},\n      \
+         \"repro\": {}\n    }}",
+        r.name,
+        r.tput_samples,
+        r.view_build_secs,
+        r.cold_secs,
+        r.indexed_secs,
+        r.cold_secs / r.indexed_secs,
+        repro
+    )
+}
+
+fn main() {
+    let standard = std::env::args().any(|a| a == "--standard");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("analysis bench: {cores} cores, standard={standard}");
+
+    let mut scales = vec![json_scale(&bench_scale("quick", Scale::Quick, 10, true))];
+    if standard {
+        scales.push(json_scale(&bench_scale(
+            "standard",
+            Scale::Standard,
+            5,
+            false,
+        )));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"analysis\",\n  \"host_cores\": {},\n  \"note\": \"{}\",\n  \
+         \"scales\": [\n{}\n  ]\n}}\n",
+        cores,
+        "on a 1-core host the repro speedup-vs-1 columns plateau at ~1.0 by construction; \
+         the cold-vs-indexed query speedup is thread-independent",
+        scales.join(",\n")
+    );
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let path = root.join("BENCH_analysis.json");
+    std::fs::write(&path, &json).expect("write BENCH_analysis.json");
+    eprintln!("wrote {}", path.display());
+    print!("{json}");
+}

@@ -105,8 +105,11 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"campaign\",\n  \"host_cores\": {},\n  \"scales\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"campaign\",\n  \"host_cores\": {},\n  \"note\": \"{}\",\n  \
+         \"scales\": [\n{}\n  ]\n}}\n",
         cores,
+        "speedup_vs_1 columns are bounded by host_cores; a committed baseline from a \
+         1-core container necessarily shows ~1.0 at every thread count",
         scales.join(",\n")
     );
     // The bench process runs with the package as CWD; anchor the baseline

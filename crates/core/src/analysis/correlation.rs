@@ -88,10 +88,24 @@ pub fn correlate(
     operator: Operator,
     direction: Direction,
 ) -> CorrelationRow {
-    let rows: Vec<&TputSample> = samples
-        .iter()
-        .filter(|s| s.operator == operator && s.direction == direction && s.driving)
-        .collect();
+    correlate_rows(
+        samples
+            .iter()
+            .filter(|s| s.operator == operator && s.direction == direction && s.driving),
+        operator,
+        direction,
+    )
+}
+
+/// [`correlate`] over pre-filtered samples (the dataset-view path): the
+/// caller guarantees every sample already matches `(operator, direction,
+/// driving)`.
+pub fn correlate_rows<'a>(
+    samples: impl IntoIterator<Item = &'a TputSample>,
+    operator: Operator,
+    direction: Direction,
+) -> CorrelationRow {
+    let rows: Vec<&TputSample> = samples.into_iter().collect();
     let tput: Vec<f64> = rows.iter().map(|s| s.mbps).collect();
     let mut r = Vec::with_capacity(Kpi::ALL.len());
     let mut rho = Vec::with_capacity(Kpi::ALL.len());

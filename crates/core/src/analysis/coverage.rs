@@ -59,8 +59,13 @@ impl TechShare {
 
 /// Fig. 2a: per-operator overall technology share of miles driven.
 pub fn overall(samples: &[CoverageSample], op: Operator) -> TechShare {
+    overall_from(samples.iter().filter(|s| s.operator == op))
+}
+
+/// [`overall`] over pre-filtered samples (the dataset-view path).
+pub fn overall_from<'a>(samples: impl IntoIterator<Item = &'a CoverageSample>) -> TechShare {
     let mut out = TechShare::default();
-    for s in samples.iter().filter(|s| s.operator == op) {
+    for s in samples {
         out.add(s.tech, s.miles);
     }
     out
@@ -68,8 +73,15 @@ pub fn overall(samples: &[CoverageSample], op: Operator) -> TechShare {
 
 /// Fig. 2b: share split by backlogged traffic direction.
 pub fn by_direction(samples: &[CoverageSample], op: Operator) -> BTreeMap<Direction, TechShare> {
+    by_direction_from(samples.iter().filter(|s| s.operator == op))
+}
+
+/// [`by_direction`] over pre-filtered samples.
+pub fn by_direction_from<'a>(
+    samples: impl IntoIterator<Item = &'a CoverageSample>,
+) -> BTreeMap<Direction, TechShare> {
     let mut out: BTreeMap<Direction, TechShare> = BTreeMap::new();
-    for s in samples.iter().filter(|s| s.operator == op) {
+    for s in samples {
         if let Some(dir) = s.direction {
             out.entry(dir).or_default().add(s.tech, s.miles);
         }
@@ -79,8 +91,15 @@ pub fn by_direction(samples: &[CoverageSample], op: Operator) -> BTreeMap<Direct
 
 /// Fig. 2c: share per timezone.
 pub fn by_timezone(samples: &[CoverageSample], op: Operator) -> BTreeMap<Timezone, TechShare> {
+    by_timezone_from(samples.iter().filter(|s| s.operator == op))
+}
+
+/// [`by_timezone`] over pre-filtered samples.
+pub fn by_timezone_from<'a>(
+    samples: impl IntoIterator<Item = &'a CoverageSample>,
+) -> BTreeMap<Timezone, TechShare> {
     let mut out: BTreeMap<Timezone, TechShare> = BTreeMap::new();
-    for s in samples.iter().filter(|s| s.operator == op) {
+    for s in samples {
         out.entry(s.tz).or_default().add(s.tech, s.miles);
     }
     out
@@ -88,8 +107,15 @@ pub fn by_timezone(samples: &[CoverageSample], op: Operator) -> BTreeMap<Timezon
 
 /// Fig. 2d: share per speed bin.
 pub fn by_speed_bin(samples: &[CoverageSample], op: Operator) -> BTreeMap<SpeedBin, TechShare> {
+    by_speed_bin_from(samples.iter().filter(|s| s.operator == op))
+}
+
+/// [`by_speed_bin`] over pre-filtered samples.
+pub fn by_speed_bin_from<'a>(
+    samples: impl IntoIterator<Item = &'a CoverageSample>,
+) -> BTreeMap<SpeedBin, TechShare> {
     let mut out: BTreeMap<SpeedBin, TechShare> = BTreeMap::new();
-    for s in samples.iter().filter(|s| s.operator == op) {
+    for s in samples {
         out.entry(SpeedBin::of(Speed::from_mph(s.speed_mph)))
             .or_default()
             .add(s.tech, s.miles);

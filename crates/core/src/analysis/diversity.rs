@@ -77,15 +77,28 @@ pub fn pair_samples(
     b: Operator,
     dir: Direction,
 ) -> Vec<PairSample> {
-    // BTreeMap so the join below walks bins in time order — with a hash
-    // map, ties in `diff_mbps` would land in input-dependent order.
-    let index = |op: Operator| -> BTreeMap<u64, &TputSample> {
+    pair_samples_joined(
         samples
             .iter()
-            .filter(|s| s.operator == op && s.direction == dir && s.driving)
-            .map(|s| (s.t.as_millis() / 500, s))
-            .collect()
-    };
+            .filter(|s| s.operator == a && s.direction == dir && s.driving),
+        samples
+            .iter()
+            .filter(|s| s.operator == b && s.direction == dir && s.driving),
+    )
+}
+
+/// [`pair_samples`] over two pre-filtered sample streams (the
+/// dataset-view path: each stream is one (operator, direction, driving)
+/// partition).
+pub fn pair_samples_joined<'a>(
+    a: impl IntoIterator<Item = &'a TputSample>,
+    b: impl IntoIterator<Item = &'a TputSample>,
+) -> Vec<PairSample> {
+    // BTreeMap so the join below walks bins in time order — with a hash
+    // map, ties in `diff_mbps` would land in input-dependent order.
+    fn index<'a>(it: impl IntoIterator<Item = &'a TputSample>) -> BTreeMap<u64, &'a TputSample> {
+        it.into_iter().map(|s| (s.t.as_millis() / 500, s)).collect()
+    }
     let ia = index(a);
     let ib = index(b);
     let mut out: Vec<PairSample> = ia

@@ -14,7 +14,8 @@ use wheels_radio::tech::Direction;
 use wheels_ran::operator::Operator;
 use wheels_ran::session::HandoverKind;
 
-use crate::records::{Dataset, TestKind, TputSample};
+use crate::analysis::view::at;
+use crate::records::{Dataset, TestKind};
 
 /// Per-test handover rate (Fig. 11a).
 pub fn handovers_per_mile(ds: &Dataset, op: Operator, dir: Direction) -> Vec<f64> {
@@ -58,28 +59,39 @@ pub struct HoImpact {
 /// test with enough surrounding samples.
 pub fn impacts(ds: &Dataset) -> Vec<HoImpact> {
     // Index throughput samples by test.
-    let mut by_test: BTreeMap<u32, Vec<&TputSample>> = BTreeMap::new();
-    for s in &ds.tput {
-        by_test.entry(s.test_id).or_default().push(s);
+    let mut by_test: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for (i, s) in ds.tput.iter().enumerate() {
+        by_test
+            .entry(s.test_id)
+            .or_default()
+            .push(u32::try_from(i).expect("tput table exceeds u32 rows"));
     }
     for v in by_test.values_mut() {
-        v.sort_by_key(|s| s.t);
+        v.sort_by_key(|&i| at(&ds.tput, i).t);
     }
+    impacts_indexed(ds, &by_test)
+}
 
+/// Like [`impacts`], but reusing a prebuilt by-test position index whose
+/// groups are time-ascending — the [`DatasetView`] path, where the index
+/// is shared with the per-test figure queries.
+///
+/// [`DatasetView`]: crate::analysis::view::DatasetView
+pub fn impacts_indexed(ds: &Dataset, by_test: &BTreeMap<u32, Vec<u32>>) -> Vec<HoImpact> {
     let mut out = Vec::new();
     for h in &ds.handovers {
         let Some(test_id) = h.test_id else { continue };
         let Some(dir) = h.direction else { continue };
-        let Some(samples) = by_test.get(&test_id) else {
+        let Some(pos) = by_test.get(&test_id) else {
             continue;
         };
         // Bin containing the handover start.
-        let k = samples.partition_point(|s| s.t <= h.event.start);
+        let k = pos.partition_point(|&i| at(&ds.tput, i).t <= h.event.start);
         let Some(k) = k.checked_sub(1) else { continue };
-        if k < 2 || k + 2 >= samples.len() {
+        if k < 2 || k + 2 >= pos.len() {
             continue; // not enough context around the HO
         }
-        let t = |i: usize| samples[i].mbps;
+        let t = |i: usize| at(&ds.tput, pos[i]).mbps;
         out.push(HoImpact {
             delta_t1: t(k) - (t(k - 1) + t(k + 1)) / 2.0,
             delta_t2: (t(k + 1) + t(k + 2)) / 2.0 - (t(k - 2) + t(k - 1)) / 2.0,
@@ -119,7 +131,7 @@ mod tests {
     use wheels_sim_core::time::{SimDuration, SimTime, Timezone};
     use wheels_transport::servers::ServerKind;
 
-    use crate::records::{TaggedHandover, TestRun};
+    use crate::records::{TaggedHandover, TestRun, TputSample};
 
     fn sample(test_id: u32, t: SimTime, mbps: f64) -> TputSample {
         TputSample {

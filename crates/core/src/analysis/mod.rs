@@ -8,8 +8,11 @@
 //!   (Figs. 11–12).
 //! - [`diversity`] — operator-pair concurrent throughput differences and
 //!   the HT/LT technology bins (Fig. 6).
+//! - [`view`] — indexed, memoized [`view::DatasetView`] the figure
+//!   modules query instead of re-scanning the flat tables.
 
 pub mod correlation;
 pub mod coverage;
 pub mod diversity;
 pub mod handover;
+pub mod view;

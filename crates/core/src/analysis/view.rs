@@ -1,0 +1,518 @@
+//! Indexed, memoized views over a normalized [`Dataset`].
+//!
+//! Every figure module filters the same flat tables by the same handful
+//! of dimensions (operator × direction × driving, then technology /
+//! timezone / speed bin below that) and then sorts the surviving samples
+//! into a fresh [`Cdf`]. On a Standard/Full campaign that is dozens of
+//! full-table scans and re-sorts per `repro` run. A [`DatasetView`] is
+//! built once per world: it partitions each table by those dimensions
+//! into permutation indices (positions into the owned tables, ascending,
+//! so iteration order is exactly the order a linear `*_where` scan would
+//! visit), and memoizes per-query sorted-sample [`Cdf`]s so quantile and
+//! summary queries are O(1) after a single shared sort.
+//!
+//! Figure values are unchanged: the view yields the same samples in the
+//! same order as [`Dataset::tput_where`]/[`Dataset::rtt_where`] on the
+//! normalized dataset, and the memoized Cdfs hold the identical sorted
+//! multiset `Cdf::from_samples` would produce (a property test in
+//! `crates/core/tests/view_properties.rs` pins both claims against the
+//! brute-force filters on shuffled inserts).
+//!
+//! The view is `Sync` (plain tables plus `OnceLock` memo slots), so one
+//! instance can back the parallel experiment runner without locking.
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use wheels_radio::tech::{Direction, Technology};
+use wheels_ran::operator::Operator;
+use wheels_sim_core::stats::Cdf;
+use wheels_sim_core::time::Timezone;
+use wheels_sim_core::units::{Speed, SpeedBin};
+
+use crate::analysis::handover::{self, HoImpact};
+use crate::records::{CoverageSample, Dataset, RttSample, TputSample};
+
+const OPS: usize = Operator::ALL.len();
+const DIRS: usize = Direction::ALL.len();
+const TECHS: usize = Technology::ALL.len();
+const TZS: usize = Timezone::ALL.len();
+const BINS: usize = SpeedBin::ALL.len();
+
+/// Fully-specified throughput partitions: operator × direction × driving.
+const TPUT_PARTS: usize = OPS * DIRS * 2;
+/// Throughput query combos including wildcard (`None`) dimensions.
+const TPUT_COMBOS: usize = (OPS + 1) * (DIRS + 1) * 3;
+/// Fully-specified RTT partitions: operator × driving.
+const RTT_PARTS: usize = OPS * 2;
+/// RTT query combos including wildcards.
+const RTT_COMBOS: usize = (OPS + 1) * 3;
+
+/// Index a table by a u32 position produced at view-build time.
+#[inline]
+pub(crate) fn at<T>(table: &[T], pos: u32) -> &T {
+    // lint: allow(lossy-cast, u32 position to usize is widening on every supported target)
+    &table[pos as usize]
+}
+
+fn dir_index(d: Direction) -> usize {
+    match d {
+        Direction::Downlink => 0,
+        Direction::Uplink => 1,
+    }
+}
+
+fn tz_index(tz: Timezone) -> usize {
+    Timezone::ALL
+        .iter()
+        .position(|&t| t == tz)
+        .expect("Timezone::ALL covers every variant")
+}
+
+fn bin_index(b: SpeedBin) -> usize {
+    match b {
+        SpeedBin::Low => 0,
+        SpeedBin::Mid => 1,
+        SpeedBin::High => 2,
+    }
+}
+
+fn tpart(op: usize, dir: usize, driving: usize) -> usize {
+    (op * DIRS + dir) * 2 + driving
+}
+
+fn rpart(op: usize, driving: usize) -> usize {
+    op * 2 + driving
+}
+
+/// Combo slot for a (possibly wildcard) throughput query; wildcards take
+/// the one-past-the-end index of their dimension.
+fn tcombo(op: Option<Operator>, dir: Option<Direction>, driving: Option<bool>) -> usize {
+    let o = op.map_or(OPS, Operator::index);
+    let d = dir.map_or(DIRS, dir_index);
+    let dr = driving.map_or(2, usize::from);
+    (o * (DIRS + 1) + d) * 3 + dr
+}
+
+fn rcombo(op: Option<Operator>, driving: Option<bool>) -> usize {
+    let o = op.map_or(OPS, Operator::index);
+    let dr = driving.map_or(2, usize::from);
+    o * 3 + dr
+}
+
+/// Partition ids whose (operator, direction, driving) match the filter.
+fn tput_part_ids(
+    op: Option<Operator>,
+    dir: Option<Direction>,
+    driving: Option<bool>,
+) -> Vec<usize> {
+    let mut out = Vec::new();
+    for o in 0..OPS {
+        if op.is_some_and(|x| x.index() != o) {
+            continue;
+        }
+        for d in 0..DIRS {
+            if dir.is_some_and(|x| dir_index(x) != d) {
+                continue;
+            }
+            for dr in 0..2 {
+                if driving.is_some_and(|x| usize::from(x) != dr) {
+                    continue;
+                }
+                out.push(tpart(o, d, dr));
+            }
+        }
+    }
+    out
+}
+
+fn rtt_part_ids(op: Option<Operator>, driving: Option<bool>) -> Vec<usize> {
+    let mut out = Vec::new();
+    for o in 0..OPS {
+        if op.is_some_and(|x| x.index() != o) {
+            continue;
+        }
+        for dr in 0..2 {
+            if driving.is_some_and(|x| usize::from(x) != dr) {
+                continue;
+            }
+            out.push(rpart(o, dr));
+        }
+    }
+    out
+}
+
+/// K-way merge of ascending (`f64::total_cmp`) runs into one ascending
+/// vector — the identical sorted multiset a fresh sort would produce.
+fn merge_sorted(runs: &[&[f64]]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(runs.iter().map(|r| r.len()).sum());
+    let mut cursors = vec![0usize; runs.len()];
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, run) in runs.iter().enumerate() {
+            let Some(&x) = run.get(cursors[i]) else {
+                continue;
+            };
+            best = match best {
+                Some(b) if runs[b][cursors[b]].total_cmp(&x).is_le() => Some(b),
+                _ => Some(i),
+            };
+        }
+        let Some(b) = best else { break };
+        out.push(runs[b][cursors[b]]);
+        cursors[b] += 1;
+    }
+    out
+}
+
+fn push_pos(list: &mut Vec<u32>, i: usize) {
+    list.push(u32::try_from(i).expect("table exceeds u32 rows"));
+}
+
+#[derive(Default)]
+struct TputPart {
+    /// Positions into `Dataset::tput`, ascending.
+    idx: Vec<u32>,
+    by_tech: [Vec<u32>; TECHS],
+    by_tz: [Vec<u32>; TZS],
+    by_bin_tech: [[Vec<u32>; TECHS]; BINS],
+    /// Finite `mbps` values of this partition, sorted ascending.
+    sorted_mbps: OnceLock<Vec<f64>>,
+}
+
+impl TputPart {
+    fn sorted_mbps(&self, tput: &[TputSample]) -> &[f64] {
+        self.sorted_mbps.get_or_init(|| {
+            let mut v: Vec<f64> = self
+                .idx
+                .iter()
+                .map(|&i| at(tput, i).mbps)
+                .filter(|x| x.is_finite())
+                .collect();
+            v.sort_by(f64::total_cmp);
+            v
+        })
+    }
+}
+
+#[derive(Default)]
+struct RttPart {
+    /// Positions into `Dataset::rtt` (lost pings included), ascending.
+    idx: Vec<u32>,
+    by_tech: [Vec<u32>; TECHS],
+    by_bin_tech: [[Vec<u32>; TECHS]; BINS],
+    /// Finite valid RTT values of this partition, sorted ascending.
+    sorted_ms: OnceLock<Vec<f64>>,
+}
+
+impl RttPart {
+    fn sorted_ms(&self, rtt: &[RttSample]) -> &[f64] {
+        self.sorted_ms.get_or_init(|| {
+            let mut v: Vec<f64> = self
+                .idx
+                .iter()
+                .filter_map(|&i| at(rtt, i).rtt_ms)
+                .filter(|x| x.is_finite())
+                .collect();
+            v.sort_by(f64::total_cmp);
+            v
+        })
+    }
+}
+
+/// Indexed view over an owned, normalized [`Dataset`]. See the module
+/// docs for the guarantees.
+pub struct DatasetView {
+    ds: Dataset,
+    tput_parts: Vec<TputPart>,
+    rtt_parts: Vec<RttPart>,
+    cov_idx: [Vec<u32>; OPS],
+    /// Per-test positions into `tput`, time-ascending (normalize sorts by
+    /// `(t, test_id)` and a test's samples share one `test_id`).
+    tput_by_test: BTreeMap<u32, Vec<u32>>,
+    rtt_by_test: BTreeMap<u32, Vec<u32>>,
+    /// Memoized merged indices for wildcard combos.
+    tput_merged: [OnceLock<Vec<u32>>; TPUT_COMBOS],
+    rtt_merged: [OnceLock<Vec<u32>>; RTT_COMBOS],
+    /// Memoized per-combo Cdfs (throughput Mbps / valid RTT ms).
+    tput_cdfs: [OnceLock<Cdf>; TPUT_COMBOS],
+    rtt_cdfs: [OnceLock<Cdf>; RTT_COMBOS],
+    /// Memoized handover impact rows (Fig. 12, findings).
+    impacts: OnceLock<Vec<HoImpact>>,
+}
+
+impl DatasetView {
+    /// Normalize `ds` (idempotent) and build all eager indices. Lazy
+    /// memos (sorted runs, merged combos, Cdfs, impacts) fill on first
+    /// use.
+    pub fn new(mut ds: Dataset) -> DatasetView {
+        ds.normalize();
+
+        let mut tput_parts: Vec<TputPart> = (0..TPUT_PARTS).map(|_| TputPart::default()).collect();
+        let mut tput_by_test: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for (i, s) in ds.tput.iter().enumerate() {
+            let p = &mut tput_parts[tpart(
+                s.operator.index(),
+                dir_index(s.direction),
+                usize::from(s.driving),
+            )];
+            push_pos(&mut p.idx, i);
+            push_pos(&mut p.by_tech[s.tech.index()], i);
+            push_pos(&mut p.by_tz[tz_index(s.tz)], i);
+            let b = bin_index(SpeedBin::of(Speed::from_mph(s.speed_mph)));
+            push_pos(&mut p.by_bin_tech[b][s.tech.index()], i);
+            push_pos(tput_by_test.entry(s.test_id).or_default(), i);
+        }
+
+        let mut rtt_parts: Vec<RttPart> = (0..RTT_PARTS).map(|_| RttPart::default()).collect();
+        let mut rtt_by_test: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for (i, s) in ds.rtt.iter().enumerate() {
+            let p = &mut rtt_parts[rpart(s.operator.index(), usize::from(s.driving))];
+            push_pos(&mut p.idx, i);
+            push_pos(&mut p.by_tech[s.tech.index()], i);
+            let b = bin_index(SpeedBin::of(Speed::from_mph(s.speed_mph)));
+            push_pos(&mut p.by_bin_tech[b][s.tech.index()], i);
+            push_pos(rtt_by_test.entry(s.test_id).or_default(), i);
+        }
+
+        let mut cov_idx: [Vec<u32>; OPS] = Default::default();
+        for (i, s) in ds.coverage.iter().enumerate() {
+            push_pos(&mut cov_idx[s.operator.index()], i);
+        }
+
+        DatasetView {
+            ds,
+            tput_parts,
+            rtt_parts,
+            cov_idx,
+            tput_by_test,
+            rtt_by_test,
+            tput_merged: std::array::from_fn(|_| OnceLock::new()),
+            rtt_merged: std::array::from_fn(|_| OnceLock::new()),
+            tput_cdfs: std::array::from_fn(|_| OnceLock::new()),
+            rtt_cdfs: std::array::from_fn(|_| OnceLock::new()),
+            impacts: OnceLock::new(),
+        }
+    }
+
+    /// The owned, normalized dataset (for tables the view does not index:
+    /// runs, handovers, apps, Table-1 aggregates).
+    pub fn dataset(&self) -> &Dataset {
+        &self.ds
+    }
+
+    /// Positions matching the filter, in dataset (time) order — the same
+    /// visit order as a linear `tput_where` scan.
+    fn tput_index(
+        &self,
+        op: Option<Operator>,
+        dir: Option<Direction>,
+        driving: Option<bool>,
+    ) -> &[u32] {
+        if let (Some(o), Some(d), Some(dr)) = (op, dir, driving) {
+            return &self.tput_parts[tpart(o.index(), dir_index(d), usize::from(dr))].idx;
+        }
+        self.tput_merged[tcombo(op, dir, driving)].get_or_init(|| {
+            let mut v: Vec<u32> = tput_part_ids(op, dir, driving)
+                .into_iter()
+                .flat_map(|p| self.tput_parts[p].idx.iter().copied())
+                .collect();
+            v.sort_unstable();
+            v
+        })
+    }
+
+    fn rtt_index(&self, op: Option<Operator>, driving: Option<bool>) -> &[u32] {
+        if let (Some(o), Some(dr)) = (op, driving) {
+            return &self.rtt_parts[rpart(o.index(), usize::from(dr))].idx;
+        }
+        self.rtt_merged[rcombo(op, driving)].get_or_init(|| {
+            let mut v: Vec<u32> = rtt_part_ids(op, driving)
+                .into_iter()
+                .flat_map(|p| self.rtt_parts[p].idx.iter().copied())
+                .collect();
+            v.sort_unstable();
+            v
+        })
+    }
+
+    /// Equivalent of [`Dataset::tput_where`]: same samples, same order,
+    /// without the full-table scan.
+    pub fn tput_iter(
+        &self,
+        op: Option<Operator>,
+        dir: Option<Direction>,
+        driving: Option<bool>,
+    ) -> impl Iterator<Item = &TputSample> {
+        self.tput_index(op, dir, driving)
+            .iter()
+            .map(|&i| at(&self.ds.tput, i))
+    }
+
+    /// Memoized Cdf of `mbps` over the filter — the sorted multiset
+    /// `Cdf::from_samples` would build, shared across callers.
+    pub fn tput_cdf(
+        &self,
+        op: Option<Operator>,
+        dir: Option<Direction>,
+        driving: Option<bool>,
+    ) -> &Cdf {
+        self.tput_cdfs[tcombo(op, dir, driving)].get_or_init(|| {
+            let runs: Vec<&[f64]> = tput_part_ids(op, dir, driving)
+                .into_iter()
+                .map(|p| self.tput_parts[p].sorted_mbps(&self.ds.tput))
+                .collect();
+            Cdf::from_sorted(merge_sorted(&runs))
+        })
+    }
+
+    /// Throughput samples of one partition on one technology (Fig. 4).
+    pub fn tput_tech(
+        &self,
+        op: Operator,
+        dir: Direction,
+        driving: bool,
+        tech: Technology,
+    ) -> impl Iterator<Item = &TputSample> {
+        self.tput_parts[tpart(op.index(), dir_index(dir), usize::from(driving))].by_tech
+            [tech.index()]
+        .iter()
+        .map(|&i| at(&self.ds.tput, i))
+    }
+
+    /// Throughput samples of one partition in one timezone (Fig. 5).
+    pub fn tput_tz(
+        &self,
+        op: Operator,
+        dir: Direction,
+        driving: bool,
+        tz: Timezone,
+    ) -> impl Iterator<Item = &TputSample> {
+        self.tput_parts[tpart(op.index(), dir_index(dir), usize::from(driving))].by_tz[tz_index(tz)]
+            .iter()
+            .map(|&i| at(&self.ds.tput, i))
+    }
+
+    /// Throughput samples of one partition in one speed bin on one
+    /// technology (Figs. 7–8).
+    pub fn tput_bin_tech(
+        &self,
+        op: Operator,
+        dir: Direction,
+        driving: bool,
+        bin: SpeedBin,
+        tech: Technology,
+    ) -> impl Iterator<Item = &TputSample> {
+        self.tput_parts[tpart(op.index(), dir_index(dir), usize::from(driving))].by_bin_tech
+            [bin_index(bin)][tech.index()]
+        .iter()
+        .map(|&i| at(&self.ds.tput, i))
+    }
+
+    /// Per-test throughput sample groups matching the filter, keyed by
+    /// test id, each group in time order (Figs. 9–10). A test's operator,
+    /// direction and driving flag are constant by construction, so the
+    /// filter checks the group's first sample.
+    pub fn tput_tests(
+        &self,
+        op: Option<Operator>,
+        dir: Option<Direction>,
+        driving: Option<bool>,
+    ) -> impl Iterator<Item = (u32, impl Iterator<Item = &TputSample>)> {
+        self.tput_by_test.iter().filter_map(move |(&id, pos)| {
+            let first = at(&self.ds.tput, *pos.first()?);
+            let keep = op.is_none_or(|o| first.operator == o)
+                && dir.is_none_or(|d| first.direction == d)
+                && driving.is_none_or(|dr| first.driving == dr);
+            keep.then(|| (id, pos.iter().map(|&i| at(&self.ds.tput, i))))
+        })
+    }
+
+    /// Equivalent of iterating `Dataset::rtt` with the `rtt_where`
+    /// filters but keeping whole samples (lost pings included).
+    pub fn rtt_iter(
+        &self,
+        op: Option<Operator>,
+        driving: Option<bool>,
+    ) -> impl Iterator<Item = &RttSample> {
+        self.rtt_index(op, driving)
+            .iter()
+            .map(|&i| at(&self.ds.rtt, i))
+    }
+
+    /// Equivalent of [`Dataset::rtt_where`]: valid RTT values in dataset
+    /// order.
+    pub fn rtt_values(
+        &self,
+        op: Option<Operator>,
+        driving: Option<bool>,
+    ) -> impl Iterator<Item = f64> + '_ {
+        self.rtt_iter(op, driving).filter_map(|s| s.rtt_ms)
+    }
+
+    /// Memoized Cdf of valid RTT ms over the filter.
+    pub fn rtt_cdf(&self, op: Option<Operator>, driving: Option<bool>) -> &Cdf {
+        self.rtt_cdfs[rcombo(op, driving)].get_or_init(|| {
+            let runs: Vec<&[f64]> = rtt_part_ids(op, driving)
+                .into_iter()
+                .map(|p| self.rtt_parts[p].sorted_ms(&self.ds.rtt))
+                .collect();
+            Cdf::from_sorted(merge_sorted(&runs))
+        })
+    }
+
+    /// RTT samples of one partition on one technology (Fig. 4).
+    pub fn rtt_tech(
+        &self,
+        op: Operator,
+        driving: bool,
+        tech: Technology,
+    ) -> impl Iterator<Item = &RttSample> {
+        self.rtt_parts[rpart(op.index(), usize::from(driving))].by_tech[tech.index()]
+            .iter()
+            .map(|&i| at(&self.ds.rtt, i))
+    }
+
+    /// RTT samples of one partition in one speed bin on one technology
+    /// (Fig. 8).
+    pub fn rtt_bin_tech(
+        &self,
+        op: Operator,
+        driving: bool,
+        bin: SpeedBin,
+        tech: Technology,
+    ) -> impl Iterator<Item = &RttSample> {
+        self.rtt_parts[rpart(op.index(), usize::from(driving))].by_bin_tech[bin_index(bin)]
+            [tech.index()]
+        .iter()
+        .map(|&i| at(&self.ds.rtt, i))
+    }
+
+    /// Per-test RTT sample groups matching the filter (Fig. 9).
+    pub fn rtt_tests(
+        &self,
+        op: Option<Operator>,
+        driving: Option<bool>,
+    ) -> impl Iterator<Item = (u32, impl Iterator<Item = &RttSample>)> {
+        self.rtt_by_test.iter().filter_map(move |(&id, pos)| {
+            let first = at(&self.ds.rtt, *pos.first()?);
+            let keep = op.is_none_or(|o| first.operator == o)
+                && driving.is_none_or(|dr| first.driving == dr);
+            keep.then(|| (id, pos.iter().map(|&i| at(&self.ds.rtt, i))))
+        })
+    }
+
+    /// Coverage samples of one operator, in dataset order (Figs. 1–2).
+    pub fn coverage_for(&self, op: Operator) -> impl Iterator<Item = &CoverageSample> {
+        self.cov_idx[op.index()]
+            .iter()
+            .map(|&i| at(&self.ds.coverage, i))
+    }
+
+    /// Memoized handover throughput impacts (Fig. 12, findings), computed
+    /// once over the shared by-test index.
+    pub fn impacts(&self) -> &[HoImpact] {
+        self.impacts
+            .get_or_init(|| handover::impacts_indexed(&self.ds, &self.tput_by_test))
+    }
+}

@@ -7,51 +7,39 @@
 //! plus the Table 1 accounting) as a single JSON document.
 //!
 //! ```text
-//! dataset [--quick|--standard|--full] [--seed N] [output.json]
+//! dataset [--quick|--standard|--full] [--seed N] [--threads N] [output.json]
 //! ```
 //!
 //! With no output path, JSON goes to stdout.
 
 use std::io::Write;
 
+use wheels_experiments::cli;
 use wheels_experiments::world::{Scale, World};
 
 fn main() {
-    let mut scale = Scale::Quick;
-    let mut seed: u64 = 2022;
-    let mut out_path: Option<String> = None;
-    let mut iter = std::env::args().skip(1);
-    while let Some(a) = iter.next() {
-        match a.as_str() {
-            "--quick" => scale = Scale::Quick,
-            "--standard" => scale = Scale::Standard,
-            "--full" => scale = Scale::Full,
-            "--seed" => {
-                seed = iter.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--seed needs an integer");
-                    std::process::exit(2);
-                });
-            }
-            other if other.starts_with("--") => {
-                eprintln!("unknown flag {other}");
-                std::process::exit(2);
-            }
-            other => out_path = Some(other.to_string()),
-        }
-    }
+    let args = cli::parse_args(Scale::Quick, std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let out_path = args.rest.into_iter().last();
 
-    eprintln!("building world at scale {scale:?} (seed {seed})...");
-    let world = World::build_seeded(scale, seed);
+    eprintln!(
+        "building world at scale {:?} (seed {})...",
+        args.scale, args.seed
+    );
+    let world = World::build_with(args.scale, args.seed, args.threads);
+    let ds = world.dataset();
     eprintln!(
         "serializing {} tput / {} rtt / {} coverage / {} runs / {} handovers / {} app runs",
-        world.dataset.tput.len(),
-        world.dataset.rtt.len(),
-        world.dataset.coverage.len(),
-        world.dataset.runs.len(),
-        world.dataset.handovers.len(),
-        world.dataset.apps.len()
+        ds.tput.len(),
+        ds.rtt.len(),
+        ds.coverage.len(),
+        ds.runs.len(),
+        ds.handovers.len(),
+        ds.apps.len()
     );
-    let json = serde_json::to_string(&world.dataset).expect("dataset serializes");
+    let json = serde_json::to_string(ds).expect("dataset serializes");
     match out_path {
         Some(p) => {
             std::fs::write(&p, json.as_bytes()).expect("write output file");

@@ -1,76 +1,62 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick|--standard|--full] [--seed N] [ids...]
+//! repro [--quick|--standard|--full] [--seed N] [--threads N] [ids...]
 //! repro --list
 //! ```
 //!
-//! With no ids, every experiment runs. Run in release mode; `--full` is
-//! the paper's continuous protocol and takes minutes.
+//! With no ids, every experiment runs. Experiments execute on a worker
+//! pool (`--threads N`, default = host cores) with output buffered per
+//! experiment and printed in registry order, so stdout is byte-identical
+//! at any thread count. Run in release mode; `--full` is the paper's
+//! continuous protocol and takes minutes.
 
 use std::io::Write;
 
 use wheels_experiments::world::{Scale, World};
-use wheels_experiments::{registry, run_by_id};
+use wheels_experiments::{cli, registry, render_report, resolve};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--list") {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--list") {
         for (id, desc, _) in registry() {
             println!("{id:<8} {desc}");
         }
         return;
     }
-    let mut scale = Scale::Standard;
-    let mut seed: u64 = 2022;
-    let mut ids: Vec<String> = Vec::new();
-    let mut iter = args.into_iter();
-    while let Some(a) = iter.next() {
-        match a.as_str() {
-            "--quick" => scale = Scale::Quick,
-            "--standard" => scale = Scale::Standard,
-            "--full" => scale = Scale::Full,
-            "--seed" => {
-                seed = iter.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--seed needs an integer");
-                    std::process::exit(2);
-                });
-            }
-            other if other.starts_with("--") => {
-                eprintln!("unknown flag {other}");
-                std::process::exit(2);
-            }
-            other => ids.push(other.to_string()),
-        }
-    }
-    if ids.is_empty() {
-        ids = registry().iter().map(|(id, _, _)| id.to_string()).collect();
-    }
+    let args = cli::parse_args(Scale::Standard, argv).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let ids = if args.rest.is_empty() {
+        registry().iter().map(|(id, _, _)| id.to_string()).collect()
+    } else {
+        args.rest.clone()
+    };
+    let exps = resolve(&ids).unwrap_or_else(|id| {
+        eprintln!("unknown experiment id: {id} (try --list)");
+        std::process::exit(2);
+    });
 
-    eprintln!("building world at scale {scale:?} (seed {seed})...");
+    eprintln!(
+        "building world at scale {:?} (seed {})...",
+        args.scale, args.seed
+    );
     let t0 = std::time::Instant::now();
-    let world = World::build_seeded(scale, seed);
+    let world = World::build_with(args.scale, args.seed, args.threads);
+    let ds = world.dataset();
     eprintln!(
         "world ready in {:.1}s: {} tput samples, {} rtt samples, {} app runs, {} handovers",
         t0.elapsed().as_secs_f64(),
-        world.dataset.tput.len(),
-        world.dataset.rtt.len(),
-        world.dataset.apps.len(),
-        world.dataset.handovers.len()
+        ds.tput.len(),
+        ds.rtt.len(),
+        ds.apps.len(),
+        ds.handovers.len()
     );
 
-    let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    for id in &ids {
-        match run_by_id(&world, id) {
-            Some(text) => {
-                writeln!(out, "{}", "=".repeat(78)).unwrap();
-                writeln!(out, "{text}").unwrap();
-            }
-            None => {
-                eprintln!("unknown experiment id: {id} (try --list)");
-                std::process::exit(2);
-            }
-        }
-    }
+    let report = render_report(&world, &exps, args.threads);
+    std::io::stdout()
+        .lock()
+        .write_all(report.as_bytes())
+        .expect("write stdout");
 }

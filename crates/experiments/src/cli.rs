@@ -1,0 +1,125 @@
+//! Shared, fallible command-line parsing for the `repro` and `dataset`
+//! binaries.
+//!
+//! Parsing returns `Result` instead of exiting, so bad/missing flag
+//! values are unit-testable; the binaries map `Err` to an exit code.
+
+use crate::world::Scale;
+
+/// Parsed common arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// Campaign scale (`--quick` / `--standard` / `--full`).
+    pub scale: Scale,
+    /// Campaign seed (`--seed N`, default 2022).
+    pub seed: u64,
+    /// Worker-pool cap (`--threads N`, default = host cores). Never
+    /// changes any output, only wall time.
+    pub threads: Option<usize>,
+    /// Positional arguments (experiment ids for `repro`, the output path
+    /// for `dataset`).
+    pub rest: Vec<String>,
+}
+
+/// Parse the flags shared by the binaries. `default_scale` differs per
+/// binary (`repro` defaults to Standard, `dataset` to Quick).
+pub fn parse_args(
+    default_scale: Scale,
+    argv: impl IntoIterator<Item = String>,
+) -> Result<Args, String> {
+    let mut args = Args {
+        scale: default_scale,
+        seed: 2022,
+        threads: None,
+        rest: Vec::new(),
+    };
+    let mut iter = argv.into_iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--quick" => args.scale = Scale::Quick,
+            "--standard" => args.scale = Scale::Standard,
+            "--full" => args.scale = Scale::Full,
+            "--seed" => {
+                let v = iter.next().ok_or("--seed needs an integer")?;
+                args.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed needs an integer, got {v:?}"))?;
+            }
+            "--threads" => {
+                let v = iter.next().ok_or("--threads needs a positive integer")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--threads needs a positive integer, got {v:?}"))?;
+                if n == 0 {
+                    return Err("--threads needs a positive integer, got 0".to_string());
+                }
+                args.threads = Some(n);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => args.rest.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_args(Scale::Standard, args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, Scale::Standard);
+        assert_eq!(a.seed, 2022);
+        assert_eq!(a.threads, None);
+        assert!(a.rest.is_empty());
+    }
+
+    #[test]
+    fn flags_and_positionals() {
+        let a = parse(&["--quick", "--seed", "7", "--threads", "4", "fig3", "fig9"]).unwrap();
+        assert_eq!(a.scale, Scale::Quick);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.threads, Some(4));
+        assert_eq!(a.rest, vec!["fig3".to_string(), "fig9".to_string()]);
+    }
+
+    #[test]
+    fn last_scale_flag_wins() {
+        let a = parse(&["--quick", "--full"]).unwrap();
+        assert_eq!(a.scale, Scale::Full);
+    }
+
+    #[test]
+    fn missing_seed_value_errors() {
+        let e = parse(&["--seed"]).unwrap_err();
+        assert!(e.contains("--seed needs an integer"), "{e}");
+    }
+
+    #[test]
+    fn bad_seed_value_errors() {
+        let e = parse(&["--seed", "twelve"]).unwrap_err();
+        assert!(e.contains("--seed needs an integer"), "{e}");
+        assert!(e.contains("twelve"), "{e}");
+        // A negative seed is also rejected (u64).
+        assert!(parse(&["--seed", "-1"]).is_err());
+    }
+
+    #[test]
+    fn bad_threads_values_error() {
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "zero"]).is_err());
+        let e = parse(&["--threads", "0"]).unwrap_err();
+        assert!(e.contains("positive"), "{e}");
+    }
+
+    #[test]
+    fn unknown_flag_errors() {
+        let e = parse(&["--frobnicate"]).unwrap_err();
+        assert_eq!(e, "unknown flag --frobnicate");
+    }
+}

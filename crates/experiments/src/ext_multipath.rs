@@ -41,7 +41,7 @@ impl TriSample {
 /// Collect all bins where all three operators have a driving sample.
 pub fn tri_samples(world: &World, dir: Direction) -> Vec<TriSample> {
     let mut by_bin: BTreeMap<u64, [Option<f64>; 3]> = BTreeMap::new();
-    for s in world.dataset.tput_where(None, Some(dir), Some(true)) {
+    for s in world.view().tput_iter(None, Some(dir), Some(true)) {
         let idx = s.operator.index();
         by_bin.entry(s.t.as_millis() / 500).or_default()[idx] = Some(s.mbps);
     }

@@ -35,8 +35,8 @@ pub struct MultivariateRow {
 /// Run the regression for one operator/direction.
 pub fn fit(world: &World, op: Operator, dir: Direction) -> MultivariateRow {
     let rows: Vec<_> = world
-        .dataset
-        .tput_where(Some(op), Some(dir), Some(true))
+        .view()
+        .tput_iter(Some(op), Some(dir), Some(true))
         .collect();
     let y: Vec<f64> = rows.iter().map(|s| s.mbps).collect();
     let xs: Vec<Vec<f64>> = rows

@@ -68,7 +68,7 @@ pub fn active_profile(world: &World, op: Operator) -> (Vec<(f64, Option<Technolo
     let trace = &world.campaign.trace;
     let mut points = Vec::new();
     let mut share = TechShare::default();
-    for c in world.dataset.coverage.iter().filter(|c| c.operator == op) {
+    for c in world.view().coverage_for(op) {
         if let Some(s) = trace.sample_at(c.t) {
             points.push((s.odo.as_miles(), c.tech));
             share.add(c.tech, c.miles);

@@ -17,12 +17,13 @@ pub fn tput_vs_hs5g(world: &World, op: Operator, dir: Direction) -> Vec<(f64, f6
         Direction::Downlink => TestKind::DownlinkTput,
         Direction::Uplink => TestKind::UplinkTput,
     };
-    let mut by_test: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
-    for s in world.dataset.tput_where(Some(op), Some(dir), Some(true)) {
-        by_test.entry(s.test_id).or_default().push(s.mbps);
-    }
+    let by_test: BTreeMap<u32, Vec<f64>> = world
+        .view()
+        .tput_tests(Some(op), Some(dir), Some(true))
+        .map(|(id, samples)| (id, samples.map(|s| s.mbps).collect()))
+        .collect();
     world
-        .dataset
+        .dataset()
         .runs
         .iter()
         .filter(|r| r.operator == op && r.kind == kind && r.driving)

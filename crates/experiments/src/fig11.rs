@@ -9,7 +9,7 @@ use crate::world::World;
 
 /// Render the figure.
 pub fn run(world: &World) -> String {
-    let ds = &world.dataset;
+    let ds = world.dataset();
     let mut out = String::from("Fig. 11a — handovers per mile during throughput tests\n");
     for dir in Direction::ALL {
         out.push_str(&format!("{}:\n", dir.label()));
@@ -46,7 +46,7 @@ mod tests {
         let w = World::quick();
         for op in Operator::ALL {
             for dir in Direction::ALL {
-                let rates = handover::handovers_per_mile(&w.dataset, op, dir);
+                let rates = handover::handovers_per_mile(w.dataset(), op, dir);
                 if rates.len() < 10 {
                     continue;
                 }
@@ -64,7 +64,7 @@ mod tests {
         let mut max = 0.0f64;
         for op in Operator::ALL {
             for dir in Direction::ALL {
-                for r in handover::handovers_per_mile(&w.dataset, op, dir) {
+                for r in handover::handovers_per_mile(w.dataset(), op, dir) {
                     max = max.max(r);
                 }
             }
@@ -77,8 +77,8 @@ mod tests {
         // Fig. 11b: V ≈ 53 ms, T ≈ 76 ms, A ≈ 58 ms (DL).
         let w = World::quick();
         let med = |op: Operator| {
-            let mut d = handover::durations_ms(&w.dataset, op, Direction::Downlink);
-            d.extend(handover::durations_ms(&w.dataset, op, Direction::Uplink));
+            let mut d = handover::durations_ms(w.dataset(), op, Direction::Downlink);
+            d.extend(handover::durations_ms(w.dataset(), op, Direction::Uplink));
             Cdf::from_samples(d).median()
         };
         if let (Some(v), Some(t), Some(a)) = (

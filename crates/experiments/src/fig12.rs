@@ -1,7 +1,7 @@
 //! Fig. 12: the throughput impact of handovers — ΔT₁ (drop during the HO)
 //! and ΔT₂ (post- vs pre-HO), overall and by handover type.
 
-use wheels_core::analysis::handover::{drop_fraction, impacts, improve_fraction, HoImpact};
+use wheels_core::analysis::handover::{drop_fraction, improve_fraction, HoImpact};
 use wheels_radio::tech::Direction;
 use wheels_ran::operator::Operator;
 use wheels_ran::session::HandoverKind;
@@ -9,11 +9,14 @@ use wheels_ran::session::HandoverKind;
 use crate::fmt;
 use crate::world::World;
 
-/// All impacts for one operator/direction.
+/// All impacts for one operator/direction, from the view's memoized set.
 pub fn impacts_for(world: &World, op: Operator, dir: Direction) -> Vec<HoImpact> {
-    impacts(&world.dataset)
-        .into_iter()
+    world
+        .view()
+        .impacts()
+        .iter()
         .filter(|i| i.operator == op && i.direction == dir)
+        .copied()
         .collect()
 }
 
@@ -71,8 +74,7 @@ mod tests {
     use super::*;
 
     fn all_impacts() -> Vec<HoImpact> {
-        let w = World::quick();
-        impacts(&w.dataset)
+        World::quick().view().impacts().to_vec()
     }
 
     #[test]

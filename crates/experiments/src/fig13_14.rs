@@ -21,7 +21,7 @@ pub fn runs(
     compressed: bool,
 ) -> Vec<(&OffloadStats, ServerKind)> {
     world
-        .dataset
+        .dataset()
         .apps
         .iter()
         .filter(|a| a.operator == op && a.kind == kind && a.driving)

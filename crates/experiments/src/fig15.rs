@@ -14,7 +14,7 @@ use crate::world::World;
 /// All driving video runs for one operator.
 pub fn runs(world: &World, op: Operator) -> Vec<(&VideoStats, ServerKind)> {
     world
-        .dataset
+        .dataset()
         .apps
         .iter()
         .filter(|a| a.operator == op && a.kind == TestKind::Video && a.driving)

@@ -13,7 +13,7 @@ use crate::world::World;
 /// All driving gaming runs for one operator.
 pub fn runs(world: &World, op: Operator) -> Vec<&GamingStats> {
     world
-        .dataset
+        .dataset()
         .apps
         .iter()
         .filter(|a| a.operator == op && a.kind == TestKind::Gaming && a.driving)

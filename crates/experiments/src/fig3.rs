@@ -8,27 +8,23 @@ use crate::world::World;
 
 /// Render the six CDF panels as summary lines.
 pub fn run(world: &World) -> String {
-    let ds = &world.dataset;
+    let v = world.view();
     let mut out = String::from("Fig. 3 — overall performance: static vs driving\n\n");
     for (label, driving) in [("3a static", false), ("3b driving", true)] {
         out.push_str(&format!("Fig. {label}\n"));
         for op in Operator::ALL {
             for dir in Direction::ALL {
-                let vals = ds
-                    .tput_where(Some(op), Some(dir), Some(driving))
-                    .map(|s| s.mbps);
                 out.push_str(&format!(
                     "  {:<9} {} tput (Mbps): {}\n",
                     op.label(),
                     dir.label(),
-                    fmt::cdf_line(vals)
+                    fmt::cdf_line_of(v.tput_cdf(Some(op), Some(dir), Some(driving)))
                 ));
             }
-            let rtts = ds.rtt_where(Some(op), Some(driving));
             out.push_str(&format!(
                 "  {:<9} RTT (ms)      : {}\n",
                 op.label(),
-                fmt::cdf_line(rtts)
+                fmt::cdf_line_of(v.rtt_cdf(Some(op), Some(driving)))
             ));
         }
         out.push('\n');
@@ -39,17 +35,13 @@ pub fn run(world: &World) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wheels_sim_core::stats::Cdf;
 
     fn median_tput(driving: bool, op: Operator, dir: Direction) -> f64 {
-        let w = World::quick();
-        Cdf::from_samples(
-            w.dataset
-                .tput_where(Some(op), Some(dir), Some(driving))
-                .map(|s| s.mbps),
-        )
-        .median()
-        .unwrap_or(0.0)
+        World::quick()
+            .view()
+            .tput_cdf(Some(op), Some(dir), Some(driving))
+            .median()
+            .unwrap_or(0.0)
     }
 
     #[test]
@@ -83,13 +75,10 @@ mod tests {
     fn significant_low_throughput_fraction_while_driving() {
         // §5.1: ~35% of driving samples below 5 Mbps. Accept 15–60% at
         // quick scale.
-        let w = World::quick();
-        let all: Vec<f64> = w
-            .dataset
-            .tput_where(None, None, Some(true))
-            .map(|s| s.mbps)
-            .collect();
-        let frac = Cdf::from_samples(all.iter().copied()).fraction_at_or_below(5.0);
+        let frac = World::quick()
+            .view()
+            .tput_cdf(None, None, Some(true))
+            .fraction_at_or_below(5.0);
         assert!((0.15..0.60).contains(&frac), "low-tput fraction {frac}");
     }
 
@@ -97,9 +86,7 @@ mod tests {
     fn driving_rtt_median_in_paper_band() {
         let w = World::quick();
         for op in Operator::ALL {
-            let med = Cdf::from_samples(w.dataset.rtt_where(Some(op), Some(true)))
-                .median()
-                .unwrap();
+            let med = w.view().rtt_cdf(Some(op), Some(true)).median().unwrap();
             assert!((35.0..130.0).contains(&med), "{op:?} RTT median {med}");
         }
     }
@@ -109,8 +96,7 @@ mod tests {
         // Fig. 3b: maxima of seconds. (Our RTT tests are unloaded pings, so
         // the multi-second bufferbloat tail lives in the TCP tests; pings
         // still show a heavy tail from scheduling jitter.)
-        let w = World::quick();
-        let c = Cdf::from_samples(w.dataset.rtt_where(None, Some(true)));
+        let c = World::quick().view().rtt_cdf(None, Some(true));
         let p99 = c.quantile(0.99).unwrap();
         let med = c.median().unwrap();
         assert!(p99 > med * 2.0, "median {med} p99 {p99}");

@@ -18,9 +18,9 @@ pub fn tput_samples(
     server: Option<ServerKind>,
 ) -> Vec<f64> {
     world
-        .dataset
-        .tput_where(Some(op), Some(dir), Some(true))
-        .filter(|s| s.tech == tech && server.is_none_or(|k| s.server == k))
+        .view()
+        .tput_tech(op, dir, true, tech)
+        .filter(|s| server.is_none_or(|k| s.server == k))
         .map(|s| s.mbps)
         .collect()
 }
@@ -33,12 +33,9 @@ pub fn rtt_samples(
     server: Option<ServerKind>,
 ) -> Vec<f64> {
     world
-        .dataset
-        .rtt
-        .iter()
-        .filter(|s| {
-            s.operator == op && s.driving && s.tech == tech && server.is_none_or(|k| s.server == k)
-        })
+        .view()
+        .rtt_tech(op, true, tech)
+        .filter(|s| server.is_none_or(|k| s.server == k))
         .filter_map(|s| s.rtt_ms)
         .collect()
 }

@@ -10,9 +10,8 @@ use crate::world::World;
 /// Driving throughput samples in one timezone.
 pub fn samples(world: &World, op: Operator, dir: Direction, tz: Timezone) -> Vec<f64> {
     world
-        .dataset
-        .tput_where(Some(op), Some(dir), Some(true))
-        .filter(|s| s.tz == tz)
+        .view()
+        .tput_tz(op, dir, true, tz)
         .map(|s| s.mbps)
         .collect()
 }

@@ -2,24 +2,34 @@
 //! HT/LT technology bins.
 
 use wheels_core::analysis::diversity::{
-    bin_distribution, diffs_in_bin, pair_samples, PairBin, PAIRS,
+    bin_distribution, diffs_in_bin, pair_samples_joined, PairBin, PairSample, PAIRS,
 };
 use wheels_radio::tech::Direction;
+use wheels_ran::operator::Operator;
 #[cfg(test)]
 use wheels_sim_core::stats::Cdf;
 
 use crate::fmt;
 use crate::world::World;
 
+/// Concurrent pair-samples of two operators' driving tests in one
+/// direction, joined via the view's partitions.
+pub fn pairs_for(world: &World, a: Operator, b: Operator, dir: Direction) -> Vec<PairSample> {
+    let v = world.view();
+    pair_samples_joined(
+        v.tput_iter(Some(a), Some(dir), Some(true)),
+        v.tput_iter(Some(b), Some(dir), Some(true)),
+    )
+}
+
 /// Render the figure.
 pub fn run(world: &World) -> String {
-    let tput = &world.dataset.tput;
     let mut out =
         String::from("Fig. 6 — operator-pair throughput differences (concurrent tests)\n\n");
     for dir in Direction::ALL {
         out.push_str(&format!("{}:\n", dir.label()));
         for (a, b) in PAIRS {
-            let pairs = pair_samples(tput, a, b, dir);
+            let pairs = pairs_for(world, a, b, dir);
             if pairs.is_empty() {
                 continue;
             }
@@ -58,13 +68,12 @@ pub fn run(world: &World) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wheels_ran::operator::Operator;
 
     #[test]
     fn concurrent_pairs_exist() {
         let w = World::quick();
         for (a, b) in PAIRS {
-            let pairs = pair_samples(&w.dataset.tput, a, b, Direction::Downlink);
+            let pairs = pairs_for(w, a, b, Direction::Downlink);
             assert!(pairs.len() > 50, "{a:?}-{b:?}: {} pairs", pairs.len());
         }
     }
@@ -74,12 +83,7 @@ mod tests {
         // §5.4: performance differs widely across operators at the same
         // place/time — the diff CDF has wide spread.
         let w = World::quick();
-        let pairs = pair_samples(
-            &w.dataset.tput,
-            Operator::Verizon,
-            Operator::TMobile,
-            Direction::Downlink,
-        );
+        let pairs = pairs_for(w, Operator::Verizon, Operator::TMobile, Direction::Downlink);
         let c = Cdf::from_samples(pairs.iter().map(|p| p.diff_mbps));
         let spread = c.quantile(0.9).unwrap() - c.quantile(0.1).unwrap();
         assert!(spread > 10.0, "p10-p90 spread {spread}");
@@ -90,7 +94,7 @@ mod tests {
         // Fig. 6b: UL pair-samples are mostly LT-LT.
         let w = World::quick();
         for (a, b) in PAIRS {
-            let pairs = pair_samples(&w.dataset.tput, a, b, Direction::Uplink);
+            let pairs = pairs_for(w, a, b, Direction::Uplink);
             if pairs.len() < 30 {
                 continue;
             }
@@ -109,8 +113,8 @@ mod tests {
         let mut total = 0;
         for (a, b) in PAIRS {
             for pairs in [
-                pair_samples(&w.dataset.tput, a, b, Direction::Downlink),
-                pair_samples(&w.dataset.tput, a, b, Direction::Uplink),
+                pairs_for(w, a, b, Direction::Downlink),
+                pairs_for(w, a, b, Direction::Uplink),
             ] {
                 for d in diffs_in_bin(&pairs, PairBin::LtHt) {
                     total += 1;

@@ -4,7 +4,7 @@
 use wheels_radio::tech::{Direction, Technology};
 use wheels_ran::operator::Operator;
 use wheels_sim_core::stats::Cdf;
-use wheels_sim_core::units::{Speed, SpeedBin};
+use wheels_sim_core::units::SpeedBin;
 
 use crate::fmt;
 use crate::world::World;
@@ -18,9 +18,8 @@ pub fn tput_by_bin_tech(
     tech: Technology,
 ) -> Vec<f64> {
     world
-        .dataset
-        .tput_where(Some(op), Some(dir), Some(true))
-        .filter(|s| SpeedBin::of(Speed::from_mph(s.speed_mph)) == bin && s.tech == tech)
+        .view()
+        .tput_bin_tech(op, dir, true, bin, tech)
         .map(|s| s.mbps)
         .collect()
 }
@@ -28,15 +27,8 @@ pub fn tput_by_bin_tech(
 /// RTT samples per (bin, tech).
 pub fn rtt_by_bin_tech(world: &World, op: Operator, bin: SpeedBin, tech: Technology) -> Vec<f64> {
     world
-        .dataset
-        .rtt
-        .iter()
-        .filter(|s| {
-            s.operator == op
-                && s.driving
-                && SpeedBin::of(Speed::from_mph(s.speed_mph)) == bin
-                && s.tech == tech
-        })
+        .view()
+        .rtt_bin_tech(op, true, bin, tech)
         .filter_map(|s| s.rtt_ms)
         .collect()
 }

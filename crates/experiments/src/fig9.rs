@@ -1,7 +1,5 @@
 //! Fig. 9: per-test (30 s / 20 s) means and within-test variability.
 
-use std::collections::BTreeMap;
-
 use wheels_radio::tech::Direction;
 use wheels_ran::operator::Operator;
 use wheels_sim_core::stats::Cdf;
@@ -26,12 +24,10 @@ pub fn test_std_pcts(world: &World, op: Operator, dir: Direction) -> Vec<f64> {
 }
 
 fn per_test(world: &World, op: Operator, dir: Direction) -> Vec<(f64, f64)> {
-    let mut by_test: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
-    for s in world.dataset.tput_where(Some(op), Some(dir), Some(true)) {
-        by_test.entry(s.test_id).or_default().push(s.mbps);
-    }
-    by_test
-        .values()
+    world
+        .view()
+        .tput_tests(Some(op), Some(dir), Some(true))
+        .map(|(_, samples)| samples.map(|s| s.mbps).collect::<Vec<f64>>())
         .filter(|v| v.len() >= 20)
         .map(|v| {
             let c = Cdf::from_samples(v.iter().copied());
@@ -43,19 +39,10 @@ fn per_test(world: &World, op: Operator, dir: Direction) -> Vec<(f64, f64)> {
 
 /// Per-test mean RTTs (driving).
 pub fn rtt_means(world: &World, op: Operator) -> Vec<f64> {
-    let mut by_test: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
-    for s in world
-        .dataset
-        .rtt
-        .iter()
-        .filter(|s| s.operator == op && s.driving)
-    {
-        if let Some(r) = s.rtt_ms {
-            by_test.entry(s.test_id).or_default().push(r);
-        }
-    }
-    by_test
-        .values()
+    world
+        .view()
+        .rtt_tests(Some(op), Some(true))
+        .map(|(_, samples)| samples.filter_map(|s| s.rtt_ms).collect::<Vec<f64>>())
         .filter(|v| v.len() >= 30)
         .map(|v| v.iter().sum::<f64>() / v.len() as f64)
         .collect()

@@ -3,14 +3,14 @@
 //! supporting numbers. This is the one-screen answer to "did the
 //! reproduction work?".
 
-use wheels_core::analysis::correlation::table2;
-use wheels_core::analysis::coverage::overall;
-use wheels_core::analysis::handover::{drop_fraction, impacts, improve_fraction};
+use wheels_core::analysis::coverage::overall_from;
+use wheels_core::analysis::handover::{drop_fraction, improve_fraction};
 use wheels_radio::tech::Direction;
 use wheels_ran::operator::Operator;
 use wheels_sim_core::stats::Cdf;
 use wheels_transport::servers::ServerKind;
 
+use crate::table2;
 use crate::world::World;
 
 /// One checked finding.
@@ -25,14 +25,15 @@ pub struct Finding {
 
 /// Evaluate all key findings.
 pub fn evaluate(world: &World) -> Vec<Finding> {
-    let ds = &world.dataset;
+    let ds = world.dataset();
+    let view = world.view();
     let mut out = Vec::new();
 
     // 1. 5G coverage low and fragmented; T-Mobile leads.
     {
-        let t = overall(&ds.coverage, Operator::TMobile).pct_5g();
-        let v = overall(&ds.coverage, Operator::Verizon).pct_5g();
-        let a = overall(&ds.coverage, Operator::Att).pct_5g();
+        let t = overall_from(view.coverage_for(Operator::TMobile)).pct_5g();
+        let v = overall_from(view.coverage_for(Operator::Verizon)).pct_5g();
+        let a = overall_from(view.coverage_for(Operator::Att)).pct_5g();
         out.push(Finding {
             claim: "5G coverage while driving is low and uneven; T-Mobile leads, V/A trail",
             holds: t > v && t > a && v < 40.0 && a < 40.0,
@@ -43,12 +44,9 @@ pub fn evaluate(world: &World) -> Vec<Finding> {
     // 2. Driving collapses throughput vs static.
     {
         let med = |driving| {
-            Cdf::from_samples(
-                ds.tput_where(None, Some(Direction::Downlink), Some(driving))
-                    .map(|s| s.mbps),
-            )
-            .median()
-            .unwrap_or(0.0)
+            view.tput_cdf(None, Some(Direction::Downlink), Some(driving))
+                .median()
+                .unwrap_or(0.0)
         };
         let (s, d) = (med(false), med(true));
         out.push(Finding {
@@ -60,11 +58,12 @@ pub fn evaluate(world: &World) -> Vec<Finding> {
 
     // 3. Substantial very-low-throughput time even with 5G deployed.
     {
-        let frac = Cdf::from_samples(ds.tput_where(None, None, Some(true)).map(|s| s.mbps))
+        let frac = view
+            .tput_cdf(None, None, Some(true))
             .fraction_at_or_below(5.0)
             * 100.0;
         let hs_frac = Cdf::from_samples(
-            ds.tput_where(None, Some(Direction::Downlink), Some(true))
+            view.tput_iter(None, Some(Direction::Downlink), Some(true))
                 .filter(|s| s.tech.is_high_speed())
                 .map(|s| s.mbps),
         )
@@ -84,9 +83,8 @@ pub fn evaluate(world: &World) -> Vec<Finding> {
     {
         let rtt = |kind| {
             Cdf::from_samples(
-                ds.rtt
-                    .iter()
-                    .filter(|r| r.operator == Operator::Verizon && r.driving && r.server == kind)
+                view.rtt_iter(Some(Operator::Verizon), Some(true))
+                    .filter(|r| r.server == kind)
                     .filter_map(|r| r.rtt_ms),
             )
             .median()
@@ -110,7 +108,7 @@ pub fn evaluate(world: &World) -> Vec<Finding> {
     // 5. No KPI strongly correlates with throughput.
     {
         let mut max_r: f64 = 0.0;
-        for row in table2(&ds.tput) {
+        for row in table2::rows_for(world) {
             for (_, r) in &row.r {
                 if let Some(r) = r {
                     max_r = max_r.max(r.abs());
@@ -126,9 +124,9 @@ pub fn evaluate(world: &World) -> Vec<Finding> {
 
     // 6. Handovers: frequent enough, short, and roughly throughput-neutral.
     {
-        let imp = impacts(ds);
-        let drop = drop_fraction(&imp) * 100.0;
-        let improve = improve_fraction(&imp) * 100.0;
+        let imp = view.impacts();
+        let drop = drop_fraction(imp) * 100.0;
+        let improve = improve_fraction(imp) * 100.0;
         let med_dur = Cdf::from_samples(
             ds.handovers
                 .iter()

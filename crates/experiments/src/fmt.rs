@@ -35,7 +35,11 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
 
 /// One-line CDF summary: `n / p10 p25 p50 p75 p90 / max`.
 pub fn cdf_line(values: impl IntoIterator<Item = f64>) -> String {
-    let c = Cdf::from_samples(values);
+    cdf_line_of(&Cdf::from_samples(values))
+}
+
+/// [`cdf_line`] for an already-built (e.g. view-memoized) [`Cdf`].
+pub fn cdf_line_of(c: &Cdf) -> String {
     match c.summary() {
         None => "n=0".to_string(),
         Some(s) => format!(

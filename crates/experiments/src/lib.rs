@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod fmt;
 pub mod targets;
 pub mod world;
@@ -123,4 +124,71 @@ pub fn run_by_id(world: &World, id: &str) -> Option<String> {
         .into_iter()
         .find(|(eid, _, _)| *eid == id)
         .map(|(_, _, f)| f(world))
+}
+
+/// Resolve ids against the registry, preserving input order. `Err` is
+/// the first unknown id, so callers can reject bad invocations before
+/// building a world.
+pub fn resolve(ids: &[String]) -> Result<Vec<Experiment>, String> {
+    let reg = registry();
+    ids.iter()
+        .map(|id| {
+            reg.iter()
+                .find(|(eid, _, _)| eid == id)
+                .copied()
+                .ok_or_else(|| id.clone())
+        })
+        .collect()
+}
+
+/// Run experiments on a worker pool (the campaign engine's pattern: an
+/// atomic next-job counter over scoped threads, results parked in
+/// per-slot mutexes). Returned texts are in `exps` order regardless of
+/// thread count or completion order; `threads` of `None` means host
+/// cores. Experiments only read the shared world, so parallelism cannot
+/// change any output.
+pub fn run_experiments(world: &World, exps: &[Experiment], threads: Option<usize>) -> Vec<String> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let threads = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+        .clamp(1, exps.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<String>>> = exps.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((_, _, f)) = exps.get(i) else { break };
+                let text = f(world);
+                *slots[i].lock().expect("experiment slot mutex poisoned") = Some(text);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("experiment slot mutex poisoned")
+                .expect("every claimed experiment stores its text")
+        })
+        .collect()
+}
+
+/// The exact byte stream `repro` writes to stdout for these experiments:
+/// a 78-char separator line, then the experiment text, per experiment.
+/// The determinism suite compares this across thread counts.
+pub fn render_report(world: &World, exps: &[Experiment], threads: Option<usize>) -> String {
+    let texts = run_experiments(world, exps, threads);
+    let mut out = String::new();
+    for text in texts {
+        out.push_str(&"=".repeat(78));
+        out.push('\n');
+        out.push_str(&text);
+        out.push('\n');
+    }
+    out
 }

@@ -45,7 +45,7 @@ pub fn passive_handover_estimate(world: &World, op: Operator) -> usize {
 
 /// Regenerate Table 1 next to the paper's numbers.
 pub fn run(world: &World) -> String {
-    let ds = &world.dataset;
+    let ds = world.dataset();
     let trace = &world.campaign.trace;
 
     let cells = |op: Operator| {

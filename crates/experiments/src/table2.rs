@@ -1,15 +1,31 @@
 //! Table 2: Pearson correlation between throughput and the KPIs.
 
-use wheels_core::analysis::correlation::{table2, Kpi};
+use wheels_core::analysis::correlation::{correlate_rows, CorrelationRow, Kpi};
 use wheels_radio::tech::Direction;
 use wheels_ran::operator::Operator;
 
 use crate::fmt;
 use crate::world::World;
 
+/// All six Table-2 rows, computed from the view's partitions.
+pub fn rows_for(world: &World) -> Vec<CorrelationRow> {
+    let v = world.view();
+    let mut out = Vec::new();
+    for op in Operator::ALL {
+        for dir in Direction::ALL {
+            out.push(correlate_rows(
+                v.tput_iter(Some(op), Some(dir), Some(true)),
+                op,
+                dir,
+            ));
+        }
+    }
+    out
+}
+
 /// Render the table.
 pub fn run(world: &World) -> String {
-    let rows_data = table2(&world.dataset.tput);
+    let rows_data = rows_for(world);
     let mut rows = Vec::new();
     for r in &rows_data {
         let mut row = vec![
@@ -48,13 +64,21 @@ pub fn run(world: &World) -> String {
 
 /// Convenience: one row's r values.
 pub fn row(world: &World, op: Operator, dir: Direction) -> Vec<(Kpi, Option<f64>)> {
-    wheels_core::analysis::correlation::correlate(&world.dataset.tput, op, dir).r
+    correlate_rows(
+        world.view().tput_iter(Some(op), Some(dir), Some(true)),
+        op,
+        dir,
+    )
+    .r
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wheels_core::analysis::correlation::correlate;
+
+    fn correlate(w: &World, op: Operator, dir: Direction) -> CorrelationRow {
+        correlate_rows(w.view().tput_iter(Some(op), Some(dir), Some(true)), op, dir)
+    }
 
     #[test]
     fn no_kpi_strongly_correlates() {
@@ -62,7 +86,7 @@ mod tests {
         let w = World::quick();
         for op in Operator::ALL {
             for dir in Direction::ALL {
-                let row = correlate(&w.dataset.tput, op, dir);
+                let row = correlate(w, op, dir);
                 assert!(row.n > 200, "{op:?} {dir:?}: n={}", row.n);
                 assert!(
                     row.no_strong_correlation(0.75),
@@ -79,7 +103,7 @@ mod tests {
         let w = World::quick();
         for op in Operator::ALL {
             for dir in Direction::ALL {
-                let row = correlate(&w.dataset.tput, op, dir);
+                let row = correlate(w, op, dir);
                 if let Some(r) = row.get(Kpi::Handovers) {
                     assert!(r.abs() < 0.2, "{op:?} {dir:?}: HO r={r}");
                 }
@@ -98,7 +122,7 @@ mod tests {
         let mut pos = 0;
         for op in Operator::ALL {
             for dir in Direction::ALL {
-                if let Some(r) = correlate(&w.dataset.tput, op, dir).get(Kpi::Speed) {
+                if let Some(r) = correlate(w, op, dir).get(Kpi::Speed) {
                     assert!(r.abs() < 0.65, "{op:?} {dir:?}: speed r={r}");
                     if r < -0.1 {
                         neg += 1;
@@ -120,7 +144,7 @@ mod tests {
         let w = World::quick();
         for op in Operator::ALL {
             for dir in Direction::ALL {
-                if let Some(r) = correlate(&w.dataset.tput, op, dir).get(Kpi::Mcs) {
+                if let Some(r) = correlate(w, op, dir).get(Kpi::Mcs) {
                     assert!(r > 0.0, "{op:?} {dir:?}: MCS r={r}");
                 }
             }
@@ -142,7 +166,7 @@ mod tests {
         let w = World::quick();
         for op in Operator::ALL {
             for dir in Direction::ALL {
-                let row = correlate(&w.dataset.tput, op, dir);
+                let row = correlate(w, op, dir);
                 for kpi in Kpi::ALL {
                     if let (Some(r), Some(rho)) = (row.get(kpi), row.get_rho(kpi)) {
                         if r.abs() > 0.3 && rho.abs() > 0.1 {

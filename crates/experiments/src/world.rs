@@ -1,4 +1,4 @@
-//! The shared experiment world: one campaign + dataset per scale.
+//! The shared experiment world: one campaign + indexed dataset per scale.
 //!
 //! Building the dataset is the expensive part (it simulates days of
 //! driving), so experiments share a lazily-built world per scale:
@@ -9,9 +9,14 @@
 //! - [`Scale::Standard`] — ~200 cycles; the default for `repro`.
 //! - [`Scale::Full`] — continuous testing for the whole trip, the paper's
 //!   actual protocol. Minutes to build in release mode.
+//!
+//! The dataset lives inside a [`DatasetView`] built once per world, so
+//! every experiment shares the same partition indices and memoized Cdfs
+//! (and, being `Sync`, the same view backs the parallel runner).
 
 use std::sync::OnceLock;
 
+use wheels_core::analysis::view::DatasetView;
 use wheels_core::campaign::{Campaign, CampaignConfig};
 use wheels_core::records::Dataset;
 
@@ -47,8 +52,8 @@ impl Scale {
 pub struct World {
     /// The campaign (route, trace, deployments, servers).
     pub campaign: Campaign,
-    /// The consolidated dataset.
-    pub dataset: Dataset,
+    /// The indexed dataset view (owns the consolidated dataset).
+    view: DatasetView,
     /// The scale it was built at.
     pub scale: Scale,
 }
@@ -61,15 +66,34 @@ impl World {
 
     /// Build a fresh world from an arbitrary seed.
     pub fn build_seeded(scale: Scale, seed: u64) -> World {
+        Self::build_with(scale, seed, None)
+    }
+
+    /// Build a fresh world, optionally capping the campaign worker pool
+    /// (`None` = host cores). Thread count never changes the dataset.
+    pub fn build_with(scale: Scale, seed: u64, threads: Option<usize>) -> World {
         let campaign = Campaign::standard(seed);
         let mut cfg = scale.config();
         cfg.seed = seed;
+        if threads.is_some() {
+            cfg.threads = threads;
+        }
         let dataset = campaign.run(&cfg);
         World {
             campaign,
-            dataset,
+            view: DatasetView::new(dataset),
             scale,
         }
+    }
+
+    /// The consolidated dataset (normalized).
+    pub fn dataset(&self) -> &Dataset {
+        self.view.dataset()
+    }
+
+    /// The indexed view over the dataset.
+    pub fn view(&self) -> &DatasetView {
+        &self.view
     }
 
     /// The shared Quick world (used by tests).
@@ -89,24 +113,40 @@ mod tests {
     fn quick_world_spans_all_timezones() {
         let w = World::quick();
         let zones: std::collections::BTreeSet<Timezone> =
-            w.dataset.coverage.iter().map(|c| c.tz).collect();
+            w.dataset().coverage.iter().map(|c| c.tz).collect();
         assert_eq!(zones.len(), 4, "zones {zones:?}");
     }
 
     #[test]
     fn quick_world_has_all_record_types() {
         let w = World::quick();
-        assert!(w.dataset.tput.len() > 1000, "tput {}", w.dataset.tput.len());
-        assert!(w.dataset.rtt.len() > 500, "rtt {}", w.dataset.rtt.len());
-        assert!(!w.dataset.apps.is_empty());
-        assert!(!w.dataset.handovers.is_empty());
+        let ds = w.dataset();
+        assert!(ds.tput.len() > 1000, "tput {}", ds.tput.len());
+        assert!(ds.rtt.len() > 500, "rtt {}", ds.rtt.len());
+        assert!(!ds.apps.is_empty());
+        assert!(!ds.handovers.is_empty());
         assert!(
-            w.dataset
-                .tput_where(None, Some(Direction::Uplink), Some(true))
+            ds.tput_where(None, Some(Direction::Uplink), Some(true))
                 .count()
                 > 300
         );
         // Static baselines present.
-        assert!(w.dataset.tput.iter().any(|s| !s.driving));
+        assert!(ds.tput.iter().any(|s| !s.driving));
+    }
+
+    #[test]
+    fn view_matches_brute_force_on_quick_world() {
+        let w = World::quick();
+        let ds = w.dataset();
+        let view_dl: Vec<f64> = w
+            .view()
+            .tput_iter(None, Some(Direction::Downlink), Some(true))
+            .map(|s| s.mbps)
+            .collect();
+        let brute_dl: Vec<f64> = ds
+            .tput_where(None, Some(Direction::Downlink), Some(true))
+            .map(|s| s.mbps)
+            .collect();
+        assert_eq!(view_dl, brute_dl);
     }
 }

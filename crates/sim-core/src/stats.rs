@@ -33,6 +33,23 @@ impl Cdf {
         Cdf { sorted }
     }
 
+    /// Build from samples that are **already sorted** ascending (by
+    /// `f64::total_cmp`) and free of non-finite values — the memoized
+    /// dataset-view path, where one shared sort serves many queries.
+    /// Equivalent to [`Cdf::from_samples`] on the same multiset, without
+    /// the O(n log n) re-sort. Monotonicity is debug-asserted.
+    pub fn from_sorted(sorted: Vec<f64>) -> Self {
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
+            "Cdf::from_sorted requires ascending input"
+        );
+        debug_assert!(
+            sorted.iter().all(|x| x.is_finite()),
+            "Cdf::from_sorted requires finite samples"
+        );
+        Cdf { sorted }
+    }
+
     /// Number of retained samples.
     pub fn len(&self) -> usize {
         self.sorted.len()
@@ -298,6 +315,21 @@ impl LinearBins {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_sorted_matches_from_samples() {
+        let raw = vec![3.0, 1.0, 4.0, 1.5, 2.0];
+        let mut sorted = raw.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(Cdf::from_sorted(sorted), Cdf::from_samples(raw));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    #[cfg(debug_assertions)]
+    fn from_sorted_rejects_unsorted_input() {
+        let _ = Cdf::from_sorted(vec![2.0, 1.0]);
+    }
 
     #[test]
     fn cdf_quantiles_interpolate() {

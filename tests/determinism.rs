@@ -114,6 +114,22 @@ fn world_build_is_deterministic() {
 }
 
 #[test]
+fn repro_report_identical_across_thread_counts() {
+    // The repro runner executes experiments on a worker pool but buffers
+    // per-experiment output and prints in registry order, so the report
+    // bytes must not depend on the thread count.
+    use wheels::experiments::{registry, render_report, world::World};
+    let w = World::quick();
+    let reg = registry();
+    let one = render_report(w, &reg, Some(1));
+    let two = render_report(w, &reg, Some(2));
+    let eight = render_report(w, &reg, Some(8));
+    assert!(one.contains("Findings digest"), "report looks truncated");
+    assert_eq!(one, two, "report bytes differ between threads=1 and 2");
+    assert_eq!(one, eight, "report bytes differ between threads=1 and 8");
+}
+
+#[test]
 fn different_seed_differs() {
     let c1 = Campaign::standard(1);
     let c2 = Campaign::standard(2);
