@@ -261,6 +261,7 @@ mod tests {
             hs5g_fraction: 0.0,
             handovers: 2,
             driving: true,
+            partial: false,
         });
         ds.runs.push(TestRun {
             id: 2,
@@ -274,6 +275,7 @@ mod tests {
             hs5g_fraction: 0.0,
             handovers: 6,
             driving: true,
+            partial: false,
         });
         let dl = handovers_per_mile(&ds, Operator::Verizon, Direction::Downlink);
         assert_eq!(dl, vec![4.0]);

@@ -48,8 +48,9 @@ use wheels_sim_core::rng::SimRng;
 use wheels_sim_core::time::{SimDuration, SimTime};
 use wheels_transport::servers::ServerFleet;
 
+use crate::disrupt::{FaultConfig, FaultKind, FaultSchedule, RetryPolicy};
 use crate::measure::{self, VehicleCtx};
-use crate::records::{AppRun, Dataset, TaggedHandover, TestKind, TestRun};
+use crate::records::{AppRun, Dataset, TaggedHandover, TestAudit, TestKind, TestRun, TestStatus};
 use crate::staticprobe;
 
 /// Gap between consecutive tests in a cycle.
@@ -90,6 +91,11 @@ pub struct CampaignConfig {
     /// (None = one shard per drive day). Changing this changes the RNG
     /// stream layout, so it is part of the config, not a runtime knob.
     pub shard_cycles: Option<usize>,
+    /// Measurement-disruption injection (default: disabled). Fault
+    /// schedules are drawn from dedicated `campaign/faults/{op}/{segment}`
+    /// streams, so enabling them never perturbs the simulation streams
+    /// and the output stays bit-identical at any thread count.
+    pub faults: FaultConfig,
 }
 
 impl Default for CampaignConfig {
@@ -103,6 +109,7 @@ impl Default for CampaignConfig {
             cycle_stride_s: 0,
             threads: None,
             shard_cycles: None,
+            faults: FaultConfig::default(),
         }
     }
 }
@@ -369,6 +376,24 @@ impl Campaign {
                 (op_idx + 1) * 100_000_000 + seg.index as u32 * 10_000,
             ),
         };
+        // Disruptions only hit the drive campaign: each drive segment
+        // gets its own schedule from a dedicated stream, keyed like the
+        // shard itself, spanning first cycle start → last cycle end.
+        // Static shards (and disabled faults) get the empty schedule.
+        let faults = match &job.segment {
+            Some(seg) if cfg.faults.enabled => match (seg.starts.first(), seg.starts.last()) {
+                (Some(&lo), Some(&hi)) => FaultSchedule::generate(
+                    &cfg.faults,
+                    cfg.seed,
+                    op.label(),
+                    seg.index,
+                    lo,
+                    hi + cycle_duration(cfg.include_apps),
+                ),
+                _ => FaultSchedule::default(),
+            },
+            _ => FaultSchedule::default(),
+        };
         let mut runner = OpRunner {
             route: &self.route,
             trace: &self.trace,
@@ -383,6 +408,9 @@ impl Campaign {
             next_id,
             op,
             ho_mark: 0,
+            faults,
+            retry: cfg.faults.retry,
+            day: 0,
         };
         match &job.segment {
             None => runner.run_static_stops(dep),
@@ -434,6 +462,12 @@ struct OpRunner<'a> {
     next_id: u32,
     op: Operator,
     ho_mark: usize,
+    /// Shard fault schedule (empty unless injection is enabled).
+    faults: FaultSchedule,
+    /// Retry policy for blocked test starts.
+    retry: RetryPolicy,
+    /// Trip day of the cycle currently running (keys the audit rows).
+    day: u8,
 }
 
 impl<'a> OpRunner<'a> {
@@ -459,6 +493,51 @@ impl<'a> OpRunner<'a> {
         }
         self.ho_mark = events.len();
         n
+    }
+
+    /// Samples the fault-free schedule would record in `[start, end)` at
+    /// `step_ms` cadence: one per grid point with trace coverage. A pure
+    /// function of (trace, config), so it is identical whether or not
+    /// faults are enabled — the baseline the audit ledger accounts
+    /// against.
+    fn planned_samples(&self, start: SimTime, end: SimTime, step_ms: u64) -> u32 {
+        let mut n = 0u32;
+        let mut t = start;
+        while t < end {
+            if self.trace.sample_at(t).is_some() {
+                n += 1;
+            }
+            t += SimDuration::from_millis(step_ms);
+        }
+        n
+    }
+
+    /// Record one audit-ledger row for a scheduled drive test.
+    #[allow(clippy::too_many_arguments)]
+    fn push_audit(
+        &mut self,
+        test_id: u32,
+        kind: TestKind,
+        scheduled: SimTime,
+        status: TestStatus,
+        attempts: u32,
+        fault: Option<FaultKind>,
+        planned: u32,
+        recorded: u32,
+    ) {
+        self.ds.audits.push(TestAudit {
+            test_id,
+            operator: self.op,
+            kind,
+            day: self.day,
+            scheduled,
+            status,
+            attempts,
+            fault,
+            planned_samples: planned,
+            recorded_samples: recorded,
+            lost_samples: planned.saturating_sub(recorded),
+        });
     }
 
     fn run_static_stops(&mut self, dep: &'a Deployment) {
@@ -511,9 +590,10 @@ impl<'a> OpRunner<'a> {
         // the neighbouring shard's — drop them.
         self.ho_mark = self.session.events().len();
         for &start in &seg.starts {
-            if self.trace.sample_at(start).is_none() {
+            let Some(s) = self.trace.sample_at(start) else {
                 continue;
-            }
+            };
+            self.day = s.day;
             self.run_cycle(start, include_apps);
         }
         let events = self.session.events();
@@ -556,14 +636,38 @@ impl<'a> OpRunner<'a> {
 
     fn run_tput(&mut self, start: SimTime, dir: Direction) -> SimTime {
         let id = self.alloc_id();
-        let path = self.current_path(start);
+        let kind = match dir {
+            Direction::Downlink => TestKind::DownlinkTput,
+            Direction::Uplink => TestKind::UplinkTput,
+        };
+        let sched_end = start + measure::TPUT_TEST;
+        let planned = self.planned_samples(start, sched_end, measure::SAMPLE_MS);
+        let plan = self.faults.plan_test(start, sched_end, &self.retry);
+        let Some(begin) = plan.begin else {
+            // Retries exhausted (or the slot is drift-poisoned): the
+            // slot produces no data, only a ledger row. The id was
+            // allocated anyway so the slot plan matches the fault-free
+            // campaign.
+            self.push_audit(
+                id,
+                kind,
+                start,
+                TestStatus::Lost,
+                plan.attempts,
+                plan.fault,
+                planned,
+                0,
+            );
+            return sched_end + TEST_GAP;
+        };
+        let path = self.current_path(begin);
         self.session.set_demand(match dir {
             Direction::Downlink => TrafficDemand::BackloggedDownlink,
             Direction::Uplink => TrafficDemand::BackloggedUplink,
         });
         let trace = self.trace;
         let session = &mut self.session;
-        let out = measure::measure_tput(
+        let mut out = measure::measure_tput_window(
             &mut |t| {
                 let s = trace.sample_at(t)?;
                 session.poll(
@@ -584,13 +688,32 @@ impl<'a> OpRunner<'a> {
                 })
             },
             dir,
-            start,
+            begin,
+            plan.cut,
             id,
             self.op,
             path,
             true,
         );
-        let end = start + measure::TPUT_TEST;
+        // XCAL logger gaps eat the KPI-joined rows recorded inside them.
+        let mut fault = plan.fault;
+        if !self.faults.is_empty() {
+            let faults = &self.faults;
+            let before = out.coverage.len();
+            out.samples.retain(|s| !faults.in_gap(s.t));
+            out.coverage.retain(|c| !faults.in_gap(c.t));
+            if out.coverage.len() < before {
+                fault = fault.or(Some(FaultKind::LoggerGap));
+            }
+        }
+        // The instrument records whole 500 ms bins from `begin` to the
+        // cut; that is the run's actual window.
+        let end = begin
+            + SimDuration::from_millis(
+                plan.cut.since(begin).as_millis() / measure::SAMPLE_MS * measure::SAMPLE_MS,
+            );
+        // lint: allow(lossy-cast, at most 60 bins per test, exact in u32)
+        let recorded = out.coverage.len() as u32;
         match dir {
             Direction::Downlink => self.ds.rx_bytes += out.bytes,
             Direction::Uplink => self.ds.tx_bytes += out.bytes,
@@ -598,36 +721,67 @@ impl<'a> OpRunner<'a> {
         self.ds.tput.extend(out.samples);
         self.ds.coverage.extend(out.coverage);
         let hos = self.drain_handovers(id, Some(dir));
+        let partial = recorded < planned;
+        self.push_audit(
+            id,
+            kind,
+            start,
+            if partial {
+                TestStatus::Partial
+            } else {
+                TestStatus::Completed
+            },
+            plan.attempts,
+            fault,
+            planned,
+            recorded,
+        );
         self.ds.runs.push(TestRun {
             id,
-            kind: match dir {
-                Direction::Downlink => TestKind::DownlinkTput,
-                Direction::Uplink => TestKind::UplinkTput,
-            },
+            kind,
             operator: self.op,
-            start,
+            start: begin,
             end,
-            miles: self.trace.distance_in_window(start, end).as_miles(),
+            miles: self.trace.distance_in_window(begin, end).as_miles(),
             tz: self
                 .trace
-                .sample_at(start)
+                .sample_at(begin)
                 .map(|s| s.tz)
                 .unwrap_or(wheels_sim_core::time::Timezone::Pacific),
             server: path.kind,
             hs5g_fraction: out.hs5g_fraction,
             handovers: hos,
             driving: true,
+            partial,
         });
-        end + TEST_GAP
+        sched_end + TEST_GAP
     }
 
     fn run_rtt(&mut self, start: SimTime) -> SimTime {
         let id = self.alloc_id();
-        let path = self.current_path(start);
+        let sched_end = start + measure::RTT_TEST;
+        // Pings fire on a deterministic 200 ms cadence, so the planned
+        // count is a pure trace lookup like the throughput bins.
+        let planned = self.planned_samples(start, sched_end, 200);
+        let plan = self.faults.plan_test(start, sched_end, &self.retry);
+        let Some(begin) = plan.begin else {
+            self.push_audit(
+                id,
+                TestKind::Rtt,
+                start,
+                TestStatus::Lost,
+                plan.attempts,
+                plan.fault,
+                planned,
+                0,
+            );
+            return sched_end + TEST_GAP;
+        };
+        let path = self.current_path(begin);
         self.session.set_demand(TrafficDemand::IcmpOnly);
         let trace = self.trace;
         let session = &mut self.session;
-        let (samples, coverage, hs5g) = measure::measure_rtt(
+        let (samples, mut coverage, hs5g) = measure::measure_rtt_window(
             &mut |t| {
                 let s = trace.sample_at(t)?;
                 session.poll(
@@ -647,51 +801,81 @@ impl<'a> OpRunner<'a> {
                     tz: s.tz,
                 })
             },
-            start,
+            begin,
+            plan.cut,
             id,
             self.op,
             path,
             true,
             self.rng.split(&format!("campaign/rtt/{id}")),
         );
-        let end = start + measure::RTT_TEST;
+        // The ping log is app-layer, so logger gaps only eat the
+        // XCAL-derived coverage rows, not the RTT samples.
+        if !self.faults.is_empty() {
+            let faults = &self.faults;
+            coverage.retain(|c| !faults.in_gap(c.t));
+        }
+        let end = plan.cut;
+        // lint: allow(lossy-cast, at most 100 pings per test, exact in u32)
+        let recorded = samples.len() as u32;
         self.ds.rtt.extend(samples);
         self.ds.coverage.extend(coverage);
         let hos = self.drain_handovers(id, None);
+        let partial = recorded < planned;
+        self.push_audit(
+            id,
+            TestKind::Rtt,
+            start,
+            if partial {
+                TestStatus::Partial
+            } else {
+                TestStatus::Completed
+            },
+            plan.attempts,
+            plan.fault,
+            planned,
+            recorded,
+        );
         self.ds.runs.push(TestRun {
             id,
             kind: TestKind::Rtt,
             operator: self.op,
-            start,
+            start: begin,
             end,
-            miles: self.trace.distance_in_window(start, end).as_miles(),
+            miles: self.trace.distance_in_window(begin, end).as_miles(),
             tz: self
                 .trace
-                .sample_at(start)
+                .sample_at(begin)
                 .map(|s| s.tz)
                 .unwrap_or(wheels_sim_core::time::Timezone::Pacific),
             server: path.kind,
             hs5g_fraction: hs5g,
             handovers: hos,
             driving: true,
+            partial,
         });
-        end + TEST_GAP
+        sched_end + TEST_GAP
     }
 
     /// Adapt the phone into the apps' link abstraction for one test.
     ///
     /// XCAL keeps logging during the app tests, so every 500 ms bin the
     /// sampler touches also yields a coverage row (the direction tagging
-    /// follows the app's dominant traffic direction).
+    /// follows the app's dominant traffic direction). Under an injected
+    /// blocking fault the link reads as dead (`None`) — the modem still
+    /// logs, so the coverage row is recorded first — and rows falling in
+    /// logger gaps are dropped afterwards. Returns the closure's result
+    /// plus (kept, gap-dropped) coverage-row counts for the audit ledger.
     fn with_sampler<R>(
         &mut self,
         path: wheels_transport::servers::NetPath,
         app_direction: Direction,
         f: impl FnOnce(&mut dyn wheels_apps::link::LinkSampler) -> R,
-    ) -> R {
+    ) -> (R, u32, u32) {
         let trace = self.trace;
         let session = &mut self.session;
         let op = self.op;
+        let faults = &self.faults;
         let coverage = std::cell::RefCell::new(Vec::new());
         let mut last_bin: u64 = u64::MAX;
         let r = {
@@ -721,6 +905,9 @@ impl<'a> OpRunner<'a> {
                         zone: s.zone,
                     });
                 }
+                if faults.blocking_at(t).is_some() {
+                    return None;
+                }
                 let snap = snap?;
                 Some(LinkState {
                     dl: snap.dl_rate * APP_TCP_EFF,
@@ -732,8 +919,79 @@ impl<'a> OpRunner<'a> {
             };
             f(&mut sampler)
         };
-        self.ds.coverage.extend(coverage.into_inner());
-        r
+        let mut rows = coverage.into_inner();
+        let before = rows.len();
+        if !self.faults.is_empty() {
+            let faults = &self.faults;
+            rows.retain(|c| !faults.in_gap(c.t));
+        }
+        // lint: allow(lossy-cast, bins per app run are far below u32::MAX)
+        let (kept, dropped) = (rows.len() as u32, (before - rows.len()) as u32);
+        self.ds.coverage.extend(rows);
+        (r, kept, dropped)
+    }
+
+    /// Resolve an app slot against the fault schedule. App sessions have
+    /// fixed internal durations, so a blocked start cannot be salvaged by
+    /// a late begin the way a throughput test can: the slot is either run
+    /// in full (mid-run faults degrade the link instead of truncating) or
+    /// lost. Returns the plan when the app runs, or `None` after pushing
+    /// the lost-slot audit row.
+    fn plan_app(
+        &mut self,
+        id: u32,
+        kind: TestKind,
+        start: SimTime,
+        sched_end: SimTime,
+    ) -> Option<crate::disrupt::TestPlan> {
+        let plan = self.faults.plan_test(start, sched_end, &self.retry);
+        if plan.begin == Some(start) {
+            return Some(plan);
+        }
+        self.push_audit(
+            id,
+            kind,
+            start,
+            TestStatus::Lost,
+            plan.attempts,
+            plan.fault,
+            0,
+            0,
+        );
+        None
+    }
+
+    /// Audit row for an app run that executed. App sampling times depend
+    /// on app behaviour, so "planned" is defined as the rows the run
+    /// produced plus the rows logger gaps ate — conservation holds by
+    /// construction, and with faults off the row is a clean `Completed`.
+    fn audit_app(
+        &mut self,
+        id: u32,
+        kind: TestKind,
+        start: SimTime,
+        plan: &crate::disrupt::TestPlan,
+        kept: u32,
+        dropped: u32,
+    ) {
+        let mut fault = plan.fault;
+        if dropped > 0 {
+            fault = fault.or(Some(FaultKind::LoggerGap));
+        }
+        self.push_audit(
+            id,
+            kind,
+            start,
+            if dropped > 0 {
+                TestStatus::Partial
+            } else {
+                TestStatus::Completed
+            },
+            plan.attempts,
+            fault,
+            kept + dropped,
+            kept,
+        );
     }
 
     fn run_offload(
@@ -744,12 +1002,15 @@ impl<'a> OpRunner<'a> {
         compressed: bool,
     ) -> SimTime {
         let id = self.alloc_id();
+        let end = start + SimDuration::from_secs(config.duration_s);
+        let Some(plan) = self.plan_app(id, kind, start, end) else {
+            return end + TEST_GAP;
+        };
         let path = self.current_path(start);
         self.session.set_demand(TrafficDemand::BackloggedUplink);
-        let stats = self.with_sampler(path, Direction::Uplink, |s| {
+        let (stats, kept, dropped) = self.with_sampler(path, Direction::Uplink, |s| {
             OffloadRun::execute(&config, s, start, compressed)
         });
-        let end = start + SimDuration::from_secs(config.duration_s);
         let frame_kb = if compressed {
             config.compressed_frame_kb
         } else {
@@ -757,6 +1018,7 @@ impl<'a> OpRunner<'a> {
         };
         self.ds.tx_bytes += stats.frames_offloaded as f64 * frame_kb * 1024.0;
         let hos = self.drain_handovers(id, Some(Direction::Uplink));
+        self.audit_app(id, kind, start, &plan, kept, dropped);
         self.ds.runs.push(TestRun {
             id,
             kind,
@@ -773,6 +1035,7 @@ impl<'a> OpRunner<'a> {
             hs5g_fraction: stats.high_speed_5g_fraction,
             handovers: hos,
             driving: true,
+            partial: dropped > 0,
         });
         self.ds.apps.push(AppRun {
             id,
@@ -789,12 +1052,17 @@ impl<'a> OpRunner<'a> {
 
     fn run_video(&mut self, start: SimTime) -> SimTime {
         let id = self.alloc_id();
+        let end = start + SimDuration::from_secs(wheels_apps::video::SESSION_S);
+        let Some(plan) = self.plan_app(id, TestKind::Video, start, end) else {
+            return end + TEST_GAP;
+        };
         let path = self.current_path(start);
         self.session.set_demand(TrafficDemand::BackloggedDownlink);
-        let stats = self.with_sampler(path, Direction::Downlink, |s| VideoRun::execute(s, start));
-        let end = start + SimDuration::from_secs(wheels_apps::video::SESSION_S);
+        let (stats, kept, dropped) =
+            self.with_sampler(path, Direction::Downlink, |s| VideoRun::execute(s, start));
         self.ds.rx_bytes += stats.avg_bitrate() * 1e6 / 8.0 * stats.chunks.len() as f64 * 2.0;
         let hos = self.drain_handovers(id, Some(Direction::Downlink));
+        self.audit_app(id, TestKind::Video, start, &plan, kept, dropped);
         self.ds.runs.push(TestRun {
             id,
             kind: TestKind::Video,
@@ -811,6 +1079,7 @@ impl<'a> OpRunner<'a> {
             hs5g_fraction: stats.high_speed_5g_fraction,
             handovers: hos,
             driving: true,
+            partial: dropped > 0,
         });
         self.ds.apps.push(AppRun {
             id,
@@ -827,16 +1096,21 @@ impl<'a> OpRunner<'a> {
 
     fn run_gaming(&mut self, start: SimTime) -> SimTime {
         let id = self.alloc_id();
+        let end = start + SimDuration::from_secs(wheels_apps::gaming::SESSION_S);
+        let Some(plan) = self.plan_app(id, TestKind::Gaming, start, end) else {
+            return end + TEST_GAP;
+        };
         let path = self.current_path(start);
         self.session.set_demand(TrafficDemand::BackloggedDownlink);
-        let stats = self.with_sampler(path, Direction::Downlink, |s| GamingRun::execute(s, start));
-        let end = start + SimDuration::from_secs(wheels_apps::gaming::SESSION_S);
+        let (stats, kept, dropped) =
+            self.with_sampler(path, Direction::Downlink, |s| GamingRun::execute(s, start));
         self.ds.rx_bytes += stats
             .bitrate_mbps
             .iter()
             .map(|b| b * 1e6 / 8.0)
             .sum::<f64>();
         let hos = self.drain_handovers(id, Some(Direction::Downlink));
+        self.audit_app(id, TestKind::Gaming, start, &plan, kept, dropped);
         self.ds.runs.push(TestRun {
             id,
             kind: TestKind::Gaming,
@@ -853,6 +1127,7 @@ impl<'a> OpRunner<'a> {
             hs5g_fraction: stats.high_speed_5g_fraction,
             handovers: hos,
             driving: true,
+            partial: dropped > 0,
         });
         self.ds.apps.push(AppRun {
             id,

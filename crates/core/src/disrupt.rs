@@ -1,0 +1,552 @@
+//! Measurement disruptions — the paper's challenge \[C2\], injected.
+//!
+//! The authors' campaign was not clean: the nuttcp/ping servers fell
+//! over, the UE apps crashed and had to be restarted, the XCAL logger
+//! silently stopped writing, and UE clocks drifted until resynced (§3,
+//! Appendix B). This module models those four disruption kinds as
+//! **deterministic fault schedules**: per (operator × segment) window
+//! lists drawn from config-keyed RNG streams
+//! (`campaign/faults/{op}/{segment}`), so the schedule is a pure
+//! function of `(FaultConfig, seed)` — independent of thread count and
+//! of every other simulation stream. Faults default **off**; the empty
+//! schedule reproduces the fault-free campaign bit for bit.
+//!
+//! The orchestrator consumes a schedule through [`FaultSchedule::plan_test`]:
+//! per-test retry with exponential backoff against *blocking* faults
+//! (server outages, app crash/restart windows), truncation ("salvage")
+//! when a fault lands mid-test, and loss accounting for the slots that
+//! never produce data. Logger gaps do not block a test — they eat the
+//! XCAL-derived rows recorded during the gap. Clock-drift bursts beyond
+//! the correctable threshold make a test's data unusable (log sync
+//! would misplace it), so such tests are lost whole.
+
+use serde::{Deserialize, Serialize};
+use wheels_sim_core::rng::SimRng;
+use wheels_sim_core::time::{SimDuration, SimTime};
+
+/// The four disruption kinds from the paper's campaign notes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The measurement server (nuttcp/ping endpoint) is unreachable.
+    ServerOutage,
+    /// The UE measurement app crashed; the window covers the crash plus
+    /// the manual restart.
+    AppCrash,
+    /// XCAL stopped logging: KPI-derived rows in the window are lost.
+    LoggerGap,
+    /// UE clock drift burst until the next resync.
+    ClockDrift,
+}
+
+impl FaultKind {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::ServerOutage => "server-outage",
+            FaultKind::AppCrash => "app-crash",
+            FaultKind::LoggerGap => "logger-gap",
+            FaultKind::ClockDrift => "clock-drift",
+        }
+    }
+
+    /// Blocking faults prevent a test from starting (and cut it short
+    /// when they begin mid-test); non-blocking faults degrade its data.
+    pub fn blocks(self) -> bool {
+        matches!(self, FaultKind::ServerOutage | FaultKind::AppCrash)
+    }
+}
+
+/// Retry-with-backoff policy for tests whose start is blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = give up immediately).
+    pub max_retries: u32,
+    /// Delay before the first retry, in whole seconds (whole seconds
+    /// keep retried starts aligned with the 500 ms / 200 ms sample
+    /// grids).
+    pub backoff_s: u64,
+    /// Multiplier applied to the delay for each further retry.
+    pub backoff_mult: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // 2 retries at +5 s and +5+15 s: the slot keeps its scheduled
+        // end, so late starts salvage a shortened test.
+        RetryPolicy {
+            max_retries: 2,
+            backoff_s: 5,
+            backoff_mult: 3,
+        }
+    }
+}
+
+/// Fault-injection knobs. Rates are mean events per *drive hour*;
+/// durations are drawn uniformly from inclusive ranges in seconds.
+/// `Default` disables everything (all-zero rates), which must reproduce
+/// the fault-free campaign exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Master switch; `false` short-circuits to an empty schedule.
+    pub enabled: bool,
+    /// Server outage windows per drive hour.
+    pub outages_per_hour: f64,
+    /// Outage duration range (seconds, inclusive).
+    pub outage_secs: (u64, u64),
+    /// App crashes per drive hour.
+    pub crashes_per_hour: f64,
+    /// Crash-plus-restart duration range (seconds, inclusive).
+    pub restart_secs: (u64, u64),
+    /// XCAL logger gaps per drive hour.
+    pub gaps_per_hour: f64,
+    /// Gap duration range (seconds, inclusive).
+    pub gap_secs: (u64, u64),
+    /// Clock-drift bursts per drive hour.
+    pub drifts_per_hour: f64,
+    /// Drift magnitude range (milliseconds, inclusive); sign is drawn.
+    pub drift_ms: (u64, u64),
+    /// Magnitudes at or below this are corrected by log sync; larger
+    /// drifts make the affected tests unusable.
+    pub drift_correctable_ms: u64,
+    /// Retry policy for blocked test starts.
+    pub retry: RetryPolicy,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            enabled: false,
+            outages_per_hour: 0.0,
+            outage_secs: (0, 0),
+            crashes_per_hour: 0.0,
+            restart_secs: (0, 0),
+            gaps_per_hour: 0.0,
+            gap_secs: (0, 0),
+            drifts_per_hour: 0.0,
+            drift_ms: (0, 0),
+            drift_correctable_ms: 0,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A moderately disrupted campaign, patterned on the paper's anecdotes:
+    /// roughly one incident of some kind per drive hour. Used by the
+    /// `--faults` CLI flag and the fault-matrix tests.
+    pub fn demo() -> Self {
+        FaultConfig {
+            enabled: true,
+            outages_per_hour: 0.35,
+            outage_secs: (30, 180),
+            crashes_per_hour: 0.25,
+            restart_secs: (20, 90),
+            gaps_per_hour: 0.3,
+            gap_secs: (10, 60),
+            drifts_per_hour: 0.2,
+            drift_ms: (500, 120_000),
+            drift_correctable_ms: 30_000,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// One scheduled disruption window `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// Disruption kind.
+    pub kind: FaultKind,
+    /// Window start.
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+    /// Signed drift magnitude (ms); zero for non-drift kinds.
+    pub drift_ms: i64,
+    /// Whether log sync can correct this window's effect (always `true`
+    /// for non-drift kinds, which do not corrupt timestamps).
+    pub correctable: bool,
+}
+
+impl FaultWindow {
+    fn contains(&self, t: SimTime) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    fn overlaps(&self, lo: SimTime, hi: SimTime) -> bool {
+        self.start < hi && lo < self.end
+    }
+}
+
+/// How one scheduled test slot plays out under a fault schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestPlan {
+    /// Actual start after retries; `None` when the test is lost.
+    pub begin: Option<SimTime>,
+    /// Instrument stop time: the scheduled end, or the start of the
+    /// blocking window that truncates the run.
+    pub cut: SimTime,
+    /// Attempts made (1 = started on schedule).
+    pub attempts: u32,
+    /// First fault that interfered (blocked an attempt, truncated the
+    /// run, or drifted the clock during it).
+    pub fault: Option<FaultKind>,
+}
+
+/// The fault windows of one (operator × segment) shard, sorted by start.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    windows: Vec<FaultWindow>,
+}
+
+/// Round a fractional millisecond offset to the sim grid.
+fn to_ms(x: f64) -> u64 {
+    x.max(0.0).round() as u64
+}
+
+impl FaultSchedule {
+    /// Generate the schedule for one shard over `[lo, hi)`.
+    ///
+    /// Determinism contract: the schedule is derived from a dedicated
+    /// stream keyed only by `(seed, operator, segment)` — never from the
+    /// shard's simulation RNG — so enabling faults does not perturb any
+    /// fault-free draw, and the shard plan stays core-count-independent.
+    pub fn generate(
+        cfg: &FaultConfig,
+        seed: u64,
+        op_label: &str,
+        segment_index: usize,
+        lo: SimTime,
+        hi: SimTime,
+    ) -> Self {
+        if !cfg.enabled || hi <= lo {
+            return FaultSchedule::default();
+        }
+        let mut rng =
+            SimRng::seed(seed).split(&format!("campaign/faults/{op_label}/{segment_index}"));
+        let mut windows = Vec::new();
+        // Fixed kind order keeps the stream layout stable.
+        Self::poisson_windows(
+            &mut rng,
+            FaultKind::ServerOutage,
+            cfg.outages_per_hour,
+            cfg.outage_secs,
+            lo,
+            hi,
+            &mut windows,
+        );
+        Self::poisson_windows(
+            &mut rng,
+            FaultKind::AppCrash,
+            cfg.crashes_per_hour,
+            cfg.restart_secs,
+            lo,
+            hi,
+            &mut windows,
+        );
+        Self::poisson_windows(
+            &mut rng,
+            FaultKind::LoggerGap,
+            cfg.gaps_per_hour,
+            cfg.gap_secs,
+            lo,
+            hi,
+            &mut windows,
+        );
+        // Drift bursts carry a signed magnitude and a correctability
+        // verdict; their "duration" is the time until the next resync,
+        // reusing the gap machinery with a fixed 60–600 s resync lag.
+        if cfg.drifts_per_hour > 0.0 {
+            let mean_gap_ms = 3_600_000.0 / cfg.drifts_per_hour;
+            let mut t = lo.as_millis() as f64 + rng.exponential(mean_gap_ms);
+            while t < hi.as_millis() as f64 {
+                let start = SimTime::EPOCH + SimDuration::from_millis(to_ms(t));
+                let dur_ms = rng.uniform_u64(60_000, 600_001);
+                let mag = rng.uniform_u64(cfg.drift_ms.0, cfg.drift_ms.1 + 1);
+                let sign: i64 = if rng.chance(0.5) { -1 } else { 1 };
+                // Ordered reads above; the window itself may be clipped.
+                let end = SimTime::EPOCH + SimDuration::from_millis(to_ms(t) + dur_ms);
+                let end = end.min(hi);
+                // lint: allow(lossy-cast, drift magnitude is config-bounded far below i64::MAX)
+                let signed_mag = sign * (mag as i64);
+                windows.push(FaultWindow {
+                    kind: FaultKind::ClockDrift,
+                    start,
+                    end,
+                    drift_ms: signed_mag,
+                    correctable: mag <= cfg.drift_correctable_ms,
+                });
+                t += dur_ms as f64 + rng.exponential(mean_gap_ms);
+            }
+        }
+        windows.sort_by_key(|w| (w.start.as_millis(), w.end.as_millis()));
+        FaultSchedule { windows }
+    }
+
+    /// Poisson arrivals with uniform durations for one window kind.
+    fn poisson_windows(
+        rng: &mut SimRng,
+        kind: FaultKind,
+        per_hour: f64,
+        dur_secs: (u64, u64),
+        lo: SimTime,
+        hi: SimTime,
+        out: &mut Vec<FaultWindow>,
+    ) {
+        if per_hour <= 0.0 {
+            return;
+        }
+        let mean_gap_ms = 3_600_000.0 / per_hour;
+        let mut t = lo.as_millis() as f64 + rng.exponential(mean_gap_ms);
+        while t < hi.as_millis() as f64 {
+            let dur_ms = rng.uniform_u64(dur_secs.0, dur_secs.1 + 1) * 1_000;
+            let start = SimTime::EPOCH + SimDuration::from_millis(to_ms(t));
+            let end = (SimTime::EPOCH + SimDuration::from_millis(to_ms(t) + dur_ms)).min(hi);
+            out.push(FaultWindow {
+                kind,
+                start,
+                end,
+                drift_ms: 0,
+                correctable: true,
+            });
+            t += dur_ms as f64 + rng.exponential(mean_gap_ms);
+        }
+    }
+
+    /// True when no disruption is scheduled (the fault-free fast path).
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// All windows, sorted by start.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// The blocking fault in effect at `t`, if any.
+    pub fn blocking_at(&self, t: SimTime) -> Option<FaultKind> {
+        self.windows
+            .iter()
+            .find(|w| w.kind.blocks() && w.contains(t))
+            .map(|w| w.kind)
+    }
+
+    /// True when the XCAL logger is down at `t`.
+    pub fn in_gap(&self, t: SimTime) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.kind == FaultKind::LoggerGap && w.contains(t))
+    }
+
+    /// Earliest blocking window starting strictly inside `(after, before)`.
+    fn next_blocking_start(&self, after: SimTime, before: SimTime) -> Option<&FaultWindow> {
+        self.windows
+            .iter()
+            .find(|w| w.kind.blocks() && w.start > after && w.start < before)
+    }
+
+    /// The worst drift burst overlapping `[lo, hi)`, preferring
+    /// uncorrectable ones.
+    fn drift_over(&self, lo: SimTime, hi: SimTime) -> Option<&FaultWindow> {
+        let drifts = || {
+            self.windows
+                .iter()
+                .filter(|w| w.kind == FaultKind::ClockDrift && w.overlaps(lo, hi))
+        };
+        drifts()
+            .find(|w| !w.correctable)
+            .or_else(|| drifts().next())
+    }
+
+    /// Resolve one scheduled test slot `[start, end)` against the
+    /// schedule: retry blocked starts with backoff (the slot keeps its
+    /// scheduled end, so late starts shorten the run), truncate at the
+    /// next blocking window, and fail tests whose window is covered by
+    /// an uncorrectable drift burst.
+    pub fn plan_test(&self, start: SimTime, end: SimTime, retry: &RetryPolicy) -> TestPlan {
+        if self.windows.is_empty() {
+            return TestPlan {
+                begin: Some(start),
+                cut: end,
+                attempts: 1,
+                fault: None,
+            };
+        }
+        // Uncorrectable clock drift poisons the whole slot: samples
+        // would be recorded, but log sync cannot place them.
+        if let Some(w) = self.drift_over(start, end) {
+            if !w.correctable {
+                return TestPlan {
+                    begin: None,
+                    cut: end,
+                    attempts: 1,
+                    fault: Some(FaultKind::ClockDrift),
+                };
+            }
+        }
+        let mut attempts: u32 = 1;
+        let mut t = start;
+        let mut first_fault: Option<FaultKind> = None;
+        loop {
+            match self.blocking_at(t) {
+                None => break,
+                Some(kind) => {
+                    first_fault.get_or_insert(kind);
+                    if attempts > retry.max_retries {
+                        return TestPlan {
+                            begin: None,
+                            cut: end,
+                            attempts,
+                            fault: first_fault,
+                        };
+                    }
+                    let delay_s = retry.backoff_s * u64::from(retry.backoff_mult).pow(attempts - 1);
+                    t += SimDuration::from_secs(delay_s);
+                    attempts += 1;
+                    if t >= end {
+                        return TestPlan {
+                            begin: None,
+                            cut: end,
+                            attempts,
+                            fault: first_fault,
+                        };
+                    }
+                }
+            }
+        }
+        let cut = match self.next_blocking_start(t, end) {
+            Some(w) => {
+                first_fault.get_or_insert(w.kind);
+                w.start
+            }
+            None => end,
+        };
+        if let Some(w) = self.drift_over(t, cut) {
+            first_fault.get_or_insert(w.kind);
+        }
+        TestPlan {
+            begin: Some(t),
+            cut,
+            attempts,
+            fault: first_fault,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn one_window(kind: FaultKind, lo: u64, hi: u64) -> FaultSchedule {
+        FaultSchedule {
+            windows: vec![FaultWindow {
+                kind,
+                start: t(lo),
+                end: t(hi),
+                drift_ms: 0,
+                correctable: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn disabled_config_generates_nothing() {
+        let s = FaultSchedule::generate(&FaultConfig::default(), 2022, "vz", 0, t(0), t(36_000));
+        assert!(s.is_empty());
+        let plan = s.plan_test(t(100), t(130), &RetryPolicy::default());
+        assert_eq!(plan.begin, Some(t(100)));
+        assert_eq!(plan.cut, t(130));
+        assert_eq!(plan.attempts, 1);
+        assert_eq!(plan.fault, None);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_stream_keyed() {
+        let cfg = FaultConfig::demo();
+        let a = FaultSchedule::generate(&cfg, 2022, "vz", 3, t(0), t(36_000));
+        let b = FaultSchedule::generate(&cfg, 2022, "vz", 3, t(0), t(36_000));
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "10 drive hours at ~1/h must draw faults");
+        // Different operator, segment, or seed → different schedule.
+        assert_ne!(
+            a,
+            FaultSchedule::generate(&cfg, 2022, "att", 3, t(0), t(36_000))
+        );
+        assert_ne!(
+            a,
+            FaultSchedule::generate(&cfg, 2022, "vz", 4, t(0), t(36_000))
+        );
+        assert_ne!(
+            a,
+            FaultSchedule::generate(&cfg, 2023, "vz", 3, t(0), t(36_000))
+        );
+        // Windows are clipped to the span and sorted.
+        for w in a.windows() {
+            assert!(w.start < w.end);
+            assert!(w.end <= t(36_000));
+        }
+        assert!(a.windows().windows(2).all(|p| p[0].start <= p[1].start));
+    }
+
+    #[test]
+    fn blocked_start_retries_with_backoff() {
+        // Outage covers the scheduled start; default policy retries at
+        // +5 s (still blocked) and +20 s (clear).
+        let s = one_window(FaultKind::ServerOutage, 95, 110);
+        let plan = s.plan_test(t(100), t(130), &RetryPolicy::default());
+        assert_eq!(plan.begin, Some(t(120)));
+        assert_eq!(plan.cut, t(130));
+        assert_eq!(plan.attempts, 3);
+        assert_eq!(plan.fault, Some(FaultKind::ServerOutage));
+    }
+
+    #[test]
+    fn retries_exhausted_loses_the_test() {
+        let s = one_window(FaultKind::AppCrash, 90, 200);
+        let plan = s.plan_test(t(100), t(130), &RetryPolicy::default());
+        assert_eq!(plan.begin, None);
+        assert_eq!(plan.attempts, 3);
+        assert_eq!(plan.fault, Some(FaultKind::AppCrash));
+    }
+
+    #[test]
+    fn mid_test_outage_truncates() {
+        let s = one_window(FaultKind::ServerOutage, 115, 140);
+        let plan = s.plan_test(t(100), t(130), &RetryPolicy::default());
+        assert_eq!(plan.begin, Some(t(100)));
+        assert_eq!(plan.cut, t(115));
+        assert_eq!(plan.attempts, 1);
+        assert_eq!(plan.fault, Some(FaultKind::ServerOutage));
+    }
+
+    #[test]
+    fn logger_gap_does_not_block_or_truncate() {
+        let s = one_window(FaultKind::LoggerGap, 95, 140);
+        let plan = s.plan_test(t(100), t(130), &RetryPolicy::default());
+        assert_eq!(plan.begin, Some(t(100)));
+        assert_eq!(plan.cut, t(130));
+        assert_eq!(plan.fault, None);
+        assert!(s.in_gap(t(120)));
+        assert!(!s.in_gap(t(150)));
+    }
+
+    #[test]
+    fn uncorrectable_drift_loses_the_slot() {
+        let mut s = one_window(FaultKind::ClockDrift, 110, 300);
+        s.windows[0].drift_ms = -90_000;
+        s.windows[0].correctable = false;
+        let plan = s.plan_test(t(100), t(130), &RetryPolicy::default());
+        assert_eq!(plan.begin, None);
+        assert_eq!(plan.attempts, 1);
+        assert_eq!(plan.fault, Some(FaultKind::ClockDrift));
+        // A correctable burst only annotates the plan.
+        s.windows[0].correctable = true;
+        let plan = s.plan_test(t(100), t(130), &RetryPolicy::default());
+        assert_eq!(plan.begin, Some(t(100)));
+        assert_eq!(plan.cut, t(130));
+        assert_eq!(plan.fault, Some(FaultKind::ClockDrift));
+    }
+}

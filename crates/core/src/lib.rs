@@ -11,6 +11,11 @@
 //!   contents) across four timezones into one simulation-time database.
 //! - [`staticprobe`] — the §5.1 baseline: static tests facing a 5G
 //!   mmWave/mid-band base station in each major city.
+//! - [`disrupt`] — the challenge-\[C2\] fault model: deterministic
+//!   schedules of server outages, app crashes, XCAL logger gaps, and
+//!   clock-drift bursts, with per-test retry/backoff, salvage, and loss
+//!   accounting. Off by default; the empty schedule is bit-identical to
+//!   the fault-free campaign.
 //! - [`campaign`] — the §3 drive-test campaign: three XCAL phones running
 //!   throughput / RTT / app tests round-robin while three handover-logger
 //!   phones record passively, producing a [`records::Dataset`].
@@ -23,6 +28,7 @@
 
 pub mod analysis;
 pub mod campaign;
+pub mod disrupt;
 pub mod logsync;
 pub mod measure;
 pub mod records;

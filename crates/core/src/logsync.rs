@@ -111,12 +111,39 @@ fn mismatch_ms(log_lo: SimTime, log_hi: SimTime, drm_lo: SimTime, drm_hi: SimTim
     lo_gap + hi_gap
 }
 
+/// Deterministic preference order among equally-mismatched candidates:
+/// earliest UTC offset (westernmost zone) first, then the *tightest*
+/// containing DRM file (smallest span), then the lowest DRM index.
+/// Smaller key wins.
+type CandidateKey = (u64, i64, u64, usize);
+
+fn candidate_key(
+    mismatch: u64,
+    zone: Option<Timezone>,
+    drm_lo: SimTime,
+    drm_hi: SimTime,
+    drm_index: usize,
+) -> CandidateKey {
+    (
+        mismatch,
+        zone.map_or(0, Timezone::utc_offset_hours),
+        drm_hi.as_millis() - drm_lo.as_millis(),
+        drm_index,
+    )
+}
+
 /// Synchronize one app log against the campaign's DRM files.
 ///
 /// For `LocalUnknown` logs all four zones are tried; the zone (and DRM
 /// file) with the smallest span mismatch wins. A perfect match requires
 /// the app-log span to sit inside the DRM span within a few seconds —
 /// anything else returns [`SyncError::NoMatchingDrm`].
+///
+/// **Tie-break** (deterministic): when several (zone, DRM) candidates
+/// align equally well, the earliest-offset zone (westernmost, e.g.
+/// Pacific before Eastern) wins; within one zone, the tightest
+/// containing DRM file wins, then the lowest DRM index. This makes the
+/// choice a pure function of the inputs instead of iteration order.
 pub fn sync_log(log: &AppLog, drms: &[DrmFile]) -> Result<SyncedLog, SyncError> {
     if log.entries_ms.is_empty() {
         return Err(SyncError::EmptyLog);
@@ -126,7 +153,7 @@ pub fn sync_log(log: &AppLog, drms: &[DrmFile]) -> Result<SyncedLog, SyncError> 
         _ => vec![None],
     };
 
-    let mut best: Option<(u64, SyncedLog)> = None;
+    let mut best: Option<(CandidateKey, SyncedLog)> = None;
     for zone in candidate_zones {
         let converted: Option<Vec<SimTime>> = log
             .entries_ms
@@ -140,10 +167,10 @@ pub fn sync_log(log: &AppLog, drms: &[DrmFile]) -> Result<SyncedLog, SyncError> 
             let Some((dlo, dhi)) = drm_span(drm) else {
                 continue;
             };
-            let m = mismatch_ms(lo, hi, dlo, dhi);
-            if best.as_ref().is_none_or(|(bm, _)| m < *bm) {
+            let key = candidate_key(mismatch_ms(lo, hi, dlo, dhi), zone, dlo, dhi, i);
+            if best.as_ref().is_none_or(|(bk, _)| key < *bk) {
                 best = Some((
-                    m,
+                    key,
                     SyncedLog {
                         test_id: log.test_id,
                         entries: entries.clone(),
@@ -156,8 +183,72 @@ pub fn sync_log(log: &AppLog, drms: &[DrmFile]) -> Result<SyncedLog, SyncError> 
     }
 
     match best {
-        Some((0, synced)) => Ok(synced),
+        Some(((0, ..), synced)) => Ok(synced),
         Some(_) | None => Err(SyncError::NoMatchingDrm),
+    }
+}
+
+/// Lenient variant of [`sync_log`] for **gapped** logs — drives where the
+/// XCAL logger dropped out mid-test, so part of the app log has no DRM
+/// coverage. Strict sync would reject the whole log; this salvages it:
+/// the best (zone, DRM) candidate is chosen by the same deterministic
+/// key, but scored only on the entries each candidate can cover, and the
+/// uncovered entries are dropped. Returns the synced log plus the number
+/// of entries dropped (`0` means the strict path succeeded).
+pub fn sync_log_lenient(log: &AppLog, drms: &[DrmFile]) -> Result<(SyncedLog, usize), SyncError> {
+    const SLACK_MS: u64 = 3_000;
+    match sync_log(log, drms) {
+        Ok(s) => return Ok((s, 0)),
+        Err(SyncError::EmptyLog) => return Err(SyncError::EmptyLog),
+        Err(_) => {}
+    }
+    let candidate_zones: Vec<Option<Timezone>> = match log.stamp {
+        StampKind::LocalUnknown => Timezone::ALL.iter().map(|z| Some(*z)).collect(),
+        _ => vec![None],
+    };
+    // Most-covered candidate wins; ties fall back to the strict key
+    // (earliest zone offset, tightest DRM, lowest index).
+    let mut best: Option<(usize, CandidateKey, SyncedLog)> = None;
+    let total = log.entries_ms.len();
+    for zone in candidate_zones {
+        for (i, drm) in drms.iter().enumerate() {
+            let Some((dlo, dhi)) = drm_span(drm) else {
+                continue;
+            };
+            let keep_lo = dlo.as_millis().saturating_sub(SLACK_MS);
+            let keep_hi = dhi.as_millis() + SLACK_MS;
+            let entries: Vec<SimTime> = log
+                .entries_ms
+                .iter()
+                .filter_map(|ms| to_sim(*ms, log.stamp, zone))
+                .filter(|t| (keep_lo..=keep_hi).contains(&t.as_millis()))
+                .collect();
+            if entries.is_empty() {
+                continue;
+            }
+            let kept = entries.len();
+            let key = candidate_key(0, zone, dlo, dhi, i);
+            let better = match &best {
+                None => true,
+                Some((bk, bkey, _)) => kept > *bk || (kept == *bk && key < *bkey),
+            };
+            if better {
+                best = Some((
+                    kept,
+                    key,
+                    SyncedLog {
+                        test_id: log.test_id,
+                        entries,
+                        drm_index: i,
+                        inferred_zone: zone.filter(|_| log.stamp == StampKind::LocalUnknown),
+                    },
+                ));
+            }
+        }
+    }
+    match best {
+        Some((kept, _, synced)) => Ok((synced, total - kept)),
+        None => Err(SyncError::NoMatchingDrm),
     }
 }
 
@@ -282,11 +373,104 @@ mod tests {
         let s = sync_log(&log, &drms).unwrap();
         // The Central interpretation matches file 1 exactly; a Mountain
         // interpretation would land at t1+1h (outside), an Eastern one at
-        // t1-1h (inside file 0!). The exact-containment rule plus minimal
-        // mismatch picks a valid (zone, file) pair.
-        let ok = (s.drm_index == 1 && s.inferred_zone == Some(Timezone::Central))
-            || (s.drm_index == 0 && s.inferred_zone == Some(Timezone::Eastern));
-        assert!(ok, "got {:?}", s);
+        // t1-1h (inside file 0!). Both are perfect containments, so the
+        // earliest-offset tie-break decides: Central (UTC-5) beats
+        // Eastern (UTC-4), deterministically.
+        assert_eq!(s.drm_index, 1, "got {s:?}");
+        assert_eq!(s.inferred_zone, Some(Timezone::Central));
+    }
+
+    #[test]
+    fn tie_break_prefers_earliest_zone_offset() {
+        // One DRM file long enough that *all four* zone interpretations
+        // of a short LocalUnknown log land inside it — a four-way perfect
+        // tie. The documented rule picks the earliest UTC offset, i.e.
+        // the westernmost zone (Pacific, UTC-7).
+        let t0 = SimTime::from_hours(40);
+        let drms = vec![drm(t0, 4 * 3_600, Timezone::Central)];
+        let log = AppLog {
+            test_id: 6,
+            stamp: StampKind::LocalUnknown,
+            entries_ms: (0..30)
+                .map(|k| {
+                    WallClock::local_ms(
+                        t0 + SimDuration::from_mins(90) + SimDuration::from_secs(k),
+                        Timezone::Central,
+                    )
+                })
+                .collect(),
+        };
+        let s = sync_log(&log, &drms).unwrap();
+        assert_eq!(s.inferred_zone, Some(Timezone::Pacific));
+    }
+
+    #[test]
+    fn tie_break_prefers_tightest_containing_drm() {
+        // Regression: two DRM files both contain the log perfectly — a
+        // wide one at index 0 and a tight one at index 1. The old code
+        // kept whichever it saw first (index 0); the documented tie-break
+        // picks the tightest containing file.
+        let t0 = SimTime::from_hours(60);
+        let drms = vec![
+            drm(t0, 600, Timezone::Mountain),
+            drm(t0 + SimDuration::from_secs(100), 60, Timezone::Mountain),
+        ];
+        let log = AppLog {
+            test_id: 8,
+            stamp: StampKind::Utc,
+            entries_ms: (0..30)
+                .map(|k| {
+                    WallClock::utc_ms(t0 + SimDuration::from_secs(110) + SimDuration::from_secs(k))
+                })
+                .collect(),
+        };
+        let s = sync_log(&log, &drms).unwrap();
+        assert_eq!(s.drm_index, 1, "tightest containing file must win");
+    }
+
+    #[test]
+    fn lenient_sync_salvages_gapped_log() {
+        // Logger gap: the app log runs past the end of DRM coverage, so
+        // strict sync rejects it. Lenient sync keeps the covered prefix
+        // and reports how many entries were dropped.
+        let t0 = SimTime::from_hours(80);
+        let drms = vec![drm(t0, 20, Timezone::Central)];
+        let log = AppLog {
+            test_id: 11,
+            stamp: StampKind::Utc,
+            entries_ms: (0..60)
+                .map(|k| WallClock::utc_ms(t0 + SimDuration::from_secs(k)))
+                .collect(),
+        };
+        assert_eq!(sync_log(&log, &drms), Err(SyncError::NoMatchingDrm));
+        let (s, dropped) = sync_log_lenient(&log, &drms).unwrap();
+        assert_eq!(s.drm_index, 0);
+        // Entries within the DRM span plus the 3 s slack survive:
+        // t0..t0+19.5s covered, slack keeps up to t0+22.5s → k = 0..=22.
+        assert_eq!(s.entries.len(), 23);
+        assert_eq!(dropped, 60 - 23);
+        assert_eq!(s.entries[0], t0);
+        // A clean log passes through lenient sync untouched.
+        let clean = AppLog {
+            test_id: 12,
+            stamp: StampKind::Utc,
+            entries_ms: (0..10)
+                .map(|k| WallClock::utc_ms(t0 + SimDuration::from_secs(k)))
+                .collect(),
+        };
+        let (s, dropped) = sync_log_lenient(&clean, &drms).unwrap();
+        assert_eq!(dropped, 0);
+        assert_eq!(s.entries.len(), 10);
+        // A log nowhere near any DRM still fails, even leniently.
+        let hopeless = AppLog {
+            test_id: 13,
+            stamp: StampKind::Utc,
+            entries_ms: vec![WallClock::utc_ms(t0 + SimDuration::from_hours(20))],
+        };
+        assert_eq!(
+            sync_log_lenient(&hopeless, &drms),
+            Err(SyncError::NoMatchingDrm)
+        );
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub fn base_rtt_ms(snap: &RanSnapshot, path: &NetPath) -> f64 {
     2.0 * snap.tech.ran_latency_ms() + 2.0 * path.core_owd_ms
 }
 
-/// Run one backlogged TCP throughput test.
+/// Run one backlogged TCP throughput test over the full scheduled window.
 #[allow(clippy::too_many_arguments)]
 pub fn measure_tput(
     poll: &mut Poller,
@@ -78,7 +78,40 @@ pub fn measure_tput(
     path: NetPath,
     driving: bool,
 ) -> TputTestOut {
-    let end = start + TPUT_TEST;
+    measure_tput_window(
+        poll,
+        ctx_of,
+        dir,
+        start,
+        start + TPUT_TEST,
+        test_id,
+        operator,
+        path,
+        driving,
+    )
+}
+
+/// Run a (possibly truncated) backlogged TCP throughput test over
+/// `[start, cut)`. Only **complete** 500 ms bins are recorded — a run
+/// cut short mid-bin salvages its finished samples and discards the
+/// partial bin, the paper's "keep what the disruption left us" rule.
+/// With `cut = start + TPUT_TEST` this is exactly [`measure_tput`].
+#[allow(clippy::too_many_arguments)]
+pub fn measure_tput_window(
+    poll: &mut Poller,
+    ctx_of: &mut CtxOf,
+    dir: Direction,
+    start: SimTime,
+    cut: SimTime,
+    test_id: u32,
+    operator: Operator,
+    path: NetPath,
+    driving: bool,
+) -> TputTestOut {
+    // Clip to whole bins: the fluid loop below closes a bin only when it
+    // is full, so stopping on a bin boundary discards nothing extra.
+    let whole_bins = cut.since(start).as_millis() / SAMPLE_MS;
+    let end = start + SimDuration::from_millis(whole_bins * SAMPLE_MS);
     let mut flow = CubicFlow::new();
     let mut out = TputTestOut::default();
     let mut t = start;
@@ -183,7 +216,35 @@ pub fn measure_rtt(
     driving: bool,
     rng: SimRng,
 ) -> (Vec<RttSample>, Vec<CoverageSample>, f64) {
-    let end = start + RTT_TEST;
+    measure_rtt_window(
+        poll,
+        ctx_of,
+        start,
+        start + RTT_TEST,
+        test_id,
+        operator,
+        path,
+        driving,
+        rng,
+    )
+}
+
+/// Run a (possibly truncated) RTT test over `[start, cut)`: pings keep
+/// their deterministic 200 ms cadence and simply stop at the cut. With
+/// `cut = start + RTT_TEST` this is exactly [`measure_rtt`].
+#[allow(clippy::too_many_arguments)]
+pub fn measure_rtt_window(
+    poll: &mut Poller,
+    ctx_of: &mut CtxOf,
+    start: SimTime,
+    cut: SimTime,
+    test_id: u32,
+    operator: Operator,
+    path: NetPath,
+    driving: bool,
+    rng: SimRng,
+) -> (Vec<RttSample>, Vec<CoverageSample>, f64) {
+    let end = cut;
     let mut ping = PingSession::new(start, rng);
     let mut samples = Vec::new();
     let mut coverage = Vec::new();
@@ -365,6 +426,53 @@ mod tests {
         assert_eq!(samples.len(), 100);
         let ok = samples.iter().filter(|s| s.rtt_ms.is_some()).count();
         assert!(ok > 90, "ok {ok}");
+    }
+
+    #[test]
+    fn truncated_tput_keeps_only_complete_bins() {
+        let mut poll = |t: SimTime| Some(snap(t, 80.0, 15.0, Technology::Nr5gMid));
+        let mut c = |_t: SimTime| Some(ctx());
+        // Cut mid-bin at 10.25 s: 20 complete 500 ms bins survive, the
+        // half-filled 21st is discarded.
+        let out = measure_tput_window(
+            &mut poll,
+            &mut c,
+            Direction::Downlink,
+            SimTime::EPOCH,
+            SimTime::EPOCH + SimDuration::from_millis(10_250),
+            5,
+            Operator::TMobile,
+            NetPath {
+                kind: ServerKind::Cloud,
+                core_owd_ms: 20.0,
+            },
+            true,
+        );
+        assert_eq!(out.samples.len(), 20);
+        assert_eq!(out.coverage.len(), 20);
+        assert!(out.bytes > 0.0);
+    }
+
+    #[test]
+    fn truncated_rtt_stops_at_cut() {
+        let mut poll = |t: SimTime| Some(snap(t, 50.0, 10.0, Technology::LteA));
+        let mut c = |_t: SimTime| Some(ctx());
+        let (samples, _cov, _f) = measure_rtt_window(
+            &mut poll,
+            &mut c,
+            SimTime::EPOCH,
+            SimTime::EPOCH + SimDuration::from_millis(10_100),
+            6,
+            Operator::TMobile,
+            NetPath {
+                kind: ServerKind::Cloud,
+                core_owd_ms: 20.0,
+            },
+            true,
+            SimRng::seed(1),
+        );
+        // Pings at 0, 200, …, 10_000 ms — 51 of the full run's 100.
+        assert_eq!(samples.len(), 51);
     }
 
     #[test]

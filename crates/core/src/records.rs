@@ -4,6 +4,7 @@
 //! synthetic equivalent of the paper's "consolidated database, which
 //! includes both the XCAL and the app layer data" (§3).
 
+use crate::disrupt::FaultKind;
 use serde::{Deserialize, Serialize};
 use wheels_apps::arcav::OffloadStats;
 use wheels_apps::gaming::GamingStats;
@@ -160,6 +161,10 @@ pub struct TestRun {
     pub handovers: u32,
     /// True while driving.
     pub driving: bool,
+    /// True when the test was truncated by a disruption and salvaged:
+    /// the run keeps its completed 500 ms samples but covers less than
+    /// the scheduled window. Always `false` with faults off.
+    pub partial: bool,
 }
 
 /// A handover event tagged with its operator and test.
@@ -196,6 +201,61 @@ pub struct AppRun {
     pub gaming: Option<GamingStats>,
 }
 
+/// Outcome of one scheduled drive test, for the data-quality ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TestStatus {
+    /// Every planned sample was recorded.
+    Completed,
+    /// The test ran but lost samples to a disruption (salvaged).
+    Partial,
+    /// The test never produced data (retries exhausted or window gone).
+    Lost,
+}
+
+impl TestStatus {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            TestStatus::Completed => "completed",
+            TestStatus::Partial => "partial",
+            TestStatus::Lost => "lost",
+        }
+    }
+}
+
+/// One row of the disruption ledger: what a scheduled drive test was
+/// supposed to record vs what survived. With faults off, every audit is
+/// `Completed` with one attempt and zero loss; the quality report
+/// aggregates these per operator × day.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestAudit {
+    /// Test id (allocated even when the test is lost, so the slot plan
+    /// stays identical with faults on or off).
+    pub test_id: u32,
+    /// Operator.
+    pub operator: Operator,
+    /// Test kind.
+    pub kind: TestKind,
+    /// 0-based trip day the test was scheduled on.
+    pub day: u8,
+    /// Originally scheduled start (before any retry backoff).
+    pub scheduled: SimTime,
+    /// Outcome.
+    pub status: TestStatus,
+    /// Attempts made (1 = no retry).
+    pub attempts: u32,
+    /// First disruption that interfered, if any.
+    pub fault: Option<FaultKind>,
+    /// Samples the fault-free schedule would have recorded in this slot
+    /// (a pure function of trace and config, so it is identical with
+    /// faults on or off).
+    pub planned_samples: u32,
+    /// Samples actually recorded.
+    pub recorded_samples: u32,
+    /// `planned_samples - recorded_samples`.
+    pub lost_samples: u32,
+}
+
 /// The full consolidated dataset of one campaign.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Dataset {
@@ -211,6 +271,8 @@ pub struct Dataset {
     pub handovers: Vec<TaggedHandover>,
     /// Application runs.
     pub apps: Vec<AppRun>,
+    /// Disruption ledger: one row per scheduled drive test.
+    pub audits: Vec<TestAudit>,
     /// Total bytes received over cellular (Table 1).
     pub rx_bytes: f64,
     /// Total bytes transmitted over cellular (Table 1).
@@ -232,6 +294,7 @@ impl Dataset {
         self.runs.extend(other.runs);
         self.handovers.extend(other.handovers);
         self.apps.extend(other.apps);
+        self.audits.extend(other.audits);
         self.rx_bytes += other.rx_bytes;
         self.tx_bytes += other.tx_bytes;
         self.log_bytes += other.log_bytes;
@@ -257,6 +320,8 @@ impl Dataset {
             )
         });
         self.apps.sort_by_key(|a| a.id);
+        self.audits
+            .sort_by_key(|a| (a.scheduled.as_millis(), a.test_id));
         self.unique_cells.sort_by_key(|(op, _)| op.index());
         self.runtime_min.sort_by_key(|(op, _)| op.index());
     }

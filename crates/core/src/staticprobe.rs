@@ -212,6 +212,7 @@ pub fn run_city(
             hs5g_fraction: hs5g,
             handovers: 0,
             driving: false,
+            partial: false,
         });
         t = end + SimDuration::from_secs(5);
     }

@@ -1,0 +1,114 @@
+//! Property-based tests for disruption accounting: for ANY fault
+//! schedule, the salvage ledger conserves samples — completed + lost +
+//! salvaged-partial counts add up to exactly what the fault-free
+//! schedule planned.
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use wheels_core::campaign::{Campaign, CampaignConfig};
+use wheels_core::disrupt::FaultConfig;
+use wheels_core::records::{Dataset, TestStatus};
+
+/// One shared world; each case varies the run seed and the fault mix.
+fn campaign() -> &'static Campaign {
+    static C: OnceLock<Campaign> = OnceLock::new();
+    C.get_or_init(|| Campaign::standard(2022))
+}
+
+/// Small instrument-only campaign (apps have behavior-dependent sample
+/// times, so their ledger is planned = kept + dropped by construction;
+/// the interesting conservation claim is about the grid-planned
+/// throughput and RTT samples).
+fn cfg(seed: u64, faults: FaultConfig) -> CampaignConfig {
+    CampaignConfig {
+        seed,
+        max_cycles: Some(3),
+        cycle_stride_s: 9_000,
+        include_apps: false,
+        include_static: false,
+        faults,
+        ..CampaignConfig::default()
+    }
+}
+
+fn planned_by_test(ds: &Dataset) -> BTreeMap<u32, u32> {
+    ds.audits
+        .iter()
+        .map(|a| (a.test_id, a.planned_samples))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn salvage_accounting_conserves_samples(
+        seed in 0u64..10_000,
+        outages in 0.0f64..20.0,
+        crashes in 0.0f64..20.0,
+        gaps in 0.0f64..25.0,
+        drifts in 0.0f64..10.0,
+        correctable_ms in prop::sample::select(vec![5_000u64, 30_000, 150_000]),
+    ) {
+        let faults = FaultConfig {
+            enabled: true,
+            outages_per_hour: outages,
+            outage_secs: (15, 120),
+            crashes_per_hour: crashes,
+            restart_secs: (20, 90),
+            gaps_per_hour: gaps,
+            gap_secs: (5, 45),
+            drifts_per_hour: drifts,
+            drift_ms: (1_000, 120_000),
+            drift_correctable_ms: correctable_ms,
+            ..FaultConfig::default()
+        };
+        let c = campaign();
+        let faulted = c.run(&cfg(seed, faults));
+        let baseline = c.run(&cfg(seed, FaultConfig::default()));
+
+        // The plan is fault-invariant: same tests, same planned counts.
+        prop_assert!(!baseline.audits.is_empty(), "campaign scheduled no tests");
+        prop_assert_eq!(planned_by_test(&faulted), planned_by_test(&baseline));
+
+        // Fault-free, everything completes and the ledger is all-kept.
+        for a in &baseline.audits {
+            prop_assert_eq!(a.status, TestStatus::Completed);
+            prop_assert_eq!(a.attempts, 1);
+            prop_assert_eq!(a.recorded_samples, a.planned_samples);
+            prop_assert_eq!(a.lost_samples, 0);
+        }
+
+        // Conservation under any fault schedule: every planned sample is
+        // either recorded (completed or salvaged-partial) or accounted
+        // lost — and the audit trail matches the actual sample tables.
+        for a in &faulted.audits {
+            prop_assert_eq!(
+                a.planned_samples, a.recorded_samples + a.lost_samples,
+                "test {} ledger leaks", a.test_id
+            );
+            let rows = match a.kind {
+                wheels_core::records::TestKind::Rtt =>
+                    faulted.rtt.iter().filter(|s| s.test_id == a.test_id).count(),
+                _ =>
+                    faulted.tput.iter().filter(|s| s.test_id == a.test_id).count(),
+            };
+            prop_assert_eq!(u32::try_from(rows).unwrap(), a.recorded_samples);
+            if a.fault.is_none() {
+                prop_assert_eq!(a.status, TestStatus::Completed);
+                prop_assert_eq!(a.lost_samples, 0);
+            }
+        }
+
+        // Campaign-level conservation: totals add up across outcomes.
+        let total = |ds: &Dataset, f: &dyn Fn(&wheels_core::records::TestAudit) -> u64| -> u64 {
+            ds.audits.iter().map(f).sum()
+        };
+        let planned_total = total(&baseline, &|a| u64::from(a.planned_samples));
+        let kept = total(&faulted, &|a| u64::from(a.recorded_samples));
+        let lost = total(&faulted, &|a| u64::from(a.lost_samples));
+        prop_assert_eq!(kept + lost, planned_total);
+    }
+}

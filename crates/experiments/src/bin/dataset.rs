@@ -7,13 +7,17 @@
 //! plus the Table 1 accounting) as a single JSON document.
 //!
 //! ```text
-//! dataset [--quick|--standard|--full] [--seed N] [--threads N] [output.json]
+//! dataset [--quick|--standard|--full] [--seed N] [--threads N] [--faults] [output.json]
 //! ```
+//!
+//! `--faults` injects the demo disruption mix; the exported `audits`
+//! table then carries the retry/salvage/loss ledger.
 //!
 //! With no output path, JSON goes to stdout.
 
 use std::io::Write;
 
+use wheels_core::disrupt::FaultConfig;
 use wheels_experiments::cli;
 use wheels_experiments::world::{Scale, World};
 
@@ -28,7 +32,12 @@ fn main() {
         "building world at scale {:?} (seed {})...",
         args.scale, args.seed
     );
-    let world = World::build_with(args.scale, args.seed, args.threads);
+    let faults = if args.faults {
+        FaultConfig::demo()
+    } else {
+        FaultConfig::default()
+    };
+    let world = World::build_with_faults(args.scale, args.seed, args.threads, faults);
     let ds = world.dataset();
     eprintln!(
         "serializing {} tput / {} rtt / {} coverage / {} runs / {} handovers / {} app runs",

@@ -1,9 +1,14 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick|--standard|--full] [--seed N] [--threads N] [ids...]
+//! repro [--quick|--standard|--full] [--seed N] [--threads N] [--faults] [ids...]
 //! repro --list
 //! ```
+//!
+//! `--faults` injects the demo measurement-disruption mix (server
+//! outages, app crashes, logger gaps, clock drift); the `quality`
+//! experiment then reports retry/salvage/loss accounting. Off by
+//! default, and the default dataset is unchanged by this feature.
 //!
 //! With no ids, every experiment runs. Experiments execute on a worker
 //! pool (`--threads N`, default = host cores) with output buffered per
@@ -13,6 +18,7 @@
 
 use std::io::Write;
 
+use wheels_core::disrupt::FaultConfig;
 use wheels_experiments::world::{Scale, World};
 use wheels_experiments::{cli, registry, render_report, resolve};
 
@@ -43,7 +49,12 @@ fn main() {
         args.scale, args.seed
     );
     let t0 = std::time::Instant::now();
-    let world = World::build_with(args.scale, args.seed, args.threads);
+    let faults = if args.faults {
+        FaultConfig::demo()
+    } else {
+        FaultConfig::default()
+    };
+    let world = World::build_with_faults(args.scale, args.seed, args.threads, faults);
     let ds = world.dataset();
     eprintln!(
         "world ready in {:.1}s: {} tput samples, {} rtt samples, {} app runs, {} handovers",

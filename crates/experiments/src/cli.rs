@@ -16,6 +16,10 @@ pub struct Args {
     /// Worker-pool cap (`--threads N`, default = host cores). Never
     /// changes any output, only wall time.
     pub threads: Option<usize>,
+    /// Enable the demo disruption mix (`--faults`): injected server
+    /// outages, app crashes, logger gaps and clock-drift bursts, with
+    /// retry/salvage accounting in the quality report.
+    pub faults: bool,
     /// Positional arguments (experiment ids for `repro`, the output path
     /// for `dataset`).
     pub rest: Vec<String>,
@@ -31,6 +35,7 @@ pub fn parse_args(
         scale: default_scale,
         seed: 2022,
         threads: None,
+        faults: false,
         rest: Vec::new(),
     };
     let mut iter = argv.into_iter();
@@ -55,7 +60,15 @@ pub fn parse_args(
                 }
                 args.threads = Some(n);
             }
-            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            "--faults" => args.faults = true,
+            // Reject unknown flags instead of letting them fall through
+            // to `rest`: a typo like `--thread 4` or `-q` would otherwise
+            // silently become a positional arg (an experiment id / output
+            // path) and the user's intent would be dropped. A bare `-`
+            // stays positional by convention.
+            other if other.starts_with('-') && other.len() > 1 => {
+                return Err(format!("unknown flag {other}"));
+            }
             other => args.rest.push(other.to_string()),
         }
     }
@@ -121,5 +134,23 @@ mod tests {
     fn unknown_flag_errors() {
         let e = parse(&["--frobnicate"]).unwrap_err();
         assert_eq!(e, "unknown flag --frobnicate");
+    }
+
+    #[test]
+    fn unknown_single_dash_flag_errors() {
+        // Regression: these used to be swallowed into `rest` as if they
+        // were experiment ids / output paths.
+        let e = parse(&["-q"]).unwrap_err();
+        assert_eq!(e, "unknown flag -q");
+        assert!(parse(&["-j4"]).is_err());
+        // A bare `-` is still a positional argument.
+        let a = parse(&["-"]).unwrap();
+        assert_eq!(a.rest, vec!["-".to_string()]);
+    }
+
+    #[test]
+    fn faults_flag() {
+        assert!(!parse(&[]).unwrap().faults);
+        assert!(parse(&["--faults"]).unwrap().faults);
     }
 }

@@ -35,6 +35,7 @@ pub mod fig6;
 pub mod fig7_8;
 pub mod fig9;
 pub mod findings;
+pub mod quality;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -114,6 +115,11 @@ pub fn registry() -> Vec<Experiment> {
             "ext-multivariate",
             "Extension: multivariate KPI analysis (paper's stated future work)",
             ext_multivariate::run,
+        ),
+        (
+            "quality",
+            "Data quality: disruption and salvage accounting",
+            quality::run,
         ),
     ]
 }

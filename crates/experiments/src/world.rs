@@ -18,6 +18,7 @@ use std::sync::OnceLock;
 
 use wheels_core::analysis::view::DatasetView;
 use wheels_core::campaign::{Campaign, CampaignConfig};
+use wheels_core::disrupt::FaultConfig;
 use wheels_core::records::Dataset;
 
 /// Experiment scale.
@@ -72,9 +73,22 @@ impl World {
     /// Build a fresh world, optionally capping the campaign worker pool
     /// (`None` = host cores). Thread count never changes the dataset.
     pub fn build_with(scale: Scale, seed: u64, threads: Option<usize>) -> World {
+        Self::build_with_faults(scale, seed, threads, FaultConfig::default())
+    }
+
+    /// Build a fresh world with measurement disruptions injected. The
+    /// fault schedule is keyed purely by `(seed, operator, segment)`, so
+    /// the dataset is still bit-identical at any thread count.
+    pub fn build_with_faults(
+        scale: Scale,
+        seed: u64,
+        threads: Option<usize>,
+        faults: FaultConfig,
+    ) -> World {
         let campaign = Campaign::standard(seed);
         let mut cfg = scale.config();
         cfg.seed = seed;
+        cfg.faults = faults;
         if threads.is_some() {
             cfg.threads = threads;
         }

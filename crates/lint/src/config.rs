@@ -33,6 +33,12 @@ pub struct Config {
     /// Path prefixes (relative to the workspace root, `/`-separated)
     /// where unannotated `as` casts to integer types are flagged.
     pub lossy_paths: Vec<String>,
+    /// Path prefixes where every RNG stream label must live in the
+    /// `campaign/faults/` namespace (the disruption subsystem). Fault
+    /// schedules drawing from any other stream would entangle the fault
+    /// model with the simulation streams and break the off-by-default
+    /// bit-identity guarantee.
+    pub disrupt_paths: Vec<String>,
 }
 
 impl Default for Config {
@@ -58,6 +64,7 @@ impl Default for Config {
             label_exempt_crates: v(&["lint"]),
             unwrap_exempt_crates: vec![],
             lossy_paths: v(&["crates/core/src", "crates/experiments/src"]),
+            disrupt_paths: v(&["crates/core/src/disrupt"]),
         }
     }
 }

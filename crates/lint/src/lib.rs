@@ -8,8 +8,8 @@
 //! iterating a `HashMap` into an output table or reading the wall clock
 //! inside the simulator. This crate enforces those invariants
 //! mechanically: a self-contained Rust lexer (the build environment is
-//! registry-free, so no `syn`) feeds a token-pattern rule engine with six
-//! domain rules:
+//! registry-free, so no `syn`) feeds a token-pattern rule engine with
+//! seven domain rules:
 //!
 //! 1. **nondeterminism** — no `Instant::now` / `SystemTime::now` /
 //!    `thread_rng` / `from_entropy` / `rand::random` / `env::var` in
@@ -23,7 +23,10 @@
 //! 5. **lossy-cast** — no unannotated `as`-casts to integer types in
 //!    record/analysis paths;
 //! 6. **crate-hygiene** — every crate root carries
-//!    `#![forbid(unsafe_code)]` and a `//!` doc header.
+//!    `#![forbid(unsafe_code)]` and a `//!` doc header;
+//! 7. **disrupt-stream-namespace** — RNG stream labels in the disruption
+//!    subsystem stay inside the dedicated `campaign/faults/` namespace,
+//!    so fault injection can never perturb the simulation streams.
 //!
 //! A finding is silenced in place with `// lint: allow(rule, reason)` on
 //! the offending line or the line above; the reason is mandatory.
@@ -60,6 +63,7 @@ pub fn lint_sources(files: &[SourceFile], cfg: &Config) -> Report {
         rules::unwrap_in_lib(file, &lexed, &mask, cfg, &mut findings);
         rules::lossy_cast(file, &lexed, &mask, cfg, &mut findings);
         rules::crate_hygiene(file, &lexed, &mask, cfg, &mut findings);
+        rules::disrupt_stream_namespace(file, &lexed, &mask, cfg, &mut findings);
     }
     rules::label_findings(&labels, &mut findings);
     findings.sort_by(|a, b| {

@@ -14,13 +14,14 @@ use crate::report::Finding;
 use crate::workspace::SourceFile;
 
 /// Rule names, in catalogue order.
-pub const RULE_NAMES: [&str; 6] = [
+pub const RULE_NAMES: [&str; 7] = [
     "nondeterminism",
     "hash-iteration",
     "rng-stream-labels",
     "unwrap-in-lib",
     "lossy-cast",
     "crate-hygiene",
+    "disrupt-stream-namespace",
 ];
 
 /// Integer cast targets the lossy-cast rule watches.
@@ -463,6 +464,72 @@ pub fn crate_hygiene(
             lexed,
             &top,
             "crate root is missing a `//!` doc header".to_string(),
+        ));
+    }
+}
+
+/// Rule 7 — disrupt-stream-namespace: inside the disruption subsystem
+/// (`disrupt_paths`), every `split("…")` label must live under the
+/// dedicated `campaign/faults/` namespace. A fault schedule drawn from
+/// any other stream would entangle fault generation with the simulation
+/// streams, so enabling faults could perturb the fault-free dataset and
+/// break the off-by-default bit-identity guarantee.
+pub fn disrupt_stream_namespace(
+    file: &SourceFile,
+    lexed: &LexedFile,
+    mask: &[bool],
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    if !cfg
+        .disrupt_paths
+        .iter()
+        .any(|p| file.rel_path.starts_with(p.as_str()))
+    {
+        return;
+    }
+    const RULE: &str = RULE_NAMES[6];
+    const NAMESPACE: &str = "campaign/faults/";
+    let toks = &lexed.toks;
+    for k in 0..toks.len() {
+        if mask[k] {
+            continue;
+        }
+        if toks[k].ident() != Some("split")
+            || k == 0
+            || !toks[k - 1].is_punct('.')
+            || !toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+        {
+            continue;
+        }
+        let mut j = k + 2;
+        if toks.get(j).is_some_and(|t| t.is_punct('&')) {
+            j += 1;
+        }
+        let lit = match toks.get(j) {
+            Some(t) if t.kind == TokKind::Str => Some(t),
+            Some(t)
+                if t.ident() == Some("format")
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct('!'))
+                    && toks.get(j + 2).is_some_and(|t| t.is_punct('(')) =>
+            {
+                toks.get(j + 3).filter(|t| t.kind == TokKind::Str)
+            }
+            _ => None,
+        };
+        let Some(lit) = lit else { continue };
+        if lit.text.starts_with(NAMESPACE) || allowed(lexed, RULE, lit.line) {
+            continue;
+        }
+        out.push(finding(
+            RULE,
+            file,
+            lexed,
+            lit,
+            format!(
+                "RNG stream label \"{}\" in the disrupt module is outside the `{NAMESPACE}` namespace — fault schedules must never draw from simulation streams",
+                lit.text
+            ),
         ));
     }
 }

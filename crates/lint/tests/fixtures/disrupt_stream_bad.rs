@@ -1,0 +1,5 @@
+pub fn schedules(rng: &SimRng, seg: u32) {
+    let a = rng.split("campaign/ran2");
+    let b = rng.split(&format!("campaign/faults-extra/{seg}"));
+    let c = rng.split("campaign/faults/vz/3");
+}

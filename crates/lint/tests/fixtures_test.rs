@@ -193,3 +193,30 @@ fn allow_without_reason_does_not_suppress() {
     let got = lint_one(fixture("noreason", "geo", src));
     assert_eq!(got, vec![("unwrap-in-lib", 3, 17)]);
 }
+
+#[test]
+fn disrupt_stream_namespace_fires_with_positions() {
+    let src = include_str!("fixtures/disrupt_stream_bad.rs");
+    let got = lint_one(fixture("disrupt_stream_bad", "core", src));
+    assert_eq!(
+        got,
+        vec![
+            ("disrupt-stream-namespace", 2, 23),
+            ("disrupt-stream-namespace", 3, 32),
+        ]
+    );
+}
+
+#[test]
+fn disrupt_stream_namespace_silent_on_clean_counterpart() {
+    let src = include_str!("fixtures/disrupt_stream_ok.rs");
+    assert_eq!(lint_one(fixture("disrupt_stream_ok", "core", src)), vec![]);
+}
+
+#[test]
+fn disrupt_stream_namespace_scoped_to_disrupt_paths() {
+    // The same labels outside the disrupt module are rule-3 territory
+    // only (well-formed and unique, so no findings at all).
+    let src = include_str!("fixtures/disrupt_stream_bad.rs");
+    assert_eq!(lint_one(fixture("other", "core", src)), vec![]);
+}

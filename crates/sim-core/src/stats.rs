@@ -37,7 +37,11 @@ impl Cdf {
     /// `f64::total_cmp`) and free of non-finite values — the memoized
     /// dataset-view path, where one shared sort serves many queries.
     /// Equivalent to [`Cdf::from_samples`] on the same multiset, without
-    /// the O(n log n) re-sort. Monotonicity is debug-asserted.
+    /// the O(n log n) re-sort. Monotonicity and finiteness are
+    /// debug-asserted only: in release builds unsorted or non-finite
+    /// input is **not** rejected, and quantiles over it are meaningless.
+    /// Callers own the precondition; the debug assert exists so test
+    /// builds catch violations early.
     pub fn from_sorted(sorted: Vec<f64>) -> Self {
         debug_assert!(
             sorted.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
@@ -65,10 +69,13 @@ impl Cdf {
         &self.sorted
     }
 
-    /// Quantile `q` in `[0, 1]`, linearly interpolated. Returns `None` when
-    /// empty.
+    /// Quantile `q` in `[0, 1]`, linearly interpolated. Out-of-range
+    /// finite `q` clamps to the endpoints, so `quantile(0.0)` is exactly
+    /// the minimum and `quantile(1.0)` exactly the maximum. Returns
+    /// `None` when empty **or** when `q` is non-finite (NaN/±inf) — a
+    /// NaN probability is a caller bug, not "the smallest sample".
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        if self.sorted.is_empty() {
+        if self.sorted.is_empty() || !q.is_finite() {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
@@ -338,6 +345,27 @@ mod tests {
         assert_eq!(c.quantile(1.0), Some(4.0));
         assert_eq!(c.median(), Some(2.5));
         assert_eq!(c.quantile(1.0 / 3.0), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_endpoints_are_exact_and_clamped() {
+        let c = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+        // q=0/1 hit the endpoints exactly (no interpolation residue) and
+        // finite out-of-range q clamps to them.
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        assert_eq!(c.quantile(1.0), Some(4.0));
+        assert_eq!(c.quantile(-3.5), Some(1.0));
+        assert_eq!(c.quantile(7.0), Some(4.0));
+    }
+
+    #[test]
+    fn quantile_rejects_non_finite_q() {
+        let c = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+        // Regression: NaN used to clamp-propagate and come back as
+        // Some(NaN) instead of an explicit refusal.
+        assert_eq!(c.quantile(f64::NAN), None);
+        assert_eq!(c.quantile(f64::INFINITY), None);
+        assert_eq!(c.quantile(f64::NEG_INFINITY), None);
     }
 
     #[test]

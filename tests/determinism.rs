@@ -143,3 +143,38 @@ fn different_seed_differs() {
         "seeds 1 and 2 built identical worlds"
     );
 }
+
+#[test]
+fn fault_injection_is_thread_invariant_and_off_by_default() {
+    use wheels::core::disrupt::FaultConfig;
+
+    // Fault schedules are keyed by (seed, operator, segment) — never by
+    // which worker runs the shard — so a fixed fault config must be
+    // bit-identical across thread counts too.
+    let c = Campaign::standard(42);
+    let faulted = |threads: usize| -> Dataset {
+        let mut conf = cfg(42);
+        conf.max_cycles = Some(4);
+        conf.faults = FaultConfig::demo();
+        conf.faults.outages_per_hour = 6.0;
+        conf.faults.gaps_per_hour = 6.0;
+        conf.threads = Some(threads);
+        c.run(&conf)
+    };
+    let a = faulted(1);
+    let b = faulted(2);
+    let e = faulted(8);
+    assert!(
+        a.audits.iter().any(|x| x.fault.is_some()),
+        "fault config never fired"
+    );
+    assert_datasets_identical(&a, &b, "faults on, threads=1 vs 2");
+    assert_datasets_identical(&a, &e, "faults on, threads=1 vs 8");
+
+    // And the default (disabled) config changes nothing: an explicit
+    // all-off FaultConfig is the same dataset as the seed config.
+    let base = c.run(&cfg(42));
+    let mut off = cfg(42);
+    off.faults = FaultConfig::default();
+    assert_datasets_identical(&base, &c.run(&off), "faults off vs default");
+}

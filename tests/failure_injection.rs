@@ -182,3 +182,240 @@ fn video_stalls_through_outage_then_resumes() {
     // But the session still plays a substantial number of chunks.
     assert!(stats.chunks.len() > 40, "chunks {}", stats.chunks.len());
 }
+
+// ---------------------------------------------------------------------------
+// Fault matrix: drive each measurement-disruption kind through a small
+// campaign end-to-end — no panics, graceful degradation downstream, and
+// audit accounting that conserves samples.
+// ---------------------------------------------------------------------------
+
+use wheels::core::campaign::{Campaign, CampaignConfig};
+use wheels::core::disrupt::{FaultConfig, FaultKind};
+use wheels::core::records::{Dataset, TestKind, TestStatus};
+
+/// A small campaign with a given disruption mix. App tests are skipped
+/// unless requested (they dominate runtime); static probes are out of the
+/// fault model's scope and skipped throughout.
+fn faulted_campaign(faults: FaultConfig, include_apps: bool) -> Dataset {
+    let c = Campaign::standard(2022);
+    c.run(&CampaignConfig {
+        max_cycles: Some(8),
+        cycle_stride_s: 4_000,
+        include_apps,
+        include_static: false,
+        faults,
+        ..CampaignConfig::default()
+    })
+}
+
+/// One-kind-only config with rates high enough to guarantee hits in a
+/// small campaign.
+fn only(kind: FaultKind) -> FaultConfig {
+    let mut f = FaultConfig {
+        enabled: true,
+        retry: wheels::core::disrupt::RetryPolicy::default(),
+        ..FaultConfig::default()
+    };
+    match kind {
+        FaultKind::ServerOutage => {
+            f.outages_per_hour = 18.0;
+            f.outage_secs = (20, 90);
+        }
+        FaultKind::AppCrash => {
+            f.crashes_per_hour = 18.0;
+            f.restart_secs = (20, 90);
+        }
+        FaultKind::LoggerGap => {
+            f.gaps_per_hour = 25.0;
+            f.gap_secs = (10, 40);
+        }
+        FaultKind::ClockDrift => {
+            f.drifts_per_hour = 12.0;
+            f.drift_ms = (60_000, 120_000);
+            f.drift_correctable_ms = 30_000;
+        }
+    }
+    f
+}
+
+fn is_instrument(kind: TestKind) -> bool {
+    matches!(
+        kind,
+        TestKind::DownlinkTput | TestKind::UplinkTput | TestKind::Rtt
+    )
+}
+
+/// Shared invariants for any faulted dataset.
+fn check_accounting(ds: &Dataset) {
+    assert!(!ds.audits.is_empty());
+    for a in &ds.audits {
+        // The ledger always balances.
+        assert_eq!(
+            a.planned_samples,
+            a.recorded_samples + a.lost_samples,
+            "test {} ledger",
+            a.test_id
+        );
+        match a.status {
+            TestStatus::Lost => assert_eq!(a.recorded_samples, 0, "lost test {}", a.test_id),
+            TestStatus::Partial => assert!(
+                a.lost_samples > 0 || !is_instrument(a.kind),
+                "partial test {} lost nothing",
+                a.test_id
+            ),
+            TestStatus::Completed => {
+                assert_eq!(a.lost_samples, 0, "completed test {}", a.test_id);
+            }
+        }
+        if a.status == TestStatus::Lost || a.attempts > 1 {
+            assert!(
+                a.fault.is_some(),
+                "test {} outcome without a cause",
+                a.test_id
+            );
+        }
+    }
+    // Recorded samples in the audit trail match the actual tables.
+    for a in &ds.audits {
+        let rows = match a.kind {
+            TestKind::DownlinkTput | TestKind::UplinkTput => {
+                ds.tput.iter().filter(|s| s.test_id == a.test_id).count()
+            }
+            TestKind::Rtt => ds.rtt.iter().filter(|s| s.test_id == a.test_id).count(),
+            _ => continue,
+        };
+        assert_eq!(
+            rows as u32, a.recorded_samples,
+            "test {} audit vs table rows",
+            a.test_id
+        );
+    }
+    // Lost tests leave no run record; salvaged partials are flagged.
+    let partial_ids: std::collections::HashSet<u32> = ds
+        .audits
+        .iter()
+        .filter(|a| a.status == TestStatus::Partial)
+        .map(|a| a.test_id)
+        .collect();
+    let lost_ids: std::collections::HashSet<u32> = ds
+        .audits
+        .iter()
+        .filter(|a| a.status == TestStatus::Lost)
+        .map(|a| a.test_id)
+        .collect();
+    for r in ds.runs.iter().filter(|r| r.driving) {
+        assert!(!lost_ids.contains(&r.id), "lost test {} has a run", r.id);
+        assert_eq!(r.partial, partial_ids.contains(&r.id), "run {} flag", r.id);
+    }
+}
+
+fn count_fault(ds: &Dataset, kind: FaultKind) -> usize {
+    ds.audits.iter().filter(|a| a.fault == Some(kind)).count()
+}
+
+#[test]
+fn matrix_server_outage_blocks_retries_and_truncates() {
+    let ds = faulted_campaign(only(FaultKind::ServerOutage), false);
+    check_accounting(&ds);
+    assert!(
+        count_fault(&ds, FaultKind::ServerOutage) > 0,
+        "outages never hit a test"
+    );
+    // Blocking faults produce retries and at least one disrupted outcome.
+    assert!(ds.audits.iter().any(|a| a.attempts > 1), "no retries");
+    assert!(
+        ds.audits.iter().any(|a| a.status != TestStatus::Completed),
+        "no test was disrupted"
+    );
+}
+
+#[test]
+fn matrix_app_crash_loses_or_truncates_app_tests() {
+    let ds = faulted_campaign(only(FaultKind::AppCrash), true);
+    check_accounting(&ds);
+    assert!(
+        count_fault(&ds, FaultKind::AppCrash) > 0,
+        "crashes never hit a test"
+    );
+    // App tests have fixed internal durations: a crash either delays the
+    // whole slot away (lost) or degrades the run mid-flight.
+    assert!(
+        ds.audits
+            .iter()
+            .any(|a| !is_instrument(a.kind) && a.status != TestStatus::Completed),
+        "no app test was disrupted"
+    );
+}
+
+#[test]
+fn matrix_logger_gap_salvages_partials_without_blocking() {
+    let ds = faulted_campaign(only(FaultKind::LoggerGap), false);
+    check_accounting(&ds);
+    assert!(
+        count_fault(&ds, FaultKind::LoggerGap) > 0,
+        "gaps never hit a test"
+    );
+    // Gaps never block: every test starts on time, first attempt.
+    assert!(ds.audits.iter().all(|a| a.attempts == 1));
+    assert!(ds.audits.iter().all(|a| a.status != TestStatus::Lost));
+    // XCAL-derived throughput rows are eaten; app-layer RTT rows are not.
+    assert!(
+        ds.audits
+            .iter()
+            .any(|a| a.kind != TestKind::Rtt && a.status == TestStatus::Partial),
+        "no tput test was salvaged as partial"
+    );
+    assert!(ds
+        .audits
+        .iter()
+        .filter(|a| a.kind == TestKind::Rtt)
+        .all(|a| a.status == TestStatus::Completed));
+}
+
+#[test]
+fn matrix_clock_drift_poisons_only_uncorrectable_slots() {
+    // All drifts above the correctable threshold: affected slots are lost.
+    let ds = faulted_campaign(only(FaultKind::ClockDrift), false);
+    check_accounting(&ds);
+    let lost = ds
+        .audits
+        .iter()
+        .filter(|a| a.status == TestStatus::Lost)
+        .count();
+    assert!(lost > 0, "uncorrectable drift never poisoned a slot");
+    assert!(ds
+        .audits
+        .iter()
+        .filter(|a| a.status == TestStatus::Lost)
+        .all(|a| a.fault == Some(FaultKind::ClockDrift) && a.attempts == 1));
+
+    // Same rates, but every drift is correctable: log sync absorbs them
+    // and nothing is lost or retried.
+    let mut correctable = only(FaultKind::ClockDrift);
+    correctable.drift_correctable_ms = 200_000;
+    let ds = faulted_campaign(correctable, false);
+    check_accounting(&ds);
+    assert!(ds
+        .audits
+        .iter()
+        .all(|a| a.status == TestStatus::Completed && a.attempts == 1));
+    assert!(
+        count_fault(&ds, FaultKind::ClockDrift) > 0,
+        "correctable drifts should still be annotated"
+    );
+}
+
+#[test]
+fn matrix_demo_mix_flows_through_the_full_pipeline() {
+    use wheels::experiments::world::{Scale, World};
+
+    // The demo mix (all four kinds) at quick scale, rendered through the
+    // entire experiment registry: analysis must degrade gracefully on a
+    // gapped dataset — no panics, every experiment renders.
+    let world = World::build_with_faults(Scale::Quick, 2022, None, FaultConfig::demo());
+    check_accounting(world.dataset());
+    let exps = wheels::experiments::registry();
+    let report = wheels::experiments::render_report(&world, &exps, None);
+    assert_eq!(report.matches(&"=".repeat(78)).count(), exps.len());
+    assert!(report.contains("Data quality"), "quality report missing");
+}
