@@ -29,7 +29,8 @@
 //! the segment boundary matches a session that had been driving all along;
 //! warm-up KPIs and handovers are discarded.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -48,9 +49,12 @@ use wheels_sim_core::rng::SimRng;
 use wheels_sim_core::time::{SimDuration, SimTime};
 use wheels_transport::servers::ServerFleet;
 
+use crate::checkpoint::{CheckpointError, Fingerprint, Journal};
 use crate::disrupt::{FaultConfig, FaultKind, FaultSchedule, RetryPolicy};
 use crate::measure::{self, VehicleCtx};
-use crate::records::{AppRun, Dataset, TaggedHandover, TestAudit, TestKind, TestRun, TestStatus};
+use crate::records::{
+    AppRun, Dataset, ShardRecords, TaggedHandover, TestAudit, TestKind, TestRun, TestStatus,
+};
 use crate::staticprobe;
 
 /// Gap between consecutive tests in a cycle.
@@ -156,6 +160,28 @@ struct ShardOut {
     /// the finalize step (Table 1's unique-cell counts must not double
     /// count a cell seen by two shards).
     cells: BTreeSet<CellId>,
+}
+
+impl ShardOut {
+    /// The journal-frame form: the cell set flattens to a sorted `Vec`
+    /// (its `BTreeSet` iteration order), which the vendored serde can
+    /// encode.
+    fn into_records(self) -> ShardRecords {
+        ShardRecords {
+            operator: self.op,
+            dataset: self.ds,
+            cells: self.cells.into_iter().collect(),
+        }
+    }
+
+    /// Rehydrate a replayed journal frame.
+    fn from_records(rec: ShardRecords) -> ShardOut {
+        ShardOut {
+            op: rec.operator,
+            ds: rec.dataset,
+            cells: rec.cells.into_iter().collect(),
+        }
+    }
 }
 
 /// The campaign: route, trace, per-operator deployments, servers.
@@ -300,6 +326,72 @@ impl Campaign {
         self.finalize(shards, &Operator::ALL)
     }
 
+    /// The identity of a checkpointed run: every config field the shard
+    /// plan and shard contents depend on, plus the derived plan shape —
+    /// and deliberately *not* `threads`, which the engine guarantees has
+    /// no effect on output. A journal may only be resumed by a run with
+    /// an equal fingerprint.
+    pub fn fingerprint(&self, cfg: &CampaignConfig) -> Fingerprint {
+        Fingerprint {
+            seed: cfg.seed,
+            max_cycles: cfg.max_cycles,
+            include_apps: cfg.include_apps,
+            include_static: cfg.include_static,
+            start_at_sample: cfg.start_at_sample,
+            cycle_stride_s: cfg.cycle_stride_s,
+            shard_cycles: cfg.shard_cycles,
+            faults: cfg.faults,
+            segments: self.segments(cfg).len(),
+            jobs: self.plan(cfg).len(),
+        }
+    }
+
+    /// Run the campaign with crash-safe checkpointing: each completed
+    /// shard is journalled to `dir` before its result is merged. With
+    /// `resume = false` a fresh journal replaces whatever was in `dir`;
+    /// with `resume = true` the existing journal is verified against this
+    /// run's [`Fingerprint`], its intact frames replay as already-done
+    /// shards (any torn tail from a crash is truncated away), and only
+    /// the missing shards are re-simulated. Either way the merged dataset
+    /// is bit-identical to [`Campaign::run`] with the same config, at any
+    /// thread count.
+    pub fn run_checkpointed(
+        &self,
+        cfg: &CampaignConfig,
+        dir: &Path,
+        resume: bool,
+    ) -> Result<Dataset, CheckpointError> {
+        let fp = self.fingerprint(cfg);
+        let jobs = self.plan(cfg);
+        let (journal, completed) = if resume {
+            Journal::resume(dir, &fp)?
+        } else {
+            (Journal::create(dir, &fp)?, BTreeMap::new())
+        };
+        // A matching fingerprint pins the plan shape, but frames still
+        // assert which shard they are — cross-check before trusting any.
+        for (i, rec) in &completed {
+            match jobs.get(*i) {
+                None => {
+                    return Err(CheckpointError::Invalid(format!(
+                        "journal frame for shard {i} is outside the {}-job plan",
+                        jobs.len()
+                    )));
+                }
+                Some(job) if job.op != rec.operator => {
+                    return Err(CheckpointError::Invalid(format!(
+                        "journal frame for shard {i} records {}, the plan expects {}",
+                        rec.operator.label(),
+                        job.op.label()
+                    )));
+                }
+                Some(_) => {}
+            }
+        }
+        let shards = self.run_jobs_journalled(&jobs, cfg, journal, completed)?;
+        Ok(self.finalize(shards, &Operator::ALL))
+    }
+
     /// Run the campaign for one operator (sequentially, same shard plan —
     /// the result matches that operator's slice of [`Campaign::run`]).
     pub fn run_operator(&self, op: Operator, cfg: &CampaignConfig) -> Dataset {
@@ -319,19 +411,24 @@ impl Campaign {
         self.finalize(shards, &[op])
     }
 
-    /// Execute jobs on a pool of `cfg.threads` workers (default: one per
-    /// core). Workers pull jobs from a shared counter; results land in
-    /// per-job slots so the merge order is the plan order regardless of
-    /// which worker ran what.
-    fn run_jobs(&self, jobs: &[ShardJob], cfg: &CampaignConfig) -> Vec<ShardOut> {
-        let threads = cfg
-            .threads
+    /// Worker count for a plan: `cfg.threads`, defaulting to one per
+    /// core, clamped to the number of jobs.
+    fn worker_threads(cfg: &CampaignConfig, jobs: usize) -> usize {
+        cfg.threads
             .unwrap_or_else(|| {
                 std::thread::available_parallelism()
                     .map(|n| n.get())
                     .unwrap_or(1)
             })
-            .clamp(1, jobs.len().max(1));
+            .clamp(1, jobs.max(1))
+    }
+
+    /// Execute jobs on a pool of `cfg.threads` workers (default: one per
+    /// core). Workers pull jobs from a shared counter; results land in
+    /// per-job slots so the merge order is the plan order regardless of
+    /// which worker ran what.
+    fn run_jobs(&self, jobs: &[ShardJob], cfg: &CampaignConfig) -> Vec<ShardOut> {
+        let threads = Self::worker_threads(cfg, jobs.len());
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<ShardOut>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|s| {
@@ -352,6 +449,83 @@ impl Campaign {
                     .expect("shard completed")
             })
             .collect()
+    }
+
+    /// [`Campaign::run_jobs`] with a checkpoint journal attached: slots
+    /// for `completed` shards are pre-filled from the replayed frames and
+    /// never re-simulated; every freshly-run shard is appended to the
+    /// journal (serialized under a lock — appends must not interleave)
+    /// *before* its result counts as done, so a kill at any moment loses
+    /// at most the shards still in flight. A journal write failure stops
+    /// the pool at the next job boundary and surfaces as an error rather
+    /// than silently degrading to an uncheckpointed run.
+    fn run_jobs_journalled(
+        &self,
+        jobs: &[ShardJob],
+        cfg: &CampaignConfig,
+        journal: Journal,
+        completed: BTreeMap<usize, ShardRecords>,
+    ) -> Result<Vec<ShardOut>, CheckpointError> {
+        let threads = Self::worker_threads(cfg, jobs.len());
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ShardOut>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        for (i, rec) in completed {
+            *slots[i].lock().expect("shard slot mutex poisoned") =
+                Some(ShardOut::from_records(rec));
+        }
+        let journal = Mutex::new(journal);
+        let failed: Mutex<Option<CheckpointError>> = Mutex::new(None);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    if slots[i]
+                        .lock()
+                        .expect("shard slot mutex poisoned")
+                        .is_some()
+                    {
+                        continue; // replayed from the journal
+                    }
+                    if failed
+                        .lock()
+                        .expect("journal failure mutex poisoned")
+                        .is_some()
+                    {
+                        break; // the journal is broken; stop burning work
+                    }
+                    let rec = self.run_shard(job, cfg).into_records();
+                    let append = journal
+                        .lock()
+                        .expect("journal mutex poisoned")
+                        .append(i, &rec);
+                    match append {
+                        Ok(()) => {
+                            *slots[i].lock().expect("shard slot mutex poisoned") =
+                                Some(ShardOut::from_records(rec));
+                        }
+                        Err(e) => {
+                            let mut slot = failed.lock().expect("journal failure mutex poisoned");
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(e) = failed.into_inner().expect("journal failure mutex poisoned") {
+            return Err(e);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("shard slot mutex poisoned")
+                    .expect("shard completed")
+            })
+            .collect())
     }
 
     /// Run one shard: the operator's static baselines (segment = None) or
@@ -1269,6 +1443,45 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_and_resumes_complete_journals() {
+        let c = Campaign::standard(7);
+        let cfg = CampaignConfig {
+            max_cycles: Some(2),
+            include_apps: false,
+            include_static: false,
+            cycle_stride_s: 40_000,
+            shard_cycles: Some(1),
+            ..CampaignConfig::default()
+        };
+        let dir = std::env::temp_dir()
+            .join("wheels-checkpoint-tests")
+            .join("campaign_roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let baseline = c.run(&cfg);
+        let fresh = c.run_checkpointed(&cfg, &dir, false).unwrap();
+        assert_eq!(
+            serde_json::to_string(&fresh).unwrap(),
+            serde_json::to_string(&baseline).unwrap()
+        );
+        // Every shard is journalled: a resume replays all of them and
+        // must reproduce the same bytes without re-simulating anything.
+        let resumed = c.run_checkpointed(&cfg, &dir, true).unwrap();
+        assert_eq!(
+            serde_json::to_string(&resumed).unwrap(),
+            serde_json::to_string(&baseline).unwrap()
+        );
+        // A different seed must be refused, not merged.
+        let other = CampaignConfig {
+            seed: cfg.seed + 1,
+            ..cfg.clone()
+        };
+        match c.run_checkpointed(&other, &dir, true) {
+            Err(CheckpointError::Mismatch(d)) => assert!(d.contains("seed"), "{d}"),
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,580 @@
+//! Crash-safe campaign checkpointing — the platform-level half of
+//! challenge \[C2\].
+//!
+//! The paper's campaign is a multi-day drive; a mid-run death of the
+//! collection host must not cost the miles already driven. This module
+//! persists the segment-parallel engine's progress as an **append-only
+//! shard journal**: as each (operator × trace-day segment) shard
+//! completes, its records ([`ShardRecords`]: the shard dataset, the
+//! `TestAudit` ledger rows inside it, and the shard's served-cell set)
+//! are appended as one length-prefixed, checksummed frame. A run killed
+//! at *any byte* can be restarted with the same configuration: completed
+//! shards replay from the journal, the torn or corrupt tail frame (if
+//! the kill landed mid-append) is detected and truncated away, and only
+//! the missing shards are re-simulated — the merged result is
+//! bit-identical to an uninterrupted run (`tests/crash_resume.rs`).
+//!
+//! # Journal format
+//!
+//! ```text
+//! "WCJ1"                                     4-byte magic
+//! frame        header: JSON Fingerprint      run identity (see below)
+//! frame*       one per completed shard: JSON (job index, ShardRecords)
+//!
+//! frame := len: u32 LE | fnv1a64(payload): u64 LE | payload bytes
+//! ```
+//!
+//! The journal is *created* via temp-file + atomic rename (a kill during
+//! creation leaves either no journal or a complete header, never a
+//! half-written one); shard frames are then appended sequentially and
+//! synced, so a kill mid-append leaves at most one torn tail frame. On
+//! resume, the first frame whose length or checksum does not hold marks
+//! the torn tail: it and everything after it are truncated away. A
+//! checksum can only vouch for bytes that were fully written, so
+//! anything beyond the first bad frame is unreliable by construction.
+//!
+//! # Fingerprint rule
+//!
+//! Frames are only as trustworthy as the run that wrote them. The header
+//! records a [`Fingerprint`] of everything the shard plan and shard
+//! contents depend on — seed, scale knobs (cycles, stride, apps, static,
+//! sub-day splits), the full [`FaultConfig`], and the derived plan shape
+//! (segment and job counts). `threads` is deliberately absent: the
+//! engine guarantees thread-count invariance, so a journal written at
+//! `--threads 1` may be resumed at `--threads 8`. Any other difference
+//! is refused with a field-by-field diagnostic — a journal is never
+//! silently merged into a run it does not belong to.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::disrupt::FaultConfig;
+use crate::records::ShardRecords;
+
+/// File name of the shard journal inside a checkpoint directory.
+pub const JOURNAL_FILE: &str = "journal.wcj";
+
+/// Journal magic + format version.
+const MAGIC: &[u8; 4] = b"WCJ1";
+
+/// Bytes of frame framing ahead of the payload (u32 length + u64 checksum).
+const FRAME_HEADER: usize = 12;
+
+/// Everything a checkpointed run's output depends on, minus the worker
+/// count. Two runs with equal fingerprints execute the same shard plan
+/// and produce the same shard records, so their journal frames are
+/// interchangeable; anything else must be refused.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fingerprint {
+    /// Master seed.
+    pub seed: u64,
+    /// Cycle cap (`CampaignConfig::max_cycles`).
+    pub max_cycles: Option<usize>,
+    /// App tests included in each cycle.
+    pub include_apps: bool,
+    /// Static city baselines included.
+    pub include_static: bool,
+    /// Trace start offset.
+    pub start_at_sample: usize,
+    /// Idle gap after each cycle (seconds).
+    pub cycle_stride_s: u64,
+    /// Sub-day shard split.
+    pub shard_cycles: Option<usize>,
+    /// The full fault-injection configuration (schedules are part of the
+    /// shard contents, so any change invalidates recorded frames).
+    pub faults: FaultConfig,
+    /// Drive segments per operator in the shard plan.
+    pub segments: usize,
+    /// Total jobs in the shard plan (all operators).
+    pub jobs: usize,
+}
+
+impl Fingerprint {
+    /// Human-readable field-by-field differences, for the refusal
+    /// diagnostic (`self` = requested run, `other` = journal header).
+    fn diff(&self, other: &Fingerprint) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut field = |name: &str, want: String, got: String| {
+            if want != got {
+                out.push(format!("{name}: run has {want}, journal has {got}"));
+            }
+        };
+        field("seed", format!("{}", self.seed), format!("{}", other.seed));
+        field(
+            "max_cycles",
+            format!("{:?}", self.max_cycles),
+            format!("{:?}", other.max_cycles),
+        );
+        field(
+            "include_apps",
+            format!("{}", self.include_apps),
+            format!("{}", other.include_apps),
+        );
+        field(
+            "include_static",
+            format!("{}", self.include_static),
+            format!("{}", other.include_static),
+        );
+        field(
+            "start_at_sample",
+            format!("{}", self.start_at_sample),
+            format!("{}", other.start_at_sample),
+        );
+        field(
+            "cycle_stride_s",
+            format!("{}", self.cycle_stride_s),
+            format!("{}", other.cycle_stride_s),
+        );
+        field(
+            "shard_cycles",
+            format!("{:?}", self.shard_cycles),
+            format!("{:?}", other.shard_cycles),
+        );
+        field(
+            "faults",
+            format!("{:?}", self.faults),
+            format!("{:?}", other.faults),
+        );
+        field(
+            "segments",
+            format!("{}", self.segments),
+            format!("{}", other.segments),
+        );
+        field("jobs", format!("{}", self.jobs), format!("{}", other.jobs));
+        out
+    }
+}
+
+/// Why a checkpoint operation failed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// The journal is missing, not a journal, or structurally unusable
+    /// (e.g. its identity header is torn — nothing can be verified).
+    Invalid(String),
+    /// The journal belongs to a different run; the diagnostic lists the
+    /// mismatching fingerprint fields.
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Invalid(d) => write!(f, "invalid checkpoint journal: {d}"),
+            CheckpointError::Mismatch(d) => {
+                write!(f, "checkpoint journal belongs to a different run: {d}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit — a small, dependency-free integrity checksum. It only
+/// needs to catch torn writes and bit rot, not adversaries.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encode one frame (length prefix + checksum + payload).
+fn encode_frame(payload: &[u8]) -> Result<Vec<u8>, CheckpointError> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| CheckpointError::Invalid("frame payload exceeds u32 length".to_string()))?;
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// One frame-scan step.
+enum Scan<'a> {
+    /// A complete, checksum-verified frame; `end` is the offset just
+    /// past it.
+    Frame { payload: &'a [u8], end: usize },
+    /// The bytes at `pos` are not a complete valid frame (torn tail).
+    Torn,
+    /// Exactly at end of journal.
+    End,
+}
+
+/// Scan one frame at `pos`.
+fn scan_frame(bytes: &[u8], pos: usize) -> Scan<'_> {
+    if pos == bytes.len() {
+        return Scan::End;
+    }
+    if bytes.len() - pos < FRAME_HEADER {
+        return Scan::Torn;
+    }
+    let mut len4 = [0u8; 4];
+    len4.copy_from_slice(&bytes[pos..pos + 4]);
+    let Ok(len) = usize::try_from(u32::from_le_bytes(len4)) else {
+        return Scan::Torn;
+    };
+    let mut sum8 = [0u8; 8];
+    sum8.copy_from_slice(&bytes[pos + 4..pos + FRAME_HEADER]);
+    let stored = u64::from_le_bytes(sum8);
+    let body = pos + FRAME_HEADER;
+    if bytes.len() - body < len {
+        return Scan::Torn;
+    }
+    let payload = &bytes[body..body + len];
+    if fnv1a64(payload) != stored {
+        return Scan::Torn;
+    }
+    Scan::Frame {
+        payload,
+        end: body + len,
+    }
+}
+
+/// Write `bytes` to `path` atomically: temp file in the same directory,
+/// flush + fsync, then rename over the destination. Readers (and a
+/// resumed run) see either the old content or the new, never a torn
+/// intermediate. Shared by the journal header and the `dataset` binary's
+/// JSON export.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)
+}
+
+/// An open shard journal: created fresh (`--checkpoint`) or recovered
+/// (`--resume`), then appended to as shards complete.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+}
+
+impl Journal {
+    /// The journal file path inside a checkpoint directory.
+    pub fn file_path(dir: &Path) -> PathBuf {
+        dir.join(JOURNAL_FILE)
+    }
+
+    /// Start a fresh journal in `dir` (created if missing), identified by
+    /// `fp`. Overwrites any previous journal atomically: a kill during
+    /// creation leaves either the old journal or the new header, never a
+    /// hybrid.
+    pub fn create(dir: &Path, fp: &Fingerprint) -> Result<Journal, CheckpointError> {
+        std::fs::create_dir_all(dir)?;
+        let header = serde_json::to_string(fp)
+            .map_err(|e| CheckpointError::Invalid(format!("cannot serialize fingerprint: {e}")))?;
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&encode_frame(header.as_bytes())?);
+        let path = Self::file_path(dir);
+        write_atomic(&path, &bytes)?;
+        Ok(Journal { path })
+    }
+
+    /// Recover the journal in `dir` for the run identified by `fp`:
+    /// verify the identity header, replay every intact shard frame, and
+    /// truncate the torn/corrupt tail (everything from the first bad
+    /// frame on) so subsequent appends extend a valid prefix. Returns
+    /// the journal and the completed shards keyed by plan-order job
+    /// index.
+    pub fn resume(
+        dir: &Path,
+        fp: &Fingerprint,
+    ) -> Result<(Journal, BTreeMap<usize, ShardRecords>), CheckpointError> {
+        let path = Self::file_path(dir);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(CheckpointError::Invalid(format!(
+                    "no journal at {} — start the run with --checkpoint first",
+                    path.display()
+                )));
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(CheckpointError::Invalid(format!(
+                "{} is not a wheels checkpoint journal (bad magic)",
+                path.display()
+            )));
+        }
+        // The header must be intact: a journal whose identity cannot be
+        // verified cannot be trusted at all.
+        let (header, mut pos) = match scan_frame(&bytes, MAGIC.len()) {
+            Scan::Frame { payload, end } => (payload, end),
+            Scan::Torn | Scan::End => {
+                return Err(CheckpointError::Invalid(format!(
+                    "{}: identity header is torn or missing — the journal cannot be verified",
+                    path.display()
+                )));
+            }
+        };
+        let header_str = std::str::from_utf8(header).map_err(|_| {
+            CheckpointError::Invalid("identity header is not valid UTF-8".to_string())
+        })?;
+        let recorded: Fingerprint = serde_json::from_str(header_str)
+            .map_err(|e| CheckpointError::Invalid(format!("unreadable identity header: {e}")))?;
+        if recorded != *fp {
+            return Err(CheckpointError::Mismatch(fp.diff(&recorded).join("; ")));
+        }
+        let mut completed = BTreeMap::new();
+        let valid_end = loop {
+            match scan_frame(&bytes, pos) {
+                Scan::End => break pos,
+                Scan::Torn => break pos,
+                Scan::Frame { payload, end } => {
+                    let text = std::str::from_utf8(payload).map_err(|_| {
+                        CheckpointError::Invalid(format!(
+                            "checksummed frame at byte {pos} is not valid UTF-8"
+                        ))
+                    })?;
+                    let (job, records): (usize, ShardRecords) = serde_json::from_str(text)
+                        .map_err(|e| {
+                            CheckpointError::Invalid(format!(
+                                "checksummed frame at byte {pos} does not decode: {e}"
+                            ))
+                        })?;
+                    completed.insert(job, records);
+                    pos = end;
+                }
+            }
+        };
+        if valid_end < bytes.len() {
+            // Torn tail: cut the journal back to its valid prefix so the
+            // resumed run appends after the last intact frame.
+            let f = OpenOptions::new().write(true).open(&path)?;
+            f.set_len(u64::try_from(valid_end).map_err(|_| {
+                CheckpointError::Invalid("journal length exceeds u64".to_string())
+            })?)?;
+            f.sync_all()?;
+        }
+        Ok((Journal { path }, completed))
+    }
+
+    /// Append one completed shard frame and sync it to disk. A kill
+    /// anywhere inside this write leaves a torn tail that the next
+    /// resume truncates.
+    pub fn append(&mut self, job: usize, records: &ShardRecords) -> Result<(), CheckpointError> {
+        let payload = serde_json::to_string(&(job, records))
+            .map_err(|e| CheckpointError::Invalid(format!("cannot serialize shard frame: {e}")))?;
+        let frame = encode_frame(payload.as_bytes())?;
+        let mut f = OpenOptions::new().append(true).open(&self.path)?;
+        f.write_all(&frame)?;
+        f.sync_data()?;
+        Ok(())
+    }
+}
+
+/// Byte offsets of every intact frame boundary in `dir`'s journal, in
+/// order: the end of the identity header first, then the end of each
+/// shard frame. These are exactly the kill points at which the file is
+/// tear-free; the crash harness truncates at (and between) them.
+pub fn frame_ends(dir: &Path) -> Result<Vec<u64>, CheckpointError> {
+    let path = Journal::file_path(dir);
+    let bytes = std::fs::read(&path)?;
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(CheckpointError::Invalid(format!(
+            "{} is not a wheels checkpoint journal (bad magic)",
+            path.display()
+        )));
+    }
+    let mut ends = Vec::new();
+    let mut pos = MAGIC.len();
+    while let Scan::Frame { end, .. } = scan_frame(&bytes, pos) {
+        ends.push(
+            u64::try_from(end)
+                .map_err(|_| CheckpointError::Invalid("journal length exceeds u64".to_string()))?,
+        );
+        pos = end;
+    }
+    Ok(ends)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::Dataset;
+    use wheels_ran::cells::CellId;
+    use wheels_ran::operator::Operator;
+
+    fn fp(seed: u64) -> Fingerprint {
+        Fingerprint {
+            seed,
+            max_cycles: Some(2),
+            include_apps: false,
+            include_static: false,
+            start_at_sample: 0,
+            cycle_stride_s: 40_000,
+            shard_cycles: Some(1),
+            faults: FaultConfig::default(),
+            segments: 2,
+            jobs: 6,
+        }
+    }
+
+    fn rec(op: Operator) -> ShardRecords {
+        let dataset = Dataset {
+            rx_bytes: 12.5,
+            ..Dataset::default()
+        };
+        ShardRecords {
+            operator: op,
+            dataset,
+            cells: vec![CellId(3), CellId(7)],
+        }
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("wheels-checkpoint-tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn create_then_resume_empty() {
+        let dir = tmpdir("ckpt_empty");
+        Journal::create(&dir, &fp(1)).unwrap();
+        let (_, done) = Journal::resume(&dir, &fp(1)).unwrap();
+        assert!(done.is_empty());
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let dir = tmpdir("ckpt_replay");
+        let mut j = Journal::create(&dir, &fp(1)).unwrap();
+        j.append(0, &rec(Operator::Verizon)).unwrap();
+        j.append(3, &rec(Operator::Att)).unwrap();
+        let (_, done) = Journal::resume(&dir, &fp(1)).unwrap();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[&0], rec(Operator::Verizon));
+        assert_eq!(done[&3], rec(Operator::Att));
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_refused_with_field_names() {
+        let dir = tmpdir("ckpt_mismatch");
+        Journal::create(&dir, &fp(1)).unwrap();
+        let err = Journal::resume(&dir, &fp(2)).unwrap_err();
+        match err {
+            CheckpointError::Mismatch(d) => assert!(d.contains("seed"), "{d}"),
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+        let mut other = fp(1);
+        other.faults = FaultConfig::demo();
+        let err = Journal::resume(&dir, &other).unwrap_err();
+        match err {
+            CheckpointError::Mismatch(d) => assert!(d.contains("faults"), "{d}"),
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_offset() {
+        let dir = tmpdir("ckpt_torn");
+        let mut j = Journal::create(&dir, &fp(1)).unwrap();
+        j.append(0, &rec(Operator::Verizon)).unwrap();
+        let keep = std::fs::read(Journal::file_path(&dir)).unwrap();
+        j.append(1, &rec(Operator::TMobile)).unwrap();
+        let full = std::fs::read(Journal::file_path(&dir)).unwrap();
+        // Kill at every byte of the second frame: resume must always
+        // recover exactly frame 0 and truncate back to `keep`.
+        for cut in keep.len()..full.len() {
+            std::fs::write(Journal::file_path(&dir), &full[..cut]).unwrap();
+            let (_, done) = Journal::resume(&dir, &fp(1)).unwrap();
+            assert_eq!(done.len(), 1, "cut at byte {cut}");
+            assert!(done.contains_key(&0), "cut at byte {cut}");
+            let after = std::fs::read(Journal::file_path(&dir)).unwrap();
+            assert_eq!(after, keep, "cut at byte {cut}: tail not truncated");
+        }
+    }
+
+    #[test]
+    fn corrupt_mid_frame_byte_drops_the_tail() {
+        let dir = tmpdir("ckpt_flip");
+        let mut j = Journal::create(&dir, &fp(1)).unwrap();
+        j.append(0, &rec(Operator::Verizon)).unwrap();
+        let keep_len = std::fs::metadata(Journal::file_path(&dir)).unwrap().len();
+        j.append(1, &rec(Operator::TMobile)).unwrap();
+        let mut bytes = std::fs::read(Journal::file_path(&dir)).unwrap();
+        // Flip one payload byte inside the second frame.
+        let idx = usize::try_from(keep_len).unwrap() + FRAME_HEADER + 2;
+        bytes[idx] ^= 0x40;
+        std::fs::write(Journal::file_path(&dir), &bytes).unwrap();
+        let (_, done) = Journal::resume(&dir, &fp(1)).unwrap();
+        assert_eq!(done.len(), 1);
+        assert_eq!(
+            std::fs::metadata(Journal::file_path(&dir)).unwrap().len(),
+            keep_len
+        );
+    }
+
+    #[test]
+    fn missing_and_torn_header_journals_are_invalid() {
+        let dir = tmpdir("ckpt_missing");
+        match Journal::resume(&dir, &fp(1)) {
+            Err(CheckpointError::Invalid(d)) => assert!(d.contains("--checkpoint"), "{d}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        Journal::create(&dir, &fp(1)).unwrap();
+        let bytes = std::fs::read(Journal::file_path(&dir)).unwrap();
+        std::fs::write(Journal::file_path(&dir), &bytes[..bytes.len() - 1]).unwrap();
+        match Journal::resume(&dir, &fp(1)) {
+            Err(CheckpointError::Invalid(d)) => assert!(d.contains("header"), "{d}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        std::fs::write(Journal::file_path(&dir), b"not a journal").unwrap();
+        match Journal::resume(&dir, &fp(1)) {
+            Err(CheckpointError::Invalid(d)) => assert!(d.contains("magic"), "{d}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_ends_track_appends() {
+        let dir = tmpdir("ckpt_ends");
+        let mut j = Journal::create(&dir, &fp(1)).unwrap();
+        let e0 = frame_ends(&dir).unwrap();
+        assert_eq!(e0.len(), 1, "header only");
+        j.append(0, &rec(Operator::Verizon)).unwrap();
+        j.append(1, &rec(Operator::Att)).unwrap();
+        let e2 = frame_ends(&dir).unwrap();
+        assert_eq!(e2.len(), 3);
+        assert_eq!(e2[0], e0[0]);
+        assert_eq!(
+            *e2.last().unwrap(),
+            std::fs::metadata(Journal::file_path(&dir)).unwrap().len()
+        );
+    }
+
+    #[test]
+    fn write_atomic_replaces_content() {
+        let dir = tmpdir("ckpt_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        write_atomic(&path, b"first").unwrap();
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        assert!(!dir.join("out.json.tmp").exists());
+    }
+}

@@ -19,6 +19,10 @@
 //! - [`campaign`] — the §3 drive-test campaign: three XCAL phones running
 //!   throughput / RTT / app tests round-robin while three handover-logger
 //!   phones record passively, producing a [`records::Dataset`].
+//! - [`checkpoint`] — crash-safe campaign persistence: an append-only
+//!   shard journal (length-prefixed, checksummed frames behind an
+//!   atomically-created identity header) that lets a `--checkpoint` run
+//!   killed at any byte resume bit-identically with `--resume`.
 //! - [`analysis`] — everything §4–§7 computes: coverage-by-miles,
 //!   KPI↔throughput correlations (Table 2), handover impact (ΔT₁/ΔT₂,
 //!   Fig. 12), and operator diversity (Fig. 6).
@@ -28,6 +32,7 @@
 
 pub mod analysis;
 pub mod campaign;
+pub mod checkpoint;
 pub mod disrupt;
 pub mod logsync;
 pub mod measure;

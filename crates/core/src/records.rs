@@ -257,7 +257,7 @@ pub struct TestAudit {
 }
 
 /// The full consolidated dataset of one campaign.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
     /// 500 ms throughput samples.
     pub tput: Vec<TputSample>,
@@ -283,6 +283,21 @@ pub struct Dataset {
     pub unique_cells: Vec<(Operator, usize)>,
     /// Per-operator cumulative experiment runtime in minutes (Table 1).
     pub runtime_min: Vec<(Operator, f64)>,
+}
+
+/// Everything one completed campaign shard contributes to the merged
+/// dataset — the payload of one checkpoint-journal frame. The served-cell
+/// set travels as a sorted `Vec` (the canonical order of the engine's
+/// `BTreeSet`) so the frame encoding is order-stable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardRecords {
+    /// Operator the shard simulated.
+    pub operator: Operator,
+    /// The shard's slice of the dataset (tables un-normalized, incl. its
+    /// `TestAudit` ledger rows).
+    pub dataset: Dataset,
+    /// Cells served during the shard, ascending.
+    pub cells: Vec<wheels_ran::cells::CellId>,
 }
 
 impl Dataset {

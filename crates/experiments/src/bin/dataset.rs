@@ -7,16 +7,26 @@
 //! plus the Table 1 accounting) as a single JSON document.
 //!
 //! ```text
-//! dataset [--quick|--standard|--full] [--seed N] [--threads N] [--faults] [output.json]
+//! dataset [--quick|--standard|--full] [--seed N] [--threads N] [--faults]
+//!         [--checkpoint DIR | --resume DIR] [output.json]
 //! ```
 //!
 //! `--faults` injects the demo disruption mix; the exported `audits`
 //! table then carries the retry/salvage/loss ledger.
 //!
-//! With no output path, JSON goes to stdout.
+//! `--checkpoint DIR` journals each completed campaign shard to `DIR` so
+//! a killed export can be restarted with `--resume DIR`, replaying the
+//! finished shards and re-simulating only the rest — the output is
+//! byte-identical either way.
+//!
+//! With no output path, JSON goes to stdout. File output lands via a
+//! temp file + atomic rename, so a crash mid-write never leaves a
+//! truncated JSON document at the output path.
 
 use std::io::Write;
+use std::path::Path;
 
+use wheels_core::checkpoint::write_atomic;
 use wheels_core::disrupt::FaultConfig;
 use wheels_experiments::cli;
 use wheels_experiments::world::{Scale, World};
@@ -37,7 +47,34 @@ fn main() {
     } else {
         FaultConfig::default()
     };
-    let world = World::build_with_faults(args.scale, args.seed, args.threads, faults);
+    let world = match (&args.checkpoint, &args.resume) {
+        (Some(dir), _) => World::build_checkpointed(
+            args.scale,
+            args.seed,
+            args.threads,
+            faults,
+            Path::new(dir),
+            false,
+        ),
+        (_, Some(dir)) => World::build_checkpointed(
+            args.scale,
+            args.seed,
+            args.threads,
+            faults,
+            Path::new(dir),
+            true,
+        ),
+        _ => Ok(World::build_with_faults(
+            args.scale,
+            args.seed,
+            args.threads,
+            faults,
+        )),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
     let ds = world.dataset();
     eprintln!(
         "serializing {} tput / {} rtt / {} coverage / {} runs / {} handovers / {} app runs",
@@ -51,14 +88,17 @@ fn main() {
     let json = serde_json::to_string(ds).expect("dataset serializes");
     match out_path {
         Some(p) => {
-            std::fs::write(&p, json.as_bytes()).expect("write output file");
+            if let Err(e) = write_atomic(Path::new(&p), json.as_bytes()) {
+                eprintln!("cannot write {p}: {e}");
+                std::process::exit(1);
+            }
             eprintln!("wrote {p} ({} MB)", json.len() / 1_000_000);
         }
         None => {
-            std::io::stdout()
-                .lock()
-                .write_all(json.as_bytes())
-                .expect("write stdout");
+            if let Err(e) = std::io::stdout().lock().write_all(json.as_bytes()) {
+                eprintln!("cannot write dataset to stdout: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

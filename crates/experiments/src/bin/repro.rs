@@ -1,7 +1,8 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick|--standard|--full] [--seed N] [--threads N] [--faults] [ids...]
+//! repro [--quick|--standard|--full] [--seed N] [--threads N] [--faults]
+//!       [--checkpoint DIR | --resume DIR] [ids...]
 //! repro --list
 //! ```
 //!
@@ -9,6 +10,11 @@
 //! outages, app crashes, logger gaps, clock drift); the `quality`
 //! experiment then reports retry/salvage/loss accounting. Off by
 //! default, and the default dataset is unchanged by this feature.
+//!
+//! `--checkpoint DIR` journals each completed campaign shard to `DIR`;
+//! a run killed mid-campaign restarts with `--resume DIR`, replaying the
+//! journalled shards and re-simulating only the missing ones. The report
+//! is byte-identical to an uninterrupted run.
 //!
 //! With no ids, every experiment runs. Experiments execute on a worker
 //! pool (`--threads N`, default = host cores) with output buffered per
@@ -54,7 +60,34 @@ fn main() {
     } else {
         FaultConfig::default()
     };
-    let world = World::build_with_faults(args.scale, args.seed, args.threads, faults);
+    let world = match (&args.checkpoint, &args.resume) {
+        (Some(dir), _) => World::build_checkpointed(
+            args.scale,
+            args.seed,
+            args.threads,
+            faults,
+            std::path::Path::new(dir),
+            false,
+        ),
+        (_, Some(dir)) => World::build_checkpointed(
+            args.scale,
+            args.seed,
+            args.threads,
+            faults,
+            std::path::Path::new(dir),
+            true,
+        ),
+        _ => Ok(World::build_with_faults(
+            args.scale,
+            args.seed,
+            args.threads,
+            faults,
+        )),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
     let ds = world.dataset();
     eprintln!(
         "world ready in {:.1}s: {} tput samples, {} rtt samples, {} app runs, {} handovers",

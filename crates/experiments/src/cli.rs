@@ -20,6 +20,14 @@ pub struct Args {
     /// outages, app crashes, logger gaps and clock-drift bursts, with
     /// retry/salvage accounting in the quality report.
     pub faults: bool,
+    /// Checkpoint directory for a fresh crash-safe run
+    /// (`--checkpoint DIR`): each completed campaign shard is journalled
+    /// there, so a killed run can be resumed.
+    pub checkpoint: Option<String>,
+    /// Checkpoint directory to resume from (`--resume DIR`): replays the
+    /// journalled shards, re-simulates only the missing ones, and keeps
+    /// journalling to the same directory.
+    pub resume: Option<String>,
     /// Positional arguments (experiment ids for `repro`, the output path
     /// for `dataset`).
     pub rest: Vec<String>,
@@ -27,6 +35,13 @@ pub struct Args {
 
 /// Parse the flags shared by the binaries. `default_scale` differs per
 /// binary (`repro` defaults to Standard, `dataset` to Quick).
+///
+/// Each flag may appear at most once: `--seed 1 --seed 2` is rejected
+/// rather than resolved last-one-wins, because a silently-dropped value
+/// in a long campaign invocation is exactly the kind of mistake that
+/// costs a day of compute. The scale flags are exempt — `--quick`,
+/// `--standard` and `--full` are three spellings of *one* setting, and
+/// overriding a script's default scale by appending a flag is idiomatic.
 pub fn parse_args(
     default_scale: Scale,
     argv: impl IntoIterator<Item = String>,
@@ -36,10 +51,21 @@ pub fn parse_args(
         seed: 2022,
         threads: None,
         faults: false,
+        checkpoint: None,
+        resume: None,
         rest: Vec::new(),
     };
+    let mut seen: Vec<String> = Vec::new();
     let mut iter = argv.into_iter();
     while let Some(a) = iter.next() {
+        // Duplicate detection applies to every flag except the scale
+        // family (one logical setting, last one wins by design).
+        if a.starts_with("--") && !matches!(a.as_str(), "--quick" | "--standard" | "--full") {
+            if seen.contains(&a) {
+                return Err(format!("duplicate flag {a}"));
+            }
+            seen.push(a.clone());
+        }
         match a.as_str() {
             "--quick" => args.scale = Scale::Quick,
             "--standard" => args.scale = Scale::Standard,
@@ -61,6 +87,14 @@ pub fn parse_args(
                 args.threads = Some(n);
             }
             "--faults" => args.faults = true,
+            "--checkpoint" => {
+                let v = iter.next().ok_or("--checkpoint needs a directory path")?;
+                args.checkpoint = Some(v);
+            }
+            "--resume" => {
+                let v = iter.next().ok_or("--resume needs a directory path")?;
+                args.resume = Some(v);
+            }
             // Reject unknown flags instead of letting them fall through
             // to `rest`: a typo like `--thread 4` or `-q` would otherwise
             // silently become a positional arg (an experiment id / output
@@ -71,6 +105,13 @@ pub fn parse_args(
             }
             other => args.rest.push(other.to_string()),
         }
+    }
+    if args.checkpoint.is_some() && args.resume.is_some() {
+        return Err(
+            "--checkpoint and --resume are mutually exclusive: --checkpoint starts a fresh \
+             journal, --resume continues one"
+                .to_string(),
+        );
     }
     Ok(args)
 }
@@ -89,6 +130,8 @@ mod tests {
         assert_eq!(a.scale, Scale::Standard);
         assert_eq!(a.seed, 2022);
         assert_eq!(a.threads, None);
+        assert_eq!(a.checkpoint, None);
+        assert_eq!(a.resume, None);
         assert!(a.rest.is_empty());
     }
 
@@ -152,5 +195,33 @@ mod tests {
     fn faults_flag() {
         assert!(!parse(&[]).unwrap().faults);
         assert!(parse(&["--faults"]).unwrap().faults);
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected() {
+        // Regression: `--seed 1 --seed 2` used to resolve last-one-wins,
+        // silently dropping the first value.
+        let e = parse(&["--seed", "1", "--seed", "2"]).unwrap_err();
+        assert_eq!(e, "duplicate flag --seed");
+        let e = parse(&["--threads", "2", "--threads", "2"]).unwrap_err();
+        assert_eq!(e, "duplicate flag --threads");
+        let e = parse(&["--faults", "--faults"]).unwrap_err();
+        assert_eq!(e, "duplicate flag --faults");
+        // The scale family stays last-one-wins (one logical setting) —
+        // including an exact repeat.
+        assert_eq!(parse(&["--quick", "--quick"]).unwrap().scale, Scale::Quick);
+    }
+
+    #[test]
+    fn checkpoint_and_resume_flags() {
+        let a = parse(&["--checkpoint", "ckpt"]).unwrap();
+        assert_eq!(a.checkpoint.as_deref(), Some("ckpt"));
+        assert_eq!(a.resume, None);
+        let a = parse(&["--resume", "ckpt"]).unwrap();
+        assert_eq!(a.resume.as_deref(), Some("ckpt"));
+        assert!(parse(&["--checkpoint"]).is_err());
+        assert!(parse(&["--resume"]).is_err());
+        let e = parse(&["--checkpoint", "a", "--resume", "a"]).unwrap_err();
+        assert!(e.contains("mutually exclusive"), "{e}");
     }
 }

@@ -14,10 +14,12 @@
 //! every experiment shares the same partition indices and memoized Cdfs
 //! (and, being `Sync`, the same view backs the parallel runner).
 
+use std::path::Path;
 use std::sync::OnceLock;
 
 use wheels_core::analysis::view::DatasetView;
 use wheels_core::campaign::{Campaign, CampaignConfig};
+use wheels_core::checkpoint::CheckpointError;
 use wheels_core::disrupt::FaultConfig;
 use wheels_core::records::Dataset;
 
@@ -85,6 +87,45 @@ impl World {
         threads: Option<usize>,
         faults: FaultConfig,
     ) -> World {
+        let (campaign, cfg) = Self::campaign_for(scale, seed, threads, faults);
+        let dataset = campaign.run(&cfg);
+        World {
+            campaign,
+            view: DatasetView::new(dataset),
+            scale,
+        }
+    }
+
+    /// Build a fresh world with crash-safe checkpointing: completed
+    /// campaign shards are journalled to `dir` as they finish. With
+    /// `resume = true` the journal in `dir` is verified against this
+    /// run's fingerprint and its shards replay instead of re-simulating;
+    /// the resulting dataset is bit-identical to an uninterrupted
+    /// [`World::build_with_faults`] at the same config.
+    pub fn build_checkpointed(
+        scale: Scale,
+        seed: u64,
+        threads: Option<usize>,
+        faults: FaultConfig,
+        dir: &Path,
+        resume: bool,
+    ) -> Result<World, CheckpointError> {
+        let (campaign, cfg) = Self::campaign_for(scale, seed, threads, faults);
+        let dataset = campaign.run_checkpointed(&cfg, dir, resume)?;
+        Ok(World {
+            campaign,
+            view: DatasetView::new(dataset),
+            scale,
+        })
+    }
+
+    /// The campaign + config every builder shares.
+    fn campaign_for(
+        scale: Scale,
+        seed: u64,
+        threads: Option<usize>,
+        faults: FaultConfig,
+    ) -> (Campaign, CampaignConfig) {
         let campaign = Campaign::standard(seed);
         let mut cfg = scale.config();
         cfg.seed = seed;
@@ -92,12 +133,7 @@ impl World {
         if threads.is_some() {
             cfg.threads = threads;
         }
-        let dataset = campaign.run(&cfg);
-        World {
-            campaign,
-            view: DatasetView::new(dataset),
-            scale,
-        }
+        (campaign, cfg)
     }
 
     /// The consolidated dataset (normalized).

@@ -39,6 +39,11 @@ pub struct Config {
     /// model with the simulation streams and break the off-by-default
     /// bit-identity guarantee.
     pub disrupt_paths: Vec<String>,
+    /// Path prefixes that persist state a later run will trust (the
+    /// checkpoint journal, the binaries' output writers): in-place
+    /// `fs::write` / non-renamed `File::create` are flagged there — a
+    /// crash mid-write must never leave a torn file behind.
+    pub persist_paths: Vec<String>,
 }
 
 impl Default for Config {
@@ -65,6 +70,7 @@ impl Default for Config {
             unwrap_exempt_crates: vec![],
             lossy_paths: v(&["crates/core/src", "crates/experiments/src"]),
             disrupt_paths: v(&["crates/core/src/disrupt"]),
+            persist_paths: v(&["crates/core/src/checkpoint", "crates/experiments/src/bin"]),
         }
     }
 }

@@ -9,7 +9,7 @@
 //! inside the simulator. This crate enforces those invariants
 //! mechanically: a self-contained Rust lexer (the build environment is
 //! registry-free, so no `syn`) feeds a token-pattern rule engine with
-//! seven domain rules:
+//! eight domain rules:
 //!
 //! 1. **nondeterminism** — no `Instant::now` / `SystemTime::now` /
 //!    `thread_rng` / `from_entropy` / `rand::random` / `env::var` in
@@ -26,7 +26,11 @@
 //!    `#![forbid(unsafe_code)]` and a `//!` doc header;
 //! 7. **disrupt-stream-namespace** — RNG stream labels in the disruption
 //!    subsystem stay inside the dedicated `campaign/faults/` namespace,
-//!    so fault injection can never perturb the simulation streams.
+//!    so fault injection can never perturb the simulation streams;
+//! 8. **atomic-persistence** — on persistence paths (checkpoint journal,
+//!    binary output writers), no in-place `fs::write` or non-renamed
+//!    `File::create`: files must land via temp-file + atomic rename so a
+//!    crash mid-write never leaves a torn file a resumed run would trust.
 //!
 //! A finding is silenced in place with `// lint: allow(rule, reason)` on
 //! the offending line or the line above; the reason is mandatory.
@@ -64,6 +68,7 @@ pub fn lint_sources(files: &[SourceFile], cfg: &Config) -> Report {
         rules::lossy_cast(file, &lexed, &mask, cfg, &mut findings);
         rules::crate_hygiene(file, &lexed, &mask, cfg, &mut findings);
         rules::disrupt_stream_namespace(file, &lexed, &mask, cfg, &mut findings);
+        rules::atomic_persistence(file, &lexed, &mask, cfg, &mut findings);
     }
     rules::label_findings(&labels, &mut findings);
     findings.sort_by(|a, b| {

@@ -14,7 +14,7 @@ use crate::report::Finding;
 use crate::workspace::SourceFile;
 
 /// Rule names, in catalogue order.
-pub const RULE_NAMES: [&str; 7] = [
+pub const RULE_NAMES: [&str; 8] = [
     "nondeterminism",
     "hash-iteration",
     "rng-stream-labels",
@@ -22,6 +22,7 @@ pub const RULE_NAMES: [&str; 7] = [
     "lossy-cast",
     "crate-hygiene",
     "disrupt-stream-namespace",
+    "atomic-persistence",
 ];
 
 /// Integer cast targets the lossy-cast rule watches.
@@ -532,6 +533,73 @@ pub fn disrupt_stream_namespace(
             ),
         ));
     }
+}
+
+/// Rule 8 — atomic-persistence: on persistence paths (`persist_paths`:
+/// the checkpoint journal and the binaries' output writers), files must
+/// land via the temp-file + atomic-rename idiom. `fs::write(..)` replaces
+/// a file in place, and `File::create(..)` truncates it immediately — a
+/// crash mid-write leaves a torn file at the very path a resumed run will
+/// trust. `File::create` is accepted when the same function later calls
+/// `rename` (the write-to-temp-then-rename idiom); `fs::write` is always
+/// a finding.
+pub fn atomic_persistence(
+    file: &SourceFile,
+    lexed: &LexedFile,
+    mask: &[bool],
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    if !cfg
+        .persist_paths
+        .iter()
+        .any(|p| file.rel_path.starts_with(p.as_str()))
+    {
+        return;
+    }
+    const RULE: &str = RULE_NAMES[7];
+    let toks = &lexed.toks;
+    for k in 0..toks.len() {
+        if mask[k] || allowed(lexed, RULE, toks[k].line) {
+            continue;
+        }
+        if !toks.get(k + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        match toks[k].ident() {
+            Some("write") if path_pred(toks, k, "fs") => {
+                out.push(finding(
+                    RULE,
+                    file,
+                    lexed,
+                    &toks[k],
+                    "`fs::write` on a persistence path replaces the file in place — a crash mid-write leaves a torn file; write a temp file and `rename` it (see `checkpoint::write_atomic`)".to_string(),
+                ));
+            }
+            Some("create") if path_pred(toks, k, "File") && !renamed_later(toks, k) => {
+                out.push(finding(
+                    RULE,
+                    file,
+                    lexed,
+                    &toks[k],
+                    "`File::create` on a persistence path with no following `rename` truncates the destination before the new bytes are safe — write a temp file and `rename` it (see `checkpoint::write_atomic`)".to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Does a `rename` call appear after `toks[k]`, before the next `fn`
+/// item? An approximation of "same function as the `File::create`" that
+/// is exact for the write-temp-then-rename idiom this rule exists to
+/// enforce.
+fn renamed_later(toks: &[Tok], k: usize) -> bool {
+    toks[k + 1..].iter().find_map(|t| match t.ident() {
+        Some("fn") => Some(false),
+        Some("rename") => Some(true),
+        _ => None,
+    }) == Some(true)
 }
 
 #[cfg(test)]

@@ -1,0 +1,11 @@
+use std::fs::{self, File};
+
+pub fn save(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    fs::write(path, bytes)
+}
+
+pub fn save_streamed(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = File::create(path)?;
+    std::io::Write::write_all(&mut f, bytes)?;
+    f.sync_all()
+}

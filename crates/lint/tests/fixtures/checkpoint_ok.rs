@@ -1,0 +1,21 @@
+use std::fs::{self, File};
+use std::io::Write;
+
+pub fn save(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    fs::rename(&tmp, path)
+}
+
+pub fn append(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = fs::OpenOptions::new().append(true).open(path)?;
+    f.write_all(bytes)?;
+    f.sync_data()
+}
+
+pub fn save_legacy(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    // lint: allow(atomic-persistence, scratch file no resumed run ever reads)
+    fs::write(path, bytes)
+}

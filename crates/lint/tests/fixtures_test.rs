@@ -220,3 +220,47 @@ fn disrupt_stream_namespace_scoped_to_disrupt_paths() {
     let src = include_str!("fixtures/disrupt_stream_bad.rs");
     assert_eq!(lint_one(fixture("other", "core", src)), vec![]);
 }
+
+#[test]
+fn atomic_persistence_fires_with_positions() {
+    // `checkpoint_bad` lands at crates/core/src/checkpoint_bad.rs, inside
+    // the `crates/core/src/checkpoint` persist-path prefix.
+    let src = include_str!("fixtures/checkpoint_bad.rs");
+    let got = lint_one(fixture("checkpoint_bad", "core", src));
+    assert_eq!(
+        got,
+        vec![("atomic-persistence", 4, 9), ("atomic-persistence", 8, 23)]
+    );
+}
+
+#[test]
+fn atomic_persistence_silent_on_clean_counterpart() {
+    // Temp-file + rename, append-mode writes, and the reasoned allow are
+    // all accepted.
+    let src = include_str!("fixtures/checkpoint_ok.rs");
+    assert_eq!(lint_one(fixture("checkpoint_ok", "core", src)), vec![]);
+}
+
+#[test]
+fn atomic_persistence_scoped_to_persist_paths() {
+    let src = include_str!("fixtures/checkpoint_bad.rs");
+    assert_eq!(lint_one(fixture("journal_bad", "core", src)), vec![]);
+}
+
+#[test]
+fn atomic_persistence_covers_binaries() {
+    // Binaries are exempt from most rules but their output writers are
+    // exactly where torn files hurt, so this rule reaches into src/bin.
+    let src = include_str!("fixtures/checkpoint_bad.rs");
+    let f = SourceFile {
+        rel_path: "crates/experiments/src/bin/export_bad.rs".to_string(),
+        crate_name: "experiments".to_string(),
+        is_bin: true,
+        is_crate_root: false,
+        src: src.to_string(),
+    };
+    assert_eq!(
+        lint_one(f),
+        vec![("atomic-persistence", 4, 9), ("atomic-persistence", 8, 23)]
+    );
+}

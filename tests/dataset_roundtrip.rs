@@ -1,0 +1,42 @@
+//! Pins the dataset JSON export schema: the `dataset` binary's export
+//! must parse back into typed tables equal to the in-memory [`Dataset`],
+//! bit for bit. The checkpoint journal reuses this serialization for its
+//! shard frames, so a lossy field here would silently break the
+//! crash-resume byte-identity guarantee.
+
+use wheels_core::campaign::{Campaign, CampaignConfig};
+use wheels_core::disrupt::FaultConfig;
+use wheels_core::records::Dataset;
+
+#[test]
+fn export_parses_back_to_the_identical_dataset() {
+    // Apps on + faults on so every table — tput, rtt, coverage, runs,
+    // handovers, apps, and the audit ledger — has rows in the export.
+    let campaign = Campaign::standard(11);
+    let cfg = CampaignConfig {
+        seed: 11,
+        max_cycles: Some(2),
+        include_apps: true,
+        include_static: false,
+        cycle_stride_s: 40_000,
+        faults: FaultConfig::demo(),
+        ..CampaignConfig::default()
+    };
+    let ds = campaign.run(&cfg);
+    assert!(!ds.tput.is_empty(), "tput table empty");
+    assert!(!ds.rtt.is_empty(), "rtt table empty");
+    assert!(!ds.coverage.is_empty(), "coverage table empty");
+    assert!(!ds.runs.is_empty(), "runs table empty");
+    assert!(!ds.handovers.is_empty(), "handovers table empty");
+    assert!(!ds.apps.is_empty(), "apps table empty");
+    assert!(!ds.audits.is_empty(), "audit ledger empty");
+    assert_eq!(ds.unique_cells.len(), 3);
+    assert_eq!(ds.runtime_min.len(), 3);
+
+    let json = serde_json::to_string(&ds).expect("dataset serializes");
+    let back: Dataset = serde_json::from_str(&json).expect("export parses back");
+    assert_eq!(back, ds, "parsed dataset differs from the in-memory one");
+    // Lossless round-trip, not just equality: re-serializing the parsed
+    // copy reproduces the export byte for byte (f64 fields included).
+    assert_eq!(serde_json::to_string(&back).expect("reserialize"), json);
+}
