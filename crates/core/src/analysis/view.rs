@@ -20,6 +20,14 @@
 //!
 //! The view is `Sync` (plain tables plus `OnceLock` memo slots), so one
 //! instance can back the parallel experiment runner without locking.
+//!
+//! Since the columnar refactor the view owns *both* layouts: the row
+//! tables (the public iterator API hands out `&TputSample` etc.) and
+//! their [`ColumnarDataset`] twin. Index building and every bulk numeric
+//! gather (sorted-sample Cdf runs, correlation inputs, coverage shares)
+//! scan the contiguous column slices; the enum-code columns are the
+//! `index()` values the partition math wants, so the build loop never
+//! touches a row struct.
 
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
@@ -30,7 +38,10 @@ use wheels_sim_core::stats::Cdf;
 use wheels_sim_core::time::Timezone;
 use wheels_sim_core::units::{Speed, SpeedBin};
 
+use crate::analysis::correlation::{self, CorrelationRow};
+use crate::analysis::coverage::{self, TechShare};
 use crate::analysis::handover::{self, HoImpact};
+use crate::column::{ColumnError, ColumnarDataset};
 use crate::records::{CoverageSample, Dataset, RttSample, TputSample};
 
 const OPS: usize = Operator::ALL.len();
@@ -181,12 +192,14 @@ struct TputPart {
 }
 
 impl TputPart {
-    fn sorted_mbps(&self, tput: &[TputSample]) -> &[f64] {
+    /// Gather this partition's finite `mbps` values from the contiguous
+    /// column and sort once, shared by every Cdf that merges it.
+    fn sorted_mbps(&self, mbps: &[f64]) -> &[f64] {
         self.sorted_mbps.get_or_init(|| {
             let mut v: Vec<f64> = self
                 .idx
                 .iter()
-                .map(|&i| at(tput, i).mbps)
+                .map(|&i| *at(mbps, i))
                 .filter(|x| x.is_finite())
                 .collect();
             v.sort_by(f64::total_cmp);
@@ -206,12 +219,15 @@ struct RttPart {
 }
 
 impl RttPart {
-    fn sorted_ms(&self, rtt: &[RttSample]) -> &[f64] {
+    /// Gather this partition's finite valid RTT values from the validity
+    /// and value columns and sort once.
+    fn sorted_ms(&self, rtt_valid: &[u8], rtt_ms: &[f64]) -> &[f64] {
         self.sorted_ms.get_or_init(|| {
             let mut v: Vec<f64> = self
                 .idx
                 .iter()
-                .filter_map(|&i| at(rtt, i).rtt_ms)
+                .filter(|&&i| *at(rtt_valid, i) == 1)
+                .map(|&i| *at(rtt_ms, i))
                 .filter(|x| x.is_finite())
                 .collect();
             v.sort_by(f64::total_cmp);
@@ -224,6 +240,9 @@ impl RttPart {
 /// docs for the guarantees.
 pub struct DatasetView {
     ds: Dataset,
+    /// Struct-of-arrays twin of `ds`, row-aligned position for position;
+    /// all bulk numeric gathers go through these columns.
+    cols: ColumnarDataset,
     tput_parts: Vec<TputPart>,
     rtt_parts: Vec<RttPart>,
     cov_idx: [Vec<u32>; OPS],
@@ -247,41 +266,77 @@ impl DatasetView {
     /// use.
     pub fn new(mut ds: Dataset) -> DatasetView {
         ds.normalize();
+        let cols = ColumnarDataset::from_rows(&ds);
+        // Satellite invariant: columnarization must preserve dataset
+        // order, or every figure multiset would silently reorder.
+        debug_assert!(
+            cols.is_normalized(),
+            "from_rows reordered a normalized dataset"
+        );
+        Self::build(ds, cols)
+    }
 
+    /// Build a view directly from a decoded [`ColumnarDataset`] (the
+    /// binary-load path): reconstruct the row tables for the iterator
+    /// API and index straight off the columns, skipping the normalize
+    /// sort a row-side build pays — WCD1 files store canonical order.
+    pub fn from_columns(cols: ColumnarDataset) -> Result<DatasetView, ColumnError> {
+        let mut ds = cols.to_rows()?;
+        debug_assert!(
+            cols.is_normalized(),
+            "columnar dataset left canonical order on disk"
+        );
+        if !cols.is_normalized() {
+            // Foreign/hand-built files may be unsorted; fall back to the
+            // full normalize + rebuild so the order guarantee holds.
+            ds.normalize();
+            return Ok(Self::new(ds));
+        }
+        Ok(Self::build(ds, cols))
+    }
+
+    /// Index builder over the column slices. `ds` and `cols` must be the
+    /// same normalized dataset, row-aligned position for position.
+    fn build(ds: Dataset, cols: ColumnarDataset) -> DatasetView {
+        let t = &cols.tput;
         let mut tput_parts: Vec<TputPart> = (0..TPUT_PARTS).map(|_| TputPart::default()).collect();
         let mut tput_by_test: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
-        for (i, s) in ds.tput.iter().enumerate() {
+        for i in 0..t.len() {
+            let tech = usize::from(t.tech[i]);
             let p = &mut tput_parts[tpart(
-                s.operator.index(),
-                dir_index(s.direction),
-                usize::from(s.driving),
+                usize::from(t.operator[i]),
+                usize::from(t.direction[i]),
+                usize::from(t.driving[i]),
             )];
             push_pos(&mut p.idx, i);
-            push_pos(&mut p.by_tech[s.tech.index()], i);
-            push_pos(&mut p.by_tz[tz_index(s.tz)], i);
-            let b = bin_index(SpeedBin::of(Speed::from_mph(s.speed_mph)));
-            push_pos(&mut p.by_bin_tech[b][s.tech.index()], i);
-            push_pos(tput_by_test.entry(s.test_id).or_default(), i);
+            push_pos(&mut p.by_tech[tech], i);
+            push_pos(&mut p.by_tz[usize::from(t.tz[i])], i);
+            let b = bin_index(SpeedBin::of(Speed::from_mph(t.speed_mph[i])));
+            push_pos(&mut p.by_bin_tech[b][tech], i);
+            push_pos(tput_by_test.entry(t.test_id[i]).or_default(), i);
         }
 
+        let r = &cols.rtt;
         let mut rtt_parts: Vec<RttPart> = (0..RTT_PARTS).map(|_| RttPart::default()).collect();
         let mut rtt_by_test: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
-        for (i, s) in ds.rtt.iter().enumerate() {
-            let p = &mut rtt_parts[rpart(s.operator.index(), usize::from(s.driving))];
+        for i in 0..r.len() {
+            let tech = usize::from(r.tech[i]);
+            let p = &mut rtt_parts[rpart(usize::from(r.operator[i]), usize::from(r.driving[i]))];
             push_pos(&mut p.idx, i);
-            push_pos(&mut p.by_tech[s.tech.index()], i);
-            let b = bin_index(SpeedBin::of(Speed::from_mph(s.speed_mph)));
-            push_pos(&mut p.by_bin_tech[b][s.tech.index()], i);
-            push_pos(rtt_by_test.entry(s.test_id).or_default(), i);
+            push_pos(&mut p.by_tech[tech], i);
+            let b = bin_index(SpeedBin::of(Speed::from_mph(r.speed_mph[i])));
+            push_pos(&mut p.by_bin_tech[b][tech], i);
+            push_pos(rtt_by_test.entry(r.test_id[i]).or_default(), i);
         }
 
         let mut cov_idx: [Vec<u32>; OPS] = Default::default();
-        for (i, s) in ds.coverage.iter().enumerate() {
-            push_pos(&mut cov_idx[s.operator.index()], i);
+        for (i, &op) in cols.coverage.operator.iter().enumerate() {
+            push_pos(&mut cov_idx[usize::from(op)], i);
         }
 
         DatasetView {
             ds,
+            cols,
             tput_parts,
             rtt_parts,
             cov_idx,
@@ -299,6 +354,12 @@ impl DatasetView {
     /// runs, handovers, apps, Table-1 aggregates).
     pub fn dataset(&self) -> &Dataset {
         &self.ds
+    }
+
+    /// The columnar twin, row-aligned with [`DatasetView::dataset`] —
+    /// what the batched kernels scan and what the WCD1 writer persists.
+    pub fn columns(&self) -> &ColumnarDataset {
+        &self.cols
     }
 
     /// Positions matching the filter, in dataset (time) order — the same
@@ -360,7 +421,7 @@ impl DatasetView {
         self.tput_cdfs[tcombo(op, dir, driving)].get_or_init(|| {
             let runs: Vec<&[f64]> = tput_part_ids(op, dir, driving)
                 .into_iter()
-                .map(|p| self.tput_parts[p].sorted_mbps(&self.ds.tput))
+                .map(|p| self.tput_parts[p].sorted_mbps(&self.cols.tput.mbps))
                 .collect();
             Cdf::from_sorted(merge_sorted(&runs))
         })
@@ -455,7 +516,9 @@ impl DatasetView {
         self.rtt_cdfs[rcombo(op, driving)].get_or_init(|| {
             let runs: Vec<&[f64]> = rtt_part_ids(op, driving)
                 .into_iter()
-                .map(|p| self.rtt_parts[p].sorted_ms(&self.ds.rtt))
+                .map(|p| {
+                    self.rtt_parts[p].sorted_ms(&self.cols.rtt.rtt_valid, &self.cols.rtt.rtt_ms)
+                })
                 .collect();
             Cdf::from_sorted(merge_sorted(&runs))
         })
@@ -514,5 +577,33 @@ impl DatasetView {
     pub fn impacts(&self) -> &[HoImpact] {
         self.impacts
             .get_or_init(|| handover::impacts_indexed(&self.ds, &self.tput_by_test))
+    }
+
+    /// One Table-2 row via the batched columnar kernel: the partition's
+    /// permutation index gathers `mbps` and each KPI from contiguous
+    /// column slices (same samples, same order as the row path).
+    pub fn tput_correlation(&self, op: Operator, dir: Direction, driving: bool) -> CorrelationRow {
+        let idx = &self.tput_parts[tpart(op.index(), dir_index(dir), usize::from(driving))].idx;
+        correlation::correlate_cols(&self.cols.tput, idx, op, dir)
+    }
+
+    /// Fig. 2a technology share via the columnar kernel.
+    pub fn coverage_share(&self, op: Operator) -> TechShare {
+        coverage::overall_cols(&self.cols.coverage, &self.cov_idx[op.index()])
+    }
+
+    /// Fig. 2b share split by backlogged direction via the columnar kernel.
+    pub fn coverage_share_by_direction(&self, op: Operator) -> BTreeMap<Direction, TechShare> {
+        coverage::by_direction_cols(&self.cols.coverage, &self.cov_idx[op.index()])
+    }
+
+    /// Fig. 2c share per timezone via the columnar kernel.
+    pub fn coverage_share_by_timezone(&self, op: Operator) -> BTreeMap<Timezone, TechShare> {
+        coverage::by_timezone_cols(&self.cols.coverage, &self.cov_idx[op.index()])
+    }
+
+    /// Fig. 2d share per speed bin via the columnar kernel.
+    pub fn coverage_share_by_speed_bin(&self, op: Operator) -> BTreeMap<SpeedBin, TechShare> {
+        coverage::by_speed_bin_cols(&self.cols.coverage, &self.cov_idx[op.index()])
     }
 }

@@ -184,8 +184,9 @@ impl From<io::Error> for CheckpointError {
 }
 
 /// FNV-1a 64-bit — a small, dependency-free integrity checksum. It only
-/// needs to catch torn writes and bit rot, not adversaries.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// needs to catch torn writes and bit rot, not adversaries. Shared with
+/// the WCD1 columnar dataset format (`column::wcd`).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);

@@ -1,0 +1,546 @@
+//! WCD1 — the columnar dataset's binary on-disk format.
+//!
+//! Same family as the WCJ1 checkpoint journal: magic, length prefixes,
+//! and FNV-1a-64 checksums, but laid out as a *column catalogue* rather
+//! than an append-only frame log. Each named column is one fixed-width
+//! little-endian section whose payload starts on an 8-byte boundary, so
+//! a loader may memory-map the file and view every section in place;
+//! the portable decoder here copies instead (no `unsafe` in this
+//! workspace) but still performs zero parsing — decode cost is a
+//! checksum pass plus `memcpy`-shaped copies.
+//!
+//! ```text
+//! file    := "WCD1" | count: u32 LE | section*
+//! section := tag: u8 | name_len: u8 | name bytes (ASCII)
+//!          | elems: u64 LE | fnv1a64(payload): u64 LE
+//!          | pad to 8-byte file offset | payload (elems × width LE)
+//! tag     := 1 = u8 | 2 = u32 | 3 = u64 | 4 = f64
+//! ```
+//!
+//! `f64` payloads are raw IEEE-754 bit patterns (`to_le_bytes`), so the
+//! format is lossless for every value JSON can carry and then some.
+//! Decoding is strict: an unknown column name, a missing column, a
+//! duplicate, a bad tag, or a checksum mismatch all fail loudly — a
+//! WCD1 file either loads exactly or not at all, mirroring the
+//! journal's "torn tail is truncated, corrupt body is an error" rule.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use crate::checkpoint::{fnv1a64, write_atomic};
+
+use super::ColumnarDataset;
+
+/// File magic; also the auto-detection key used by
+/// [`super::load_dataset`].
+pub const MAGIC: &[u8; 4] = b"WCD1";
+
+const TAG_U8: u8 = 1;
+const TAG_U32: u8 = 2;
+const TAG_U64: u8 = 3;
+const TAG_F64: u8 = 4;
+
+/// Decode failure: structurally broken, checksum-mismatched, or
+/// foreign/unknown-schema bytes.
+#[derive(Debug)]
+pub enum WcdError {
+    /// Not a WCD1 file or the catalogue is malformed.
+    Invalid(String),
+    /// A section checksum did not match its payload.
+    Checksum(String),
+    /// Underlying I/O failure (file-level helpers only).
+    Io(io::Error),
+}
+
+impl fmt::Display for WcdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WcdError::Invalid(m) => write!(f, "invalid WCD1 data: {m}"),
+            WcdError::Checksum(m) => write!(f, "WCD1 checksum mismatch: {m}"),
+            WcdError::Io(e) => write!(f, "WCD1 io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WcdError {}
+
+impl From<io::Error> for WcdError {
+    fn from(e: io::Error) -> Self {
+        WcdError::Io(e)
+    }
+}
+
+/// The single source of truth for the column catalogue: visits every
+/// `(name, column)` pair of a [`ColumnarDataset`] in file order. Both
+/// the encoder and the decoder walk this list, so the two sides can
+/// never disagree about names, tags, or ordering. The three dataset
+/// scalars travel as one-element `f64` sections at the end.
+macro_rules! catalogue {
+    ($ds:expr, $f:expr) => {{
+        let ds = $ds;
+        let mut f = $f;
+        let mut walk = || -> Result<(), WcdError> {
+            f("tput.t_ms", kind_u64(&mut ds.tput.t_ms))?;
+            f("tput.test_id", kind_u32(&mut ds.tput.test_id))?;
+            f("tput.operator", kind_u8(&mut ds.tput.operator))?;
+            f("tput.direction", kind_u8(&mut ds.tput.direction))?;
+            f("tput.mbps", kind_f64(&mut ds.tput.mbps))?;
+            f("tput.tech", kind_u8(&mut ds.tput.tech))?;
+            f("tput.cell", kind_u32(&mut ds.tput.cell))?;
+            f("tput.speed_mph", kind_f64(&mut ds.tput.speed_mph))?;
+            f("tput.zone", kind_u8(&mut ds.tput.zone))?;
+            f("tput.tz", kind_u8(&mut ds.tput.tz))?;
+            f("tput.server", kind_u8(&mut ds.tput.server))?;
+            f("tput.rsrp_dbm", kind_f64(&mut ds.tput.rsrp_dbm))?;
+            f("tput.mcs", kind_u8(&mut ds.tput.mcs))?;
+            f("tput.bler", kind_f64(&mut ds.tput.bler))?;
+            f("tput.carriers", kind_u8(&mut ds.tput.carriers))?;
+            f(
+                "tput.handovers_in_bin",
+                kind_u8(&mut ds.tput.handovers_in_bin),
+            )?;
+            f("tput.driving", kind_u8(&mut ds.tput.driving))?;
+
+            f("rtt.t_ms", kind_u64(&mut ds.rtt.t_ms))?;
+            f("rtt.test_id", kind_u32(&mut ds.rtt.test_id))?;
+            f("rtt.operator", kind_u8(&mut ds.rtt.operator))?;
+            f("rtt.rtt_valid", kind_u8(&mut ds.rtt.rtt_valid))?;
+            f("rtt.rtt_ms", kind_f64(&mut ds.rtt.rtt_ms))?;
+            f("rtt.tech", kind_u8(&mut ds.rtt.tech))?;
+            f("rtt.speed_mph", kind_f64(&mut ds.rtt.speed_mph))?;
+            f("rtt.tz", kind_u8(&mut ds.rtt.tz))?;
+            f("rtt.server", kind_u8(&mut ds.rtt.server))?;
+            f("rtt.driving", kind_u8(&mut ds.rtt.driving))?;
+
+            f("coverage.t_ms", kind_u64(&mut ds.coverage.t_ms))?;
+            f("coverage.operator", kind_u8(&mut ds.coverage.operator))?;
+            f("coverage.tech", kind_u8(&mut ds.coverage.tech))?;
+            f("coverage.direction", kind_u8(&mut ds.coverage.direction))?;
+            f("coverage.miles", kind_f64(&mut ds.coverage.miles))?;
+            f("coverage.speed_mph", kind_f64(&mut ds.coverage.speed_mph))?;
+            f("coverage.tz", kind_u8(&mut ds.coverage.tz))?;
+            f("coverage.zone", kind_u8(&mut ds.coverage.zone))?;
+
+            f("runs.id", kind_u32(&mut ds.runs.id))?;
+            f("runs.kind", kind_u8(&mut ds.runs.kind))?;
+            f("runs.operator", kind_u8(&mut ds.runs.operator))?;
+            f("runs.start_ms", kind_u64(&mut ds.runs.start_ms))?;
+            f("runs.end_ms", kind_u64(&mut ds.runs.end_ms))?;
+            f("runs.miles", kind_f64(&mut ds.runs.miles))?;
+            f("runs.tz", kind_u8(&mut ds.runs.tz))?;
+            f("runs.server", kind_u8(&mut ds.runs.server))?;
+            f("runs.hs5g_fraction", kind_f64(&mut ds.runs.hs5g_fraction))?;
+            f("runs.handovers", kind_u32(&mut ds.runs.handovers))?;
+            f("runs.driving", kind_u8(&mut ds.runs.driving))?;
+            f("runs.partial", kind_u8(&mut ds.runs.partial))?;
+
+            f("handovers.start_ms", kind_u64(&mut ds.handovers.start_ms))?;
+            f(
+                "handovers.duration_ms",
+                kind_u64(&mut ds.handovers.duration_ms),
+            )?;
+            f("handovers.from_cell", kind_u32(&mut ds.handovers.from_cell))?;
+            f("handovers.to_cell", kind_u32(&mut ds.handovers.to_cell))?;
+            f("handovers.from_tech", kind_u8(&mut ds.handovers.from_tech))?;
+            f("handovers.to_tech", kind_u8(&mut ds.handovers.to_tech))?;
+            f("handovers.kind", kind_u8(&mut ds.handovers.kind))?;
+            f("handovers.operator", kind_u8(&mut ds.handovers.operator))?;
+            f(
+                "handovers.test_valid",
+                kind_u8(&mut ds.handovers.test_valid),
+            )?;
+            f("handovers.test_id", kind_u32(&mut ds.handovers.test_id))?;
+            f("handovers.direction", kind_u8(&mut ds.handovers.direction))?;
+
+            f("apps.id", kind_u32(&mut ds.apps.id))?;
+            f("apps.operator", kind_u8(&mut ds.apps.operator))?;
+            f("apps.kind", kind_u8(&mut ds.apps.kind))?;
+            f("apps.server", kind_u8(&mut ds.apps.server))?;
+            f("apps.driving", kind_u8(&mut ds.apps.driving))?;
+            f("apps.off_valid", kind_u8(&mut ds.apps.off_valid))?;
+            f("apps.off_e2e_len", kind_u32(&mut ds.apps.off_e2e_len))?;
+            f(
+                "apps.off_frames_offloaded",
+                kind_u64(&mut ds.apps.off_frames_offloaded),
+            )?;
+            f(
+                "apps.off_frames_total",
+                kind_u64(&mut ds.apps.off_frames_total),
+            )?;
+            f("apps.off_compressed", kind_u8(&mut ds.apps.off_compressed))?;
+            f("apps.off_hs5g", kind_f64(&mut ds.apps.off_hs5g))?;
+            f("apps.off_handovers", kind_u64(&mut ds.apps.off_handovers))?;
+            f("apps.off_e2e_ms", kind_f64(&mut ds.apps.off_e2e_ms))?;
+            f("apps.vid_valid", kind_u8(&mut ds.apps.vid_valid))?;
+            f("apps.vid_chunks_len", kind_u32(&mut ds.apps.vid_chunks_len))?;
+            f("apps.vid_hs5g", kind_f64(&mut ds.apps.vid_hs5g))?;
+            f("apps.vid_handovers", kind_u64(&mut ds.apps.vid_handovers))?;
+            f(
+                "apps.vid_bitrate_mbps",
+                kind_f64(&mut ds.apps.vid_bitrate_mbps),
+            )?;
+            f("apps.vid_rebuffer_s", kind_f64(&mut ds.apps.vid_rebuffer_s))?;
+            f("apps.vid_qoe", kind_f64(&mut ds.apps.vid_qoe))?;
+            f("apps.gam_valid", kind_u8(&mut ds.apps.gam_valid))?;
+            f(
+                "apps.gam_bitrate_len",
+                kind_u32(&mut ds.apps.gam_bitrate_len),
+            )?;
+            f(
+                "apps.gam_latency_len",
+                kind_u32(&mut ds.apps.gam_latency_len),
+            )?;
+            f(
+                "apps.gam_frames_dropped",
+                kind_u64(&mut ds.apps.gam_frames_dropped),
+            )?;
+            f(
+                "apps.gam_frames_sent",
+                kind_u64(&mut ds.apps.gam_frames_sent),
+            )?;
+            f("apps.gam_hs5g", kind_f64(&mut ds.apps.gam_hs5g))?;
+            f("apps.gam_handovers", kind_u64(&mut ds.apps.gam_handovers))?;
+            f(
+                "apps.gam_bitrate_mbps",
+                kind_f64(&mut ds.apps.gam_bitrate_mbps),
+            )?;
+            f("apps.gam_latency_ms", kind_f64(&mut ds.apps.gam_latency_ms))?;
+
+            f("audits.test_id", kind_u32(&mut ds.audits.test_id))?;
+            f("audits.operator", kind_u8(&mut ds.audits.operator))?;
+            f("audits.kind", kind_u8(&mut ds.audits.kind))?;
+            f("audits.day", kind_u8(&mut ds.audits.day))?;
+            f("audits.scheduled_ms", kind_u64(&mut ds.audits.scheduled_ms))?;
+            f("audits.status", kind_u8(&mut ds.audits.status))?;
+            f("audits.attempts", kind_u32(&mut ds.audits.attempts))?;
+            f("audits.fault", kind_u8(&mut ds.audits.fault))?;
+            f(
+                "audits.planned_samples",
+                kind_u32(&mut ds.audits.planned_samples),
+            )?;
+            f(
+                "audits.recorded_samples",
+                kind_u32(&mut ds.audits.recorded_samples),
+            )?;
+            f("audits.lost_samples", kind_u32(&mut ds.audits.lost_samples))?;
+
+            f("cells.operator", kind_u8(&mut ds.cells_operator))?;
+            f("cells.count", kind_u64(&mut ds.cells_count))?;
+            f("runtime.operator", kind_u8(&mut ds.runtime_operator))?;
+            f("runtime.min", kind_f64(&mut ds.runtime_min))?;
+
+            f("scalar.rx_bytes", scalar(&mut ds.rx_bytes))?;
+            f("scalar.tx_bytes", scalar(&mut ds.tx_bytes))?;
+            f("scalar.log_bytes", scalar(&mut ds.log_bytes))?;
+            Ok(())
+        };
+        walk()
+    }};
+}
+
+fn kind_u8(v: &mut Vec<u8>) -> EntrySource<'_> {
+    EntrySource::U8(v)
+}
+fn kind_u32(v: &mut Vec<u32>) -> EntrySource<'_> {
+    EntrySource::U32(v)
+}
+fn kind_u64(v: &mut Vec<u64>) -> EntrySource<'_> {
+    EntrySource::U64(v)
+}
+fn kind_f64(v: &mut Vec<f64>) -> EntrySource<'_> {
+    EntrySource::F64(v)
+}
+fn scalar(v: &mut f64) -> EntrySource<'_> {
+    EntrySource::Scalar(v)
+}
+
+/// A mutable borrow of one catalogue column; each visitor decides
+/// whether to read it (encode) or fill it (decode).
+enum EntrySource<'a> {
+    U8(&'a mut Vec<u8>),
+    U32(&'a mut Vec<u32>),
+    U64(&'a mut Vec<u64>),
+    F64(&'a mut Vec<f64>),
+    Scalar(&'a mut f64),
+}
+
+impl EntrySource<'_> {
+    fn tag(&self) -> u8 {
+        match self {
+            EntrySource::U8(_) => TAG_U8,
+            EntrySource::U32(_) => TAG_U32,
+            EntrySource::U64(_) => TAG_U64,
+            EntrySource::F64(_) | EntrySource::Scalar(_) => TAG_F64,
+        }
+    }
+}
+
+fn push_section(out: &mut Vec<u8>, name: &str, src: &EntrySource<'_>) -> Result<(), WcdError> {
+    let (tag, elems, payload): (u8, u64, Vec<u8>) = match src {
+        EntrySource::U8(v) => (TAG_U8, len64(v.len())?, v.to_vec()),
+        EntrySource::U32(v) => (
+            TAG_U32,
+            len64(v.len())?,
+            v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+        ),
+        EntrySource::U64(v) => (
+            TAG_U64,
+            len64(v.len())?,
+            v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+        ),
+        EntrySource::F64(v) => (
+            TAG_F64,
+            len64(v.len())?,
+            v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+        ),
+        EntrySource::Scalar(v) => (TAG_F64, 1, v.to_le_bytes().to_vec()),
+    };
+    let name_len = u8::try_from(name.len())
+        .map_err(|_| WcdError::Invalid(format!("column name {name:?} exceeds 255 bytes")))?;
+    out.push(tag);
+    out.push(name_len);
+    out.extend_from_slice(name.as_bytes());
+    out.extend_from_slice(&elems.to_le_bytes());
+    out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    while !out.len().is_multiple_of(8) {
+        out.push(0);
+    }
+    out.extend_from_slice(&payload);
+    debug_assert_eq!(tag, src.tag());
+    Ok(())
+}
+
+fn len64(n: usize) -> Result<u64, WcdError> {
+    u64::try_from(n).map_err(|_| WcdError::Invalid("column length exceeds u64".to_string()))
+}
+
+/// Serialize a columnar dataset to WCD1 bytes.
+pub fn encode(ds: &ColumnarDataset) -> Vec<u8> {
+    // The catalogue visitor takes `&mut` slots so decode can fill them;
+    // encode pays one clone to reuse the same single-source catalogue —
+    // save cost is dominated by the payload copies either way.
+    let mut ds = ds.clone();
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    let mut count: u32 = 0;
+    let counter: Result<(), WcdError> = catalogue!(&mut ds, |_name: &str,
+                                                             _src: EntrySource<'_>|
+     -> Result<(), WcdError> {
+        count += 1;
+        Ok(())
+    });
+    counter.expect("counting visitor cannot fail");
+    out.extend_from_slice(&count.to_le_bytes());
+    let body: Result<(), WcdError> = catalogue!(&mut ds, |name: &str,
+                                                          src: EntrySource<'_>|
+     -> Result<(), WcdError> {
+        push_section(&mut out, name, &src)
+    });
+    body.expect("encode visitor cannot fail: lengths checked per section");
+    out
+}
+
+/// Streaming reader over the section catalogue.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WcdError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| WcdError::Invalid(format!("file truncated reading {what}")))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u64le(&mut self, what: &str) -> Result<u64, WcdError> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8, what)?);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn align8(&mut self) {
+        self.pos = (self.pos + 7) & !7;
+    }
+
+    /// Read one section header + payload; returns `(name, tag, payload)`.
+    fn section(&mut self) -> Result<(&'a str, u8, &'a [u8]), WcdError> {
+        let tag = self.take(1, "section tag")?[0];
+        let width: usize = match tag {
+            TAG_U8 => 1,
+            TAG_U32 => 4,
+            TAG_U64 => 8,
+            TAG_F64 => 8,
+            other => return Err(WcdError::Invalid(format!("unknown column tag {other}"))),
+        };
+        let name_len = usize::from(self.take(1, "name length")?[0]);
+        let name = std::str::from_utf8(self.take(name_len, "column name")?)
+            .map_err(|_| WcdError::Invalid("column name is not UTF-8".to_string()))?;
+        let elems = self.u64le("element count")?;
+        let stored_sum = self.u64le("checksum")?;
+        let n = usize::try_from(elems)
+            .ok()
+            .and_then(|n| n.checked_mul(width))
+            .ok_or_else(|| WcdError::Invalid(format!("column {name} too large for memory")))?;
+        self.align8();
+        let payload = self.take(n, "column payload")?;
+        if fnv1a64(payload) != stored_sum {
+            return Err(WcdError::Checksum(format!("column {name}")));
+        }
+        Ok((name, tag, payload))
+    }
+}
+
+fn fill(slot: EntrySource<'_>, tag: u8, payload: &[u8], name: &str) -> Result<(), WcdError> {
+    if slot.tag() != tag {
+        return Err(WcdError::Invalid(format!(
+            "column {name}: expected tag {}, file has {tag}",
+            slot.tag()
+        )));
+    }
+    match slot {
+        EntrySource::U8(v) => {
+            v.clear();
+            v.extend_from_slice(payload);
+        }
+        EntrySource::U32(v) => {
+            v.clear();
+            v.reserve(payload.len() / 4);
+            for c in payload.chunks_exact(4) {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(c);
+                v.push(u32::from_le_bytes(b));
+            }
+        }
+        EntrySource::U64(v) => {
+            v.clear();
+            v.reserve(payload.len() / 8);
+            for c in payload.chunks_exact(8) {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(c);
+                v.push(u64::from_le_bytes(b));
+            }
+        }
+        EntrySource::F64(v) => {
+            v.clear();
+            v.reserve(payload.len() / 8);
+            for c in payload.chunks_exact(8) {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(c);
+                v.push(f64::from_le_bytes(b));
+            }
+        }
+        EntrySource::Scalar(v) => {
+            if payload.len() != 8 {
+                return Err(WcdError::Invalid(format!(
+                    "scalar column {name} must hold exactly one element"
+                )));
+            }
+            let mut b = [0u8; 8];
+            b.copy_from_slice(payload);
+            *v = f64::from_le_bytes(b);
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize WCD1 bytes into a columnar dataset. Strict: the file
+/// must contain exactly the catalogue's columns, in catalogue order,
+/// with matching tags and checksums.
+pub fn decode(bytes: &[u8]) -> Result<ColumnarDataset, WcdError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4, "magic").ok() != Some(MAGIC.as_slice()) {
+        return Err(WcdError::Invalid("missing WCD1 magic".to_string()));
+    }
+    let mut count_b = [0u8; 4];
+    count_b.copy_from_slice(r.take(4, "column count")?);
+    let declared = u32::from_le_bytes(count_b);
+
+    let mut ds = ColumnarDataset::default();
+    let mut seen: u32 = 0;
+    let visit: Result<(), WcdError> = catalogue!(&mut ds, |name: &str,
+                                                           slot: EntrySource<'_>|
+     -> Result<(), WcdError> {
+        let (got_name, tag, payload) = r.section()?;
+        if got_name != name {
+            return Err(WcdError::Invalid(format!(
+                "expected column {name}, file has {got_name}"
+            )));
+        }
+        seen += 1;
+        fill(slot, tag, payload, name)
+    });
+    visit?;
+    if seen != declared {
+        return Err(WcdError::Invalid(format!(
+            "catalogue declares {declared} columns, schema expects {seen}"
+        )));
+    }
+    if r.pos != bytes.len() {
+        return Err(WcdError::Invalid(format!(
+            "{} trailing bytes after last column",
+            bytes.len() - r.pos
+        )));
+    }
+    ds.check().map_err(|e| WcdError::Invalid(e.0))?;
+    Ok(ds)
+}
+
+/// Encode and persist via the checkpoint crash-safety discipline
+/// (temp file + fsync + atomic rename).
+pub fn write_file(path: &Path, ds: &ColumnarDataset) -> io::Result<()> {
+    write_atomic(path, &encode(ds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_dataset_encodes_and_decodes() {
+        let ds = ColumnarDataset::default();
+        let bytes = encode(&ds);
+        assert_eq!(&bytes[..4], MAGIC);
+        let back = decode(&bytes).expect("decodes");
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn payloads_are_8_byte_aligned() {
+        // Corrupting any payload byte must be caught; alignment is part
+        // of the frame math, so a decode success proves both.
+        let ds = ColumnarDataset {
+            rx_bytes: 1.5,
+            ..ColumnarDataset::default()
+        };
+        let bytes = encode(&ds);
+        let back = decode(&bytes).expect("decodes");
+        assert_eq!(back.rx_bytes, 1.5);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let ds = ColumnarDataset {
+            log_bytes: 7.25,
+            ..ColumnarDataset::default()
+        };
+        let mut bytes = encode(&ds);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(decode(&bytes).is_err(), "flipped payload bit must fail");
+        assert!(
+            decode(&bytes[..bytes.len() - 9]).is_err(),
+            "truncation must fail"
+        );
+        assert!(
+            decode(b"WCJ1----").is_err(),
+            "journal magic is not a dataset"
+        );
+    }
+}

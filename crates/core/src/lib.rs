@@ -26,6 +26,11 @@
 //! - [`analysis`] — everything §4–§7 computes: coverage-by-miles,
 //!   KPI↔throughput correlations (Table 2), handover impact (ΔT₁/ΔT₂,
 //!   Fig. 12), and operator diversity (Fig. 6).
+//! - [`column`] — the struct-of-arrays twin of [`records::Dataset`] and
+//!   the WCD1 binary file format: contiguous per-field columns the
+//!   analysis kernels batch over, plus a checksummed fixed-width on-disk
+//!   layout that loads without a parse step. JSON stays the pinned
+//!   interchange format; WCD1 is the fast cache/transport layer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +38,7 @@
 pub mod analysis;
 pub mod campaign;
 pub mod checkpoint;
+pub mod column;
 pub mod disrupt;
 pub mod logsync;
 pub mod measure;

@@ -1,15 +1,20 @@
-//! `dataset` — export the consolidated dataset as JSON.
+//! `dataset` — export the consolidated dataset.
 //!
 //! The paper publishes its dataset on GitHub; our substitute is a seeded
 //! regeneration. This binary builds the world at the chosen scale and
 //! writes the full consolidated database (typed tables: throughput
 //! samples, RTT samples, coverage rows, test runs, handovers, app runs,
-//! plus the Table 1 accounting) as a single JSON document.
+//! plus the Table 1 accounting) as a single document.
 //!
 //! ```text
 //! dataset [--quick|--standard|--full] [--seed N] [--threads N] [--faults]
-//!         [--checkpoint DIR | --resume DIR] [output.json]
+//!         [--checkpoint DIR | --resume DIR] [--format json|bin] [output]
 //! ```
+//!
+//! `--format json` (default) emits the pinned JSON interchange schema,
+//! byte-stable across releases. `--format bin` emits the WCD1 columnar
+//! binary format — the fast cache/transport layer `repro --load`
+//! auto-detects and loads without a parse step.
 //!
 //! `--faults` injects the demo disruption mix; the exported `audits`
 //! table then carries the retry/salvage/loss ledger.
@@ -19,16 +24,17 @@
 //! finished shards and re-simulating only the rest — the output is
 //! byte-identical either way.
 //!
-//! With no output path, JSON goes to stdout. File output lands via a
-//! temp file + atomic rename, so a crash mid-write never leaves a
-//! truncated JSON document at the output path.
+//! With no output path, the document goes to stdout. File output lands
+//! via a temp file + atomic rename, so a crash mid-write never leaves a
+//! truncated file at the output path.
 
 use std::io::Write;
 use std::path::Path;
 
 use wheels_core::checkpoint::write_atomic;
+use wheels_core::column::wcd;
 use wheels_core::disrupt::FaultConfig;
-use wheels_experiments::cli;
+use wheels_experiments::cli::{self, Format};
 use wheels_experiments::world::{Scale, World};
 
 fn main() {
@@ -85,17 +91,24 @@ fn main() {
         ds.handovers.len(),
         ds.apps.len()
     );
-    let json = serde_json::to_string(ds).expect("dataset serializes");
+    let bytes = match args.format {
+        Format::Json => serde_json::to_string(ds)
+            .expect("dataset serializes")
+            .into_bytes(),
+        // The world's view already holds the columnar twin; encoding is
+        // a checksum pass over its fixed-width sections.
+        Format::Bin => wcd::encode(world.view().columns()),
+    };
     match out_path {
         Some(p) => {
-            if let Err(e) = write_atomic(Path::new(&p), json.as_bytes()) {
+            if let Err(e) = write_atomic(Path::new(&p), &bytes) {
                 eprintln!("cannot write {p}: {e}");
                 std::process::exit(1);
             }
-            eprintln!("wrote {p} ({} MB)", json.len() / 1_000_000);
+            eprintln!("wrote {p} ({} MB)", bytes.len() / 1_000_000);
         }
         None => {
-            if let Err(e) = std::io::stdout().lock().write_all(json.as_bytes()) {
+            if let Err(e) = std::io::stdout().lock().write_all(&bytes) {
                 eprintln!("cannot write dataset to stdout: {e}");
                 std::process::exit(1);
             }

@@ -2,9 +2,15 @@
 //!
 //! ```text
 //! repro [--quick|--standard|--full] [--seed N] [--threads N] [--faults]
-//!       [--checkpoint DIR | --resume DIR] [ids...]
+//!       [--checkpoint DIR | --resume DIR] [--load FILE] [ids...]
 //! repro --list
 //! ```
+//!
+//! `--load FILE` skips the simulation and analyses an exported dataset
+//! instead. The format is auto-detected: a WCD1 file (from
+//! `dataset --format bin`) loads without a parse step — checksummed bulk
+//! column copies — while anything else is read as the pinned JSON
+//! interchange format.
 //!
 //! `--faults` injects the demo measurement-disruption mix (server
 //! outages, app crashes, logger gaps, clock drift); the `quality`
@@ -60,29 +66,42 @@ fn main() {
     } else {
         FaultConfig::default()
     };
-    let world = match (&args.checkpoint, &args.resume) {
-        (Some(dir), _) => World::build_checkpointed(
-            args.scale,
-            args.seed,
-            args.threads,
-            faults,
-            std::path::Path::new(dir),
-            false,
-        ),
-        (_, Some(dir)) => World::build_checkpointed(
-            args.scale,
-            args.seed,
-            args.threads,
-            faults,
-            std::path::Path::new(dir),
-            true,
-        ),
-        _ => Ok(World::build_with_faults(
-            args.scale,
-            args.seed,
-            args.threads,
-            faults,
-        )),
+    let world = if let Some(path) = &args.load {
+        let bytes = std::fs::read(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let (ds, fmt) = wheels_core::column::load_dataset(&bytes).unwrap_or_else(|e| {
+            eprintln!("cannot load {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("loaded {path} ({fmt} format, {} bytes)", bytes.len());
+        Ok(World::from_dataset(args.scale, args.seed, ds))
+    } else {
+        match (&args.checkpoint, &args.resume) {
+            (Some(dir), _) => World::build_checkpointed(
+                args.scale,
+                args.seed,
+                args.threads,
+                faults,
+                std::path::Path::new(dir),
+                false,
+            ),
+            (_, Some(dir)) => World::build_checkpointed(
+                args.scale,
+                args.seed,
+                args.threads,
+                faults,
+                std::path::Path::new(dir),
+                true,
+            ),
+            _ => Ok(World::build_with_faults(
+                args.scale,
+                args.seed,
+                args.threads,
+                faults,
+            )),
+        }
     }
     .unwrap_or_else(|e| {
         eprintln!("{e}");

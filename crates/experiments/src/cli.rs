@@ -6,6 +6,16 @@
 
 use crate::world::Scale;
 
+/// Dataset export format (`--format json|bin`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// The pinned JSON interchange format (default; byte-stable schema).
+    #[default]
+    Json,
+    /// The WCD1 columnar binary format (fast cache/transport layer).
+    Bin,
+}
+
 /// Parsed common arguments.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
@@ -28,6 +38,11 @@ pub struct Args {
     /// journalled shards, re-simulates only the missing ones, and keeps
     /// journalling to the same directory.
     pub resume: Option<String>,
+    /// Dataset export format (`--format json|bin`, default json).
+    pub format: Format,
+    /// Dataset file to analyse instead of simulating (`--load FILE`):
+    /// auto-detects WCD1 binary (loaded without a parse step) vs JSON.
+    pub load: Option<String>,
     /// Positional arguments (experiment ids for `repro`, the output path
     /// for `dataset`).
     pub rest: Vec<String>,
@@ -53,6 +68,8 @@ pub fn parse_args(
         faults: false,
         checkpoint: None,
         resume: None,
+        format: Format::Json,
+        load: None,
         rest: Vec::new(),
     };
     let mut seen: Vec<String> = Vec::new();
@@ -95,6 +112,18 @@ pub fn parse_args(
                 let v = iter.next().ok_or("--resume needs a directory path")?;
                 args.resume = Some(v);
             }
+            "--format" => {
+                let v = iter.next().ok_or("--format needs json or bin")?;
+                args.format = match v.as_str() {
+                    "json" => Format::Json,
+                    "bin" => Format::Bin,
+                    other => return Err(format!("--format needs json or bin, got {other:?}")),
+                };
+            }
+            "--load" => {
+                let v = iter.next().ok_or("--load needs a dataset file path")?;
+                args.load = Some(v);
+            }
             // Reject unknown flags instead of letting them fall through
             // to `rest`: a typo like `--thread 4` or `-q` would otherwise
             // silently become a positional arg (an experiment id / output
@@ -110,6 +139,13 @@ pub fn parse_args(
         return Err(
             "--checkpoint and --resume are mutually exclusive: --checkpoint starts a fresh \
              journal, --resume continues one"
+                .to_string(),
+        );
+    }
+    if args.load.is_some() && (args.checkpoint.is_some() || args.resume.is_some() || args.faults) {
+        return Err(
+            "--load analyses an existing dataset file; it cannot be combined with the \
+             simulation flags --checkpoint/--resume/--faults"
                 .to_string(),
         );
     }
@@ -210,6 +246,40 @@ mod tests {
         // The scale family stays last-one-wins (one logical setting) —
         // including an exact repeat.
         assert_eq!(parse(&["--quick", "--quick"]).unwrap().scale, Scale::Quick);
+    }
+
+    #[test]
+    fn format_flag() {
+        assert_eq!(parse(&[]).unwrap().format, Format::Json);
+        assert_eq!(parse(&["--format", "json"]).unwrap().format, Format::Json);
+        assert_eq!(parse(&["--format", "bin"]).unwrap().format, Format::Bin);
+        let e = parse(&["--format", "csv"]).unwrap_err();
+        assert!(e.contains("json or bin"), "{e}");
+        assert!(e.contains("csv"), "{e}");
+        assert!(parse(&["--format"]).is_err());
+        assert_eq!(
+            parse(&["--format", "bin", "--format", "json"]).unwrap_err(),
+            "duplicate flag --format"
+        );
+    }
+
+    #[test]
+    fn load_flag() {
+        let a = parse(&["--load", "ds.wcd", "fig3"]).unwrap();
+        assert_eq!(a.load.as_deref(), Some("ds.wcd"));
+        assert_eq!(a.rest, vec!["fig3".to_string()]);
+        assert!(parse(&["--load"]).is_err());
+        // --load replaces simulation; combining with sim-side flags is
+        // a contradiction, not a preference.
+        for bad in [
+            ["--load", "d", "--faults", ""].as_slice(),
+            ["--load", "d", "--checkpoint", "c"].as_slice(),
+            ["--load", "d", "--resume", "c"].as_slice(),
+        ] {
+            let argv: Vec<&str> = bad.iter().copied().filter(|s| !s.is_empty()).collect();
+            let e = parse(&argv).unwrap_err();
+            assert!(e.contains("--load"), "{e}");
+        }
     }
 
     #[test]

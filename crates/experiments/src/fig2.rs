@@ -38,7 +38,7 @@ pub fn run(world: &World) -> String {
     for op in Operator::ALL {
         rows.push(share_row(
             op.label().to_string(),
-            &coverage::overall_from(world.view().coverage_for(op)),
+            &world.view().coverage_share(op),
         ));
     }
     out.push_str(&fmt::table(&HEADERS, &rows));
@@ -46,7 +46,7 @@ pub fn run(world: &World) -> String {
     out.push_str("\nFig. 2b — coverage by backlogged traffic direction\n");
     let mut rows = Vec::new();
     for op in Operator::ALL {
-        let by_dir = coverage::by_direction_from(world.view().coverage_for(op));
+        let by_dir = world.view().coverage_share_by_direction(op);
         for dir in Direction::ALL {
             if let Some(s) = by_dir.get(&dir) {
                 rows.push(share_row(format!("{} {}", op.label(), dir.label()), s));
@@ -58,7 +58,7 @@ pub fn run(world: &World) -> String {
     out.push_str("\nFig. 2c — coverage by timezone\n");
     let mut rows = Vec::new();
     for op in Operator::ALL {
-        let by_tz = coverage::by_timezone_from(world.view().coverage_for(op));
+        let by_tz = world.view().coverage_share_by_timezone(op);
         for tz in Timezone::ALL {
             if let Some(s) = by_tz.get(&tz) {
                 rows.push(share_row(format!("{} {}", op.label(), tz.abbrev()), s));
@@ -70,7 +70,7 @@ pub fn run(world: &World) -> String {
     out.push_str("\nFig. 2d — coverage by speed bin\n");
     let mut rows = Vec::new();
     for op in Operator::ALL {
-        let by_sb = coverage::by_speed_bin_from(world.view().coverage_for(op));
+        let by_sb = world.view().coverage_share_by_speed_bin(op);
         for sb in SpeedBin::ALL {
             if let Some(s) = by_sb.get(&sb) {
                 rows.push(share_row(format!("{} {}", op.label(), sb.label()), s));
@@ -89,9 +89,9 @@ mod tests {
     #[test]
     fn tmobile_has_highest_5g_share() {
         let w = World::quick();
-        let t = coverage::overall_from(w.view().coverage_for(Operator::TMobile)).pct_5g();
-        let v = coverage::overall_from(w.view().coverage_for(Operator::Verizon)).pct_5g();
-        let a = coverage::overall_from(w.view().coverage_for(Operator::Att)).pct_5g();
+        let t = w.view().coverage_share(Operator::TMobile).pct_5g();
+        let v = w.view().coverage_share(Operator::Verizon).pct_5g();
+        let a = w.view().coverage_share(Operator::Att).pct_5g();
         assert!(t > v && t > a, "T {t} V {v} A {a}");
         // Shape: T-Mobile's share should be in the vicinity of the paper's
         // 68% (we accept a broad band at quick scale).
@@ -104,9 +104,9 @@ mod tests {
     #[test]
     fn att_high_speed_is_smallest() {
         let w = World::quick();
-        let a = coverage::overall_from(w.view().coverage_for(Operator::Att)).pct_high_speed();
-        let t = coverage::overall_from(w.view().coverage_for(Operator::TMobile)).pct_high_speed();
-        let v = coverage::overall_from(w.view().coverage_for(Operator::Verizon)).pct_high_speed();
+        let a = w.view().coverage_share(Operator::Att).pct_high_speed();
+        let t = w.view().coverage_share(Operator::TMobile).pct_high_speed();
+        let v = w.view().coverage_share(Operator::Verizon).pct_high_speed();
         assert!(a < v && a < t, "A {a} V {v} T {t}");
         assert!(a < 12.0, "AT&T high-speed {a}%");
     }
@@ -115,7 +115,7 @@ mod tests {
     fn downlink_gets_more_high_speed_than_uplink() {
         let w = World::quick();
         for op in Operator::ALL {
-            let by_dir = coverage::by_direction_from(w.view().coverage_for(op));
+            let by_dir = w.view().coverage_share_by_direction(op);
             let dl = by_dir[&Direction::Downlink].pct_high_speed();
             let ul = by_dir[&Direction::Uplink].pct_high_speed();
             assert!(dl > ul, "{op:?}: DL {dl} UL {ul}");
@@ -125,7 +125,7 @@ mod tests {
     #[test]
     fn high_speed_coverage_declines_with_speed_for_verizon() {
         let w = World::quick();
-        let by_sb = coverage::by_speed_bin_from(w.view().coverage_for(Operator::Verizon));
+        let by_sb = w.view().coverage_share_by_speed_bin(Operator::Verizon);
         let low = by_sb[&SpeedBin::Low].pct_high_speed();
         let high = by_sb[&SpeedBin::High].pct_high_speed();
         assert!(low > high, "low-bin {low} vs high-bin {high}");

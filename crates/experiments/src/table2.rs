@@ -1,23 +1,20 @@
 //! Table 2: Pearson correlation between throughput and the KPIs.
 
-use wheels_core::analysis::correlation::{correlate_rows, CorrelationRow, Kpi};
+use wheels_core::analysis::correlation::{CorrelationRow, Kpi};
 use wheels_radio::tech::Direction;
 use wheels_ran::operator::Operator;
 
 use crate::fmt;
 use crate::world::World;
 
-/// All six Table-2 rows, computed from the view's partitions.
+/// All six Table-2 rows, computed by the batched columnar kernel over
+/// the view's partition indices.
 pub fn rows_for(world: &World) -> Vec<CorrelationRow> {
     let v = world.view();
     let mut out = Vec::new();
     for op in Operator::ALL {
         for dir in Direction::ALL {
-            out.push(correlate_rows(
-                v.tput_iter(Some(op), Some(dir), Some(true)),
-                op,
-                dir,
-            ));
+            out.push(v.tput_correlation(op, dir, true));
         }
     }
     out
@@ -64,12 +61,7 @@ pub fn run(world: &World) -> String {
 
 /// Convenience: one row's r values.
 pub fn row(world: &World, op: Operator, dir: Direction) -> Vec<(Kpi, Option<f64>)> {
-    correlate_rows(
-        world.view().tput_iter(Some(op), Some(dir), Some(true)),
-        op,
-        dir,
-    )
-    .r
+    world.view().tput_correlation(op, dir, true).r
 }
 
 #[cfg(test)]
@@ -77,7 +69,7 @@ mod tests {
     use super::*;
 
     fn correlate(w: &World, op: Operator, dir: Direction) -> CorrelationRow {
-        correlate_rows(w.view().tput_iter(Some(op), Some(dir), Some(true)), op, dir)
+        w.view().tput_correlation(op, dir, true)
     }
 
     #[test]

@@ -119,6 +119,18 @@ impl World {
         })
     }
 
+    /// Build a world around an already-materialized dataset (the
+    /// `repro --load` path): no simulation runs — the campaign object is
+    /// constructed for its route/deployment metadata only, and the view
+    /// indexes the given tables directly.
+    pub fn from_dataset(scale: Scale, seed: u64, dataset: Dataset) -> World {
+        World {
+            campaign: Campaign::standard(seed),
+            view: DatasetView::new(dataset),
+            scale,
+        }
+    }
+
     /// The campaign + config every builder shares.
     fn campaign_for(
         scale: Scale,

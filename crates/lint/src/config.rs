@@ -44,6 +44,11 @@ pub struct Config {
     /// `fs::write` / non-renamed `File::create` are flagged there — a
     /// crash mid-write must never leave a torn file behind.
     pub persist_paths: Vec<String>,
+    /// Path prefixes holding the batched analysis kernels: per-row
+    /// projections (`.iter().map(|s| s.field)`) are flagged there —
+    /// kernels must scan the contiguous column slices, not walk an
+    /// array of structs one row at a time.
+    pub columnar_paths: Vec<String>,
 }
 
 impl Default for Config {
@@ -71,6 +76,7 @@ impl Default for Config {
             lossy_paths: v(&["crates/core/src", "crates/experiments/src"]),
             disrupt_paths: v(&["crates/core/src/disrupt"]),
             persist_paths: v(&["crates/core/src/checkpoint", "crates/experiments/src/bin"]),
+            columnar_paths: v(&["crates/core/src/analysis"]),
         }
     }
 }

@@ -9,7 +9,7 @@
 //! inside the simulator. This crate enforces those invariants
 //! mechanically: a self-contained Rust lexer (the build environment is
 //! registry-free, so no `syn`) feeds a token-pattern rule engine with
-//! eight domain rules:
+//! nine domain rules:
 //!
 //! 1. **nondeterminism** — no `Instant::now` / `SystemTime::now` /
 //!    `thread_rng` / `from_entropy` / `rand::random` / `env::var` in
@@ -30,7 +30,11 @@
 //! 8. **atomic-persistence** — on persistence paths (checkpoint journal,
 //!    binary output writers), no in-place `fs::write` or non-renamed
 //!    `File::create`: files must land via temp-file + atomic rename so a
-//!    crash mid-write never leaves a torn file a resumed run would trust.
+//!    crash mid-write never leaves a torn file a resumed run would trust;
+//! 9. **columnar-kernel** — in the batched analysis paths, no per-row
+//!    `.iter().map(|s| s.field)` projections: kernels scan the
+//!    contiguous column slices of the columnar dataset, not an array of
+//!    structs one row at a time.
 //!
 //! A finding is silenced in place with `// lint: allow(rule, reason)` on
 //! the offending line or the line above; the reason is mandatory.
@@ -69,6 +73,7 @@ pub fn lint_sources(files: &[SourceFile], cfg: &Config) -> Report {
         rules::crate_hygiene(file, &lexed, &mask, cfg, &mut findings);
         rules::disrupt_stream_namespace(file, &lexed, &mask, cfg, &mut findings);
         rules::atomic_persistence(file, &lexed, &mask, cfg, &mut findings);
+        rules::columnar_kernel(file, &lexed, &mask, cfg, &mut findings);
     }
     rules::label_findings(&labels, &mut findings);
     findings.sort_by(|a, b| {

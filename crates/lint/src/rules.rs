@@ -14,7 +14,7 @@ use crate::report::Finding;
 use crate::workspace::SourceFile;
 
 /// Rule names, in catalogue order.
-pub const RULE_NAMES: [&str; 8] = [
+pub const RULE_NAMES: [&str; 9] = [
     "nondeterminism",
     "hash-iteration",
     "rng-stream-labels",
@@ -23,6 +23,7 @@ pub const RULE_NAMES: [&str; 8] = [
     "crate-hygiene",
     "disrupt-stream-namespace",
     "atomic-persistence",
+    "columnar-kernel",
 ];
 
 /// Integer cast targets the lossy-cast rule watches.
@@ -600,6 +601,74 @@ fn renamed_later(toks: &[Tok], k: usize) -> bool {
         Some("rename") => Some(true),
         _ => None,
     }) == Some(true)
+}
+
+/// Rule 9 — columnar-kernel: in the batched analysis paths
+/// (`columnar_paths`), the per-row projection `.iter().map(|s| s.field)`
+/// walks an array of structs one row at a time, dragging every field of
+/// every record through cache to read one. Kernels there scan the
+/// contiguous column slices instead (the `*_cols` kernels and
+/// `Kpi::gather`), where the same projection is a sequential read of one
+/// `Vec`. Index gathers like `.iter().map(|&i| …)` bind by pattern, not
+/// a bare identifier, and are not matched.
+pub fn columnar_kernel(
+    file: &SourceFile,
+    lexed: &LexedFile,
+    mask: &[bool],
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    if !cfg
+        .columnar_paths
+        .iter()
+        .any(|p| file.rel_path.starts_with(p.as_str()))
+    {
+        return;
+    }
+    const RULE: &str = RULE_NAMES[8];
+    let toks = &lexed.toks;
+    for k in 0..toks.len() {
+        if mask[k] || allowed(lexed, RULE, toks[k].line) {
+            continue;
+        }
+        // `.iter().map(|s| s.field)` — row-at-a-time field projection.
+        if toks[k].ident() != Some("iter")
+            || k == 0
+            || !toks[k - 1].is_punct('.')
+            || !toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+            || !toks.get(k + 2).is_some_and(|t| t.is_punct(')'))
+            || !toks.get(k + 3).is_some_and(|t| t.is_punct('.'))
+            || toks.get(k + 4).and_then(|t| t.ident()) != Some("map")
+            || !toks.get(k + 5).is_some_and(|t| t.is_punct('('))
+            || !toks.get(k + 6).is_some_and(|t| t.is_punct('|'))
+        {
+            continue;
+        }
+        let Some(param) = toks.get(k + 7).and_then(|t| t.ident()) else {
+            continue;
+        };
+        if !toks.get(k + 8).is_some_and(|t| t.is_punct('|'))
+            || toks.get(k + 9).and_then(|t| t.ident()) != Some(param)
+            || !toks.get(k + 10).is_some_and(|t| t.is_punct('.'))
+        {
+            continue;
+        }
+        let Some(field) = toks.get(k + 11).and_then(|t| t.ident()) else {
+            continue;
+        };
+        if !toks.get(k + 12).is_some_and(|t| t.is_punct(')')) {
+            continue;
+        }
+        out.push(finding(
+            RULE,
+            file,
+            lexed,
+            &toks[k],
+            format!(
+                "`.iter().map(|{param}| {param}.{field})` walks rows struct-by-struct in a batched analysis path — gather from the contiguous `{field}` column slice (see the `*_cols` kernels), or justify with `// lint: allow(columnar-kernel, reason)`"
+            ),
+        ));
+    }
 }
 
 #[cfg(test)]

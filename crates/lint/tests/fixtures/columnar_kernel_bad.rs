@@ -1,0 +1,8 @@
+pub fn mean_mbps(samples: &[TputSample]) -> f64 {
+    let xs: Vec<f64> = samples.iter().map(|s| s.mbps).collect();
+    xs.iter().sum::<f64>() / 1.0_f64.max(xs.len() as f64)
+}
+
+pub fn speeds(samples: &[TputSample]) -> Vec<f64> {
+    samples.iter().map(|s| s.speed_mph).collect()
+}

@@ -1,0 +1,13 @@
+pub fn mean_mbps(t: &TputColumns, idx: &[u32]) -> f64 {
+    let xs: Vec<f64> = idx.iter().map(|&i| t.mbps[usize::from(i)]).collect();
+    xs.iter().sum::<f64>() / 1.0_f64.max(xs.len() as f64)
+}
+
+pub fn run_spans(runs: &[RunBatch]) -> usize {
+    runs.iter().map(|r| r.len()).sum()
+}
+
+pub fn first_mbps(samples: &[TputSample]) -> Option<f64> {
+    // lint: allow(columnar-kernel, one-off debug helper, not a kernel hot path)
+    samples.iter().map(|s| s.mbps).next()
+}
