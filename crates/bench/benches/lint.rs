@@ -1,0 +1,95 @@
+//! Analyzer timings — tier 1 (token rules) alone vs tier 1 + tier 2
+//! (parse, symbol table, call graph, and the four dataflow passes) over
+//! the shipped workspace.
+//!
+//! Like the campaign, analysis, and storage benches, deliberately not
+//! Criterion: one full-workspace lint run is the right granularity, and
+//! the results land in `BENCH_lint.json` at the repo root as a tracked
+//! baseline. The interesting number is the tier-2 overhead ratio: the
+//! dataflow tier must stay cheap enough to keep in the default CI lint
+//! gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo bench -p wheels-bench --bench lint
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use wheels_lint::{lint_sources_opts, workspace, Config, Options};
+
+fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let sink = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        // Keep the optimizer honest.
+        assert!(sink.is_finite());
+    }
+    best
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("lint bench: {cores} cores");
+
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let cfg = Config::default();
+    let files = workspace::collect_workspace(&root, &cfg).expect("workspace walk");
+    let total_bytes: usize = files.iter().map(|f| f.src.len()).sum();
+    eprintln!(
+        "  {} files, {:.1} KB",
+        files.len(),
+        total_bytes as f64 / 1e3
+    );
+
+    let reps = 10;
+    let tier1 = Options {
+        tier2: false,
+        strict_allows: false,
+    };
+    let tier1_secs = best_of(reps, || {
+        lint_sources_opts(&files, &cfg, tier1).files_checked as f64
+    });
+    let both = Options {
+        tier2: true,
+        strict_allows: true,
+    };
+    let tier12_secs = best_of(reps, || {
+        lint_sources_opts(&files, &cfg, both).files_checked as f64
+    });
+
+    eprintln!(
+        "  tier1 {:.4}s | tier1+2 {:.4}s ({:.1}x)",
+        tier1_secs,
+        tier12_secs,
+        tier12_secs / tier1_secs
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"lint\",\n  \"host_cores\": {},\n  \"note\": \"{}\",\n  \
+         \"files\": {},\n  \"source_bytes\": {},\n  \"tier1_secs\": {:.6},\n  \
+         \"tier1_plus_tier2_secs\": {:.6},\n  \"tier2_overhead_ratio\": {:.2}\n}}\n",
+        cores,
+        "best-of-10 full-workspace runs on pre-collected sources; tier1 is the \
+         nine token rules, tier1_plus_tier2 adds parse + symbols + call graph + \
+         the four dataflow passes and the strict-allows audit",
+        files.len(),
+        total_bytes,
+        tier1_secs,
+        tier12_secs,
+        tier12_secs / tier1_secs
+    );
+    let path = root.join("BENCH_lint.json");
+    std::fs::write(&path, &json).expect("write BENCH_lint.json");
+    eprintln!("wrote {}", path.display());
+    print!("{json}");
+}

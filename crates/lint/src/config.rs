@@ -49,6 +49,22 @@ pub struct Config {
     /// kernels must scan the contiguous column slices, not walk an
     /// array of structs one row at a time.
     pub columnar_paths: Vec<String>,
+    /// Crates excluded from every tier-2 dataflow pass (this tool
+    /// itself: its fixtures and string tables would otherwise trip the
+    /// very patterns it searches for).
+    pub tier2_exempt_crates: Vec<String>,
+    /// Path prefixes whose record/encoder structs and fns count as
+    /// determinism-taint *sinks*: values persisted or published from
+    /// here must never derive from wall-clock, entropy, host topology,
+    /// or hash-iteration order.
+    pub taint_sink_paths: Vec<String>,
+    /// Additional fn names treated as determinism-taint sinks wherever
+    /// they are defined (e.g. the report printers).
+    pub taint_sink_fns: Vec<String>,
+    /// Path prefixes where non-commutative f64 reductions over unordered
+    /// (hash/channel) iteration are flagged — the analysis kernels and
+    /// the campaign merge, whose outputs are bit-identity-pinned.
+    pub float_fold_paths: Vec<String>,
 }
 
 impl Default for Config {
@@ -77,6 +93,14 @@ impl Default for Config {
             disrupt_paths: v(&["crates/core/src/disrupt"]),
             persist_paths: v(&["crates/core/src/checkpoint", "crates/experiments/src/bin"]),
             columnar_paths: v(&["crates/core/src/analysis"]),
+            tier2_exempt_crates: v(&["lint"]),
+            taint_sink_paths: v(&[
+                "crates/core/src/records.rs",
+                "crates/core/src/checkpoint.rs",
+                "crates/core/src/column",
+            ]),
+            taint_sink_fns: v(&["render_report"]),
+            float_fold_paths: v(&["crates/core/src/analysis", "crates/core/src/campaign.rs"]),
         }
     }
 }

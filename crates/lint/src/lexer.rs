@@ -34,7 +34,7 @@ pub enum TokKind {
 }
 
 /// One lexed token with its source position (1-based line and column; the
-/// column counts characters, not bytes).
+/// column counts characters, not bytes) and its byte span in the source.
 #[derive(Debug, Clone)]
 pub struct Tok {
     /// Category.
@@ -45,6 +45,10 @@ pub struct Tok {
     pub line: u32,
     /// 1-based column (characters).
     pub col: u32,
+    /// Byte offset of the token's first byte in the source.
+    pub lo: usize,
+    /// Byte offset one past the token's last byte.
+    pub hi: usize,
 }
 
 impl Tok {
@@ -91,6 +95,7 @@ pub fn lex(src: &str) -> LexedFile {
     let mut i = 0usize;
     let mut line = 1u32;
     let mut col = 1u32;
+    let mut bpos = 0usize;
 
     macro_rules! bump {
         () => {{
@@ -100,6 +105,7 @@ pub fn lex(src: &str) -> LexedFile {
             } else {
                 col += 1;
             }
+            bpos += cs[i].len_utf8();
             i += 1;
         }};
     }
@@ -107,6 +113,7 @@ pub fn lex(src: &str) -> LexedFile {
     while i < cs.len() {
         let c = cs[i];
         let (tline, tcol) = (line, col);
+        let tlo = bpos;
 
         // Line comment.
         if c == '/' && cs.get(i + 1) == Some(&'/') {
@@ -184,6 +191,8 @@ pub fn lex(src: &str) -> LexedFile {
                     text: String::new(),
                     line: tline,
                     col: tcol,
+                    lo: tlo,
+                    hi: bpos,
                 });
                 continue;
             }
@@ -214,6 +223,8 @@ pub fn lex(src: &str) -> LexedFile {
                                 text,
                                 line: tline,
                                 col: tcol,
+                                lo: tlo,
+                                hi: bpos,
                             });
                             break 'raw;
                         }
@@ -221,12 +232,14 @@ pub fn lex(src: &str) -> LexedFile {
                     bump!();
                 }
             } else {
-                let text = read_quoted(&cs, &mut i, &mut line, &mut col);
+                let text = read_quoted(&cs, &mut i, &mut line, &mut col, &mut bpos);
                 out.toks.push(Tok {
                     kind: TokKind::Str,
                     text,
                     line: tline,
                     col: tcol,
+                    lo: tlo,
+                    hi: bpos,
                 });
             }
             continue;
@@ -247,18 +260,22 @@ pub fn lex(src: &str) -> LexedFile {
                 text: cs[start..i].iter().collect(),
                 line: tline,
                 col: tcol,
+                lo: tlo,
+                hi: bpos,
             });
             continue;
         }
         // Plain string literal.
         if c == '"' {
             bump!();
-            let text = read_quoted(&cs, &mut i, &mut line, &mut col);
+            let text = read_quoted(&cs, &mut i, &mut line, &mut col, &mut bpos);
             out.toks.push(Tok {
                 kind: TokKind::Str,
                 text,
                 line: tline,
                 col: tcol,
+                lo: tlo,
+                hi: bpos,
             });
             continue;
         }
@@ -281,6 +298,8 @@ pub fn lex(src: &str) -> LexedFile {
                     text: String::new(),
                     line: tline,
                     col: tcol,
+                    lo: tlo,
+                    hi: bpos,
                 });
             } else if next.is_some_and(is_ident_start) && after != Some('\'') {
                 // Lifetime.
@@ -294,6 +313,8 @@ pub fn lex(src: &str) -> LexedFile {
                     text: cs[start..i].iter().collect(),
                     line: tline,
                     col: tcol,
+                    lo: tlo,
+                    hi: bpos,
                 });
             } else {
                 // Plain char literal 'x'.
@@ -309,6 +330,8 @@ pub fn lex(src: &str) -> LexedFile {
                     text: String::new(),
                     line: tline,
                     col: tcol,
+                    lo: tlo,
+                    hi: bpos,
                 });
             }
             continue;
@@ -324,6 +347,8 @@ pub fn lex(src: &str) -> LexedFile {
                 text: cs[start..i].iter().collect(),
                 line: tline,
                 col: tcol,
+                lo: tlo,
+                hi: bpos,
             });
             continue;
         }
@@ -356,24 +381,34 @@ pub fn lex(src: &str) -> LexedFile {
                 text: cs[start..i].iter().collect(),
                 line: tline,
                 col: tcol,
+                lo: tlo,
+                hi: bpos,
             });
             continue;
         }
         // Everything else: single punctuation character.
+        bump!();
         out.toks.push(Tok {
             kind: TokKind::Punct,
             text: c.to_string(),
             line: tline,
             col: tcol,
+            lo: tlo,
+            hi: bpos,
         });
-        bump!();
     }
     out
 }
 
 /// Read a double-quoted string body; the cursor starts just after the
 /// opening quote and is left just after the closing quote.
-fn read_quoted(cs: &[char], i: &mut usize, line: &mut u32, col: &mut u32) -> String {
+fn read_quoted(
+    cs: &[char],
+    i: &mut usize,
+    line: &mut u32,
+    col: &mut u32,
+    bpos: &mut usize,
+) -> String {
     let mut text = String::new();
     macro_rules! bump {
         () => {{
@@ -383,6 +418,7 @@ fn read_quoted(cs: &[char], i: &mut usize, line: &mut u32, col: &mut u32) -> Str
             } else {
                 *col += 1;
             }
+            *bpos += cs[*i].len_utf8();
             *i += 1;
         }};
     }
@@ -647,6 +683,30 @@ mod tests {
         let f = lex(src);
         let mask = test_mask(&f.toks);
         assert!(mask.iter().all(|m| !m));
+    }
+
+    #[test]
+    fn byte_spans_reconstruct_source() {
+        let src = "fn gré() -> &'static str {\n    \"héllo\" // ünïcode comment\n}\n";
+        let f = lex(src);
+        let mut prev_hi = 0usize;
+        for t in &f.toks {
+            assert!(
+                t.lo >= prev_hi,
+                "token spans overlap at {}:{}",
+                t.line,
+                t.col
+            );
+            assert!(t.hi <= src.len());
+            let text = &src[t.lo..t.hi];
+            match t.kind {
+                TokKind::Ident | TokKind::Num => assert_eq!(text, t.text),
+                TokKind::Str => assert!(text.starts_with('"') && text.ends_with('"')),
+                TokKind::Lifetime => assert_eq!(text, format!("'{}", t.text)),
+                _ => {}
+            }
+            prev_hi = t.hi;
+        }
     }
 
     #[test]

@@ -1,8 +1,15 @@
 //! CLI for `wheels-lint`.
 //!
 //! ```text
-//! cargo run -p wheels-lint -- --workspace [--json] [--root DIR] [--config FILE]
+//! cargo run -p wheels-lint -- --workspace [--json] [--sarif FILE]
+//!     [--tier1-only] [--strict-allows] [--root DIR] [--config FILE]
 //! ```
+//!
+//! `--tier1-only` skips the tier-2 dataflow passes (fast token-rule
+//! scan). `--strict-allows` audits suppression directives: any
+//! `// lint: allow(…)` that no longer silences a finding is itself
+//! reported as `stale-allow`. `--sarif FILE` additionally writes a
+//! SARIF 2.1.0 log to `FILE` (alongside the text or JSON on stdout).
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 
@@ -11,21 +18,29 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use wheels_lint::{lint_workspace, Config};
+use wheels_lint::{lint_workspace_opts, render_sarif, Config, Options};
 
-const USAGE: &str = "usage: wheels-lint --workspace [--json] [--root DIR] [--config FILE]";
+const USAGE: &str = "usage: wheels-lint --workspace [--json] [--sarif FILE] [--tier1-only] [--strict-allows] [--root DIR] [--config FILE]";
 
 fn main() -> ExitCode {
     let mut workspace = false;
     let mut json = false;
     let mut root = PathBuf::from(".");
     let mut config_path: Option<PathBuf> = None;
+    let mut sarif_path: Option<PathBuf> = None;
+    let mut opts = Options::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
             "--json" => json = true,
+            "--tier1-only" => opts.tier2 = false,
+            "--strict-allows" => opts.strict_allows = true,
+            "--sarif" => match args.next() {
+                Some(file) => sarif_path = Some(PathBuf::from(file)),
+                None => return usage_error("--sarif requires a file"),
+            },
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => return usage_error("--root requires a directory"),
@@ -59,8 +74,14 @@ fn main() -> ExitCode {
         },
     };
 
-    match lint_workspace(&root, &cfg) {
+    match lint_workspace_opts(&root, &cfg, opts) {
         Ok(report) => {
+            if let Some(path) = sarif_path {
+                if let Err(e) = std::fs::write(&path, render_sarif(&report)) {
+                    eprintln!("wheels-lint: cannot write SARIF {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
             if json {
                 println!("{}", report.render_json());
             } else {

@@ -2,11 +2,20 @@
 
 use serde::Serialize;
 
+/// The `--json` payload schema version. Version 1 was the unversioned
+/// layout (no `schema_version`, no per-finding `id`); version 2 added
+/// both. Bump this whenever a field is added, removed, or renamed — the
+/// golden-file test in `tests/fixtures_test.rs` pins the layout.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// One rule violation at a source position.
 #[derive(Debug, Clone, Serialize)]
 pub struct Finding {
-    /// Rule name (kebab-case).
+    /// Rule name (kebab-case, used in text output and allow directives).
     pub rule: &'static str,
+    /// Stable snake_case rule id, shared between `--json` and the SARIF
+    /// `ruleId` field.
+    pub id: &'static str,
     /// Workspace-relative file path (`/`-separated).
     pub file: String,
     /// 1-based line.
@@ -22,6 +31,8 @@ pub struct Finding {
 /// The result of a lint run.
 #[derive(Debug, Serialize)]
 pub struct Report {
+    /// JSON schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// All findings, sorted by (file, line, col, rule).
     pub findings: Vec<Finding>,
     /// Number of source files checked.
@@ -77,8 +88,10 @@ mod tests {
     #[test]
     fn text_rendering_includes_position_and_snippet() {
         let r = Report {
+            schema_version: SCHEMA_VERSION,
             findings: vec![Finding {
                 rule: "unwrap-in-lib",
+                id: "unwrap_in_lib",
                 file: "crates/x/src/lib.rs".into(),
                 line: 3,
                 col: 9,
@@ -96,10 +109,12 @@ mod tests {
     #[test]
     fn json_rendering_is_valid() {
         let r = Report {
+            schema_version: SCHEMA_VERSION,
             findings: vec![],
             files_checked: 2,
         };
         let json = r.render_json();
+        assert!(json.contains("\"schema_version\":2"));
         assert!(json.contains("\"files_checked\":2"));
         assert!(json.contains("\"findings\":[]"));
     }

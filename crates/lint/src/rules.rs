@@ -13,18 +13,109 @@ use crate::lexer::{LexedFile, Tok, TokKind};
 use crate::report::Finding;
 use crate::workspace::SourceFile;
 
-/// Rule names, in catalogue order.
-pub const RULE_NAMES: [&str; 9] = [
-    "nondeterminism",
-    "hash-iteration",
-    "rng-stream-labels",
-    "unwrap-in-lib",
-    "lossy-cast",
-    "crate-hygiene",
-    "disrupt-stream-namespace",
-    "atomic-persistence",
-    "columnar-kernel",
+/// Catalogue metadata for one rule: the kebab-case name used in
+/// diagnostics and `// lint: allow(…)` directives, the snake_case id
+/// shared by `--json` output and SARIF `ruleId` (both pinned by golden
+/// tests), and a one-line description.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleMeta {
+    /// Kebab-case rule name (allow directives, text output).
+    pub name: &'static str,
+    /// Stable snake_case id (JSON `id` field, SARIF `ruleId`).
+    pub id: &'static str,
+    /// One-line description (SARIF rule metadata).
+    pub about: &'static str,
+}
+
+/// The rule catalogue, in order: tier-1 token rules (0–8), tier-2
+/// dataflow passes (9–12), and the strict-allows audit (13).
+pub const RULES: [RuleMeta; 14] = [
+    RuleMeta {
+        name: "nondeterminism",
+        id: "nondeterminism",
+        about: "wall-clock, OS-entropy, and environment reads are forbidden in simulator crates",
+    },
+    RuleMeta {
+        name: "hash-iteration",
+        id: "hash_iteration",
+        about: "HashMap/HashSet iteration order can leak into datasets produced by these crates",
+    },
+    RuleMeta {
+        name: "rng-stream-labels",
+        id: "rng_stream_labels",
+        about: "split() label literals must follow area/rest and be unique workspace-wide",
+    },
+    RuleMeta {
+        name: "unwrap-in-lib",
+        id: "unwrap_in_lib",
+        about: "bare unwrap()/panic! in library code must become expect()/errors or be justified",
+    },
+    RuleMeta {
+        name: "lossy-cast",
+        id: "lossy_cast",
+        about: "as-casts to integer types on record/analysis paths truncate silently",
+    },
+    RuleMeta {
+        name: "crate-hygiene",
+        id: "crate_hygiene",
+        about: "crate roots carry #![forbid(unsafe_code)] and a //! doc header",
+    },
+    RuleMeta {
+        name: "disrupt-stream-namespace",
+        id: "disrupt_stream_namespace",
+        about: "disruption-subsystem RNG labels stay inside the campaign/faults/ namespace",
+    },
+    RuleMeta {
+        name: "atomic-persistence",
+        id: "atomic_persistence",
+        about: "persistence paths use temp-file + atomic rename, never in-place writes",
+    },
+    RuleMeta {
+        name: "columnar-kernel",
+        id: "columnar_kernel",
+        about: "batched analysis paths gather from column slices, not per-row struct walks",
+    },
+    RuleMeta {
+        name: "determinism-taint",
+        id: "determinism_taint",
+        about: "tier 2: nondeterministic values must not flow into record/checkpoint/report sinks",
+    },
+    RuleMeta {
+        name: "rng-stream-flow",
+        id: "rng_stream_flow",
+        about: "tier 2: RNG labels resolved through value flow obey scheme, uniqueness, namespace",
+    },
+    RuleMeta {
+        name: "persistence-ordering",
+        id: "persistence_ordering",
+        about: "tier 2: created files are fsynced before the rename that publishes them",
+    },
+    RuleMeta {
+        name: "unordered-float-reduction",
+        id: "unordered_float_reduction",
+        about: "tier 2: f64 reductions must not consume unordered (hash/channel) iteration",
+    },
+    RuleMeta {
+        name: "stale-allow",
+        id: "stale_allow",
+        about: "strict-allows audit: allow directives that no longer suppress any finding",
+    },
 ];
+
+/// The stable snake_case id for a rule name. Panics on an unknown name —
+/// rules and passes only ever emit names from [`RULES`].
+pub fn rule_id(name: &str) -> &'static str {
+    RULES
+        .iter()
+        .find(|r| r.name == name)
+        .map(|r| r.id)
+        .expect("every emitted rule name is in the catalogue")
+}
+
+/// Is `name` a known rule name?
+pub fn known_rule(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name)
+}
 
 /// Integer cast targets the lossy-cast rule watches.
 const INT_TYPES: [&str; 12] = [
@@ -45,8 +136,6 @@ pub struct LabelSite {
     pub line: u32,
     /// Position.
     pub col: u32,
-    /// Whether the site carries an allow directive for the rule.
-    pub allowed: bool,
     /// Offending source line.
     pub snippet: String,
 }
@@ -57,9 +146,20 @@ pub struct LabelRegistry {
     sites: BTreeMap<String, Vec<LabelSite>>,
 }
 
+impl LabelRegistry {
+    /// The collected sites, keyed by label literal (tier 2 consults this
+    /// for cross-tier uniqueness of resolved labels).
+    pub fn labels(&self) -> &BTreeMap<String, Vec<LabelSite>> {
+        &self.sites
+    }
+}
+
 /// True if a finding of `rule` at `line` is suppressed by an allow
-/// directive (on the same line or the line above) with a non-empty reason.
-fn allowed(lexed: &LexedFile, rule: &str, line: u32) -> bool {
+/// directive (on the same line or the line above) with a non-empty
+/// reason. Rules emit *raw* findings; the driver applies this filter
+/// uniformly afterwards (which is what makes the `--strict-allows`
+/// audit possible — it diffs the raw findings against the directives).
+pub(crate) fn allowed(lexed: &LexedFile, rule: &str, line: u32) -> bool {
     [line.saturating_sub(1), line].iter().any(|l| {
         lexed.allows.get(l).is_some_and(|v| {
             v.iter()
@@ -85,6 +185,7 @@ fn finding(
 ) -> Finding {
     Finding {
         rule,
+        id: rule_id(rule),
         file: file.rel_path.clone(),
         line: tok.line,
         col: tok.col,
@@ -120,9 +221,9 @@ pub fn nondeterminism(
     if file.is_bin || !cfg.nondet_crates.contains(&file.crate_name) {
         return;
     }
-    const RULE: &str = RULE_NAMES[0];
+    const RULE: &str = RULES[0].name;
     for (k, t) in lexed.toks.iter().enumerate() {
-        if mask[k] || allowed(lexed, RULE, t.line) {
+        if mask[k] {
             continue;
         }
         let Some(id) = t.ident() else { continue };
@@ -157,9 +258,9 @@ pub fn hash_iteration(
     if !cfg.dataset_crates.contains(&file.crate_name) {
         return;
     }
-    const RULE: &str = RULE_NAMES[1];
+    const RULE: &str = RULES[1].name;
     for (k, t) in lexed.toks.iter().enumerate() {
-        if mask[k] || allowed(lexed, RULE, t.line) {
+        if mask[k] {
             continue;
         }
         if let Some(id @ ("HashMap" | "HashSet")) = t.ident() {
@@ -195,7 +296,6 @@ pub fn collect_labels(
     if cfg.label_exempt_crates.contains(&file.crate_name) {
         return;
     }
-    const RULE: &str = RULE_NAMES[2];
     let toks = &lexed.toks;
     for k in 0..toks.len() {
         if mask[k] {
@@ -232,7 +332,6 @@ pub fn collect_labels(
                 file: file.rel_path.clone(),
                 line: lit.line,
                 col: lit.col,
-                allowed: allowed(lexed, RULE, lit.line),
                 snippet: snippet(lexed, lit.line),
             });
     }
@@ -257,15 +356,13 @@ fn label_well_formed(label: &str) -> bool {
 /// unique across the workspace; two sites reusing one literal silently
 /// correlate their streams when handed the same parent generator.
 pub fn label_findings(reg: &LabelRegistry, out: &mut Vec<Finding>) {
-    const RULE: &str = RULE_NAMES[2];
+    const RULE: &str = RULES[2].name;
     for (label, sites) in &reg.sites {
         for (idx, site) in sites.iter().enumerate() {
-            if site.allowed {
-                continue;
-            }
             if !label_well_formed(label) {
                 out.push(Finding {
                     rule: RULE,
+                    id: rule_id(RULE),
                     file: site.file.clone(),
                     line: site.line,
                     col: site.col,
@@ -279,6 +376,7 @@ pub fn label_findings(reg: &LabelRegistry, out: &mut Vec<Finding>) {
                 let first = &sites[0];
                 out.push(Finding {
                     rule: RULE,
+                    id: rule_id(RULE),
                     file: site.file.clone(),
                     line: site.line,
                     col: site.col,
@@ -306,10 +404,10 @@ pub fn unwrap_in_lib(
     if file.is_bin || cfg.unwrap_exempt_crates.contains(&file.crate_name) {
         return;
     }
-    const RULE: &str = RULE_NAMES[3];
+    const RULE: &str = RULES[3].name;
     let toks = &lexed.toks;
     for k in 0..toks.len() {
-        if mask[k] || allowed(lexed, RULE, toks[k].line) {
+        if mask[k] {
             continue;
         }
         let Some(id) = toks[k].ident() else { continue };
@@ -356,10 +454,10 @@ pub fn lossy_cast(
     {
         return;
     }
-    const RULE: &str = RULE_NAMES[4];
+    const RULE: &str = RULES[4].name;
     let toks = &lexed.toks;
     for k in 0..toks.len() {
-        if mask[k] || allowed(lexed, RULE, toks[k].line) {
+        if mask[k] {
             continue;
         }
         if toks[k].ident() != Some("as") {
@@ -432,10 +530,7 @@ pub fn crate_hygiene(
     if !file.is_crate_root {
         return;
     }
-    const RULE: &str = RULE_NAMES[5];
-    if allowed(lexed, RULE, 1) {
-        return;
-    }
+    const RULE: &str = RULES[5].name;
     let toks = &lexed.toks;
     let has_forbid = (0..toks.len()).any(|k| {
         toks[k].ident() == Some("forbid")
@@ -449,6 +544,8 @@ pub fn crate_hygiene(
         text: String::new(),
         line: 1,
         col: 1,
+        lo: 0,
+        hi: 0,
     };
     if !has_forbid {
         out.push(finding(
@@ -490,7 +587,7 @@ pub fn disrupt_stream_namespace(
     {
         return;
     }
-    const RULE: &str = RULE_NAMES[6];
+    const RULE: &str = RULES[6].name;
     const NAMESPACE: &str = "campaign/faults/";
     let toks = &lexed.toks;
     for k in 0..toks.len() {
@@ -520,7 +617,7 @@ pub fn disrupt_stream_namespace(
             _ => None,
         };
         let Some(lit) = lit else { continue };
-        if lit.text.starts_with(NAMESPACE) || allowed(lexed, RULE, lit.line) {
+        if lit.text.starts_with(NAMESPACE) {
             continue;
         }
         out.push(finding(
@@ -558,10 +655,10 @@ pub fn atomic_persistence(
     {
         return;
     }
-    const RULE: &str = RULE_NAMES[7];
+    const RULE: &str = RULES[7].name;
     let toks = &lexed.toks;
     for k in 0..toks.len() {
-        if mask[k] || allowed(lexed, RULE, toks[k].line) {
+        if mask[k] {
             continue;
         }
         if !toks.get(k + 1).is_some_and(|t| t.is_punct('(')) {
@@ -625,10 +722,10 @@ pub fn columnar_kernel(
     {
         return;
     }
-    const RULE: &str = RULE_NAMES[8];
+    const RULE: &str = RULES[8].name;
     let toks = &lexed.toks;
     for k in 0..toks.len() {
-        if mask[k] || allowed(lexed, RULE, toks[k].line) {
+        if mask[k] {
             continue;
         }
         // `.iter().map(|s| s.field)` — row-at-a-time field projection.

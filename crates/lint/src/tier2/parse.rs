@@ -1,0 +1,821 @@
+//! Tier-2 recursive-descent item parser.
+//!
+//! Parses the flat token stream of one file into a tree of *items* — fns,
+//! inline modules, impl blocks, type definitions, consts, uses, macro
+//! invocations — each carrying its exact token range and byte span. This
+//! is deliberately not a full Rust grammar: expression structure stays a
+//! token soup (the dataflow passes pattern-match inside body ranges), but
+//! item boundaries, fn signatures (name, impl owner, parameter names,
+//! return-type tokens, body range) and nesting are recovered exactly.
+//!
+//! Totality is a hard requirement — the parse-all smoke test feeds every
+//! `.rs` file in the workspace through here and asserts (a) zero
+//! diagnostics, (b) the top-level items tile the token stream with no gap
+//! or overlap, and (c) each item's byte span reproduces its exact source
+//! text. Anything unrecognized is consumed into an [`ItemKind::Other`]
+//! item *and* recorded as a diagnostic, so breakage is loud, not silent.
+
+use crate::lexer::{Tok, TokKind};
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn` (free, impl-associated, or trait-provided).
+    Fn,
+    /// Inline or out-of-line `mod`.
+    Mod,
+    /// `impl` block (children are its associated items).
+    Impl,
+    /// `struct` / `union` definition.
+    Struct,
+    /// `enum` definition.
+    Enum,
+    /// `trait` definition (children are its items).
+    Trait,
+    /// `use` declaration or `extern crate`.
+    Use,
+    /// `const` / `static` item.
+    Const,
+    /// `type` alias or associated type.
+    TypeAlias,
+    /// `extern "…" { … }` foreign block.
+    ExternBlock,
+    /// `macro_rules!` definition.
+    MacroDef,
+    /// Item-position macro invocation (`thread_local! { … }`).
+    MacroCall,
+    /// Inner attribute, stray semicolon, or recovered-from construct.
+    Other,
+}
+
+/// A parsed fn signature.
+#[derive(Debug, Clone)]
+pub struct FnSig {
+    /// Parameter names in declaration order; `self` for receivers, `_`
+    /// for wildcard or destructuring patterns.
+    pub params: Vec<String>,
+    /// Return-type tokens (joined text), empty for `()`.
+    pub ret: String,
+    /// Token range of the body *contents* (inside the braces), if the fn
+    /// has a body.
+    pub body: Option<(usize, usize)>,
+}
+
+/// One parsed item.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Kind.
+    pub kind: ItemKind,
+    /// Item name (`fn`/`mod`/type name; impl self-type's last path
+    /// segment; empty when nameless).
+    pub name: String,
+    /// Half-open token range covering the whole item, attributes
+    /// included.
+    pub toks: (usize, usize),
+    /// Position of the name token (or first token).
+    pub line: u32,
+    /// Position of the name token (or first token).
+    pub col: u32,
+    /// Signature, for [`ItemKind::Fn`].
+    pub sig: Option<FnSig>,
+    /// Nested items, for `mod` / `impl` / `trait` bodies.
+    pub children: Vec<Item>,
+}
+
+impl Item {
+    /// Byte span of the item in the source (first token's `lo` to last
+    /// token's `hi`).
+    pub fn byte_span(&self, toks: &[Tok]) -> (usize, usize) {
+        (toks[self.toks.0].lo, toks[self.toks.1 - 1].hi)
+    }
+}
+
+/// A place the parser had to recover.
+#[derive(Debug, Clone)]
+pub struct ParseDiag {
+    /// Position.
+    pub line: u32,
+    /// Position.
+    pub col: u32,
+    /// What was unexpected.
+    pub message: String,
+}
+
+/// A fully parsed file.
+#[derive(Debug, Default)]
+pub struct FileAst {
+    /// Top-level items, in source order, tiling the token stream.
+    pub items: Vec<Item>,
+    /// Recovery diagnostics; empty on every file the parser fully
+    /// understands (asserted workspace-wide by the parse-all test).
+    pub diags: Vec<ParseDiag>,
+}
+
+/// Parse one lexed file's token stream.
+pub fn parse(toks: &[Tok]) -> FileAst {
+    let mut p = Parser {
+        t: toks,
+        diags: Vec::new(),
+    };
+    let items = p.items(0, toks.len());
+    FileAst {
+        items,
+        diags: p.diags,
+    }
+}
+
+struct Parser<'a> {
+    t: &'a [Tok],
+    diags: Vec<ParseDiag>,
+}
+
+/// Keywords that can begin an item after visibility/modifiers.
+const ITEM_KEYWORDS: [&str; 13] = [
+    "fn",
+    "mod",
+    "impl",
+    "struct",
+    "union",
+    "enum",
+    "trait",
+    "use",
+    "const",
+    "static",
+    "type",
+    "extern",
+    "macro_rules",
+];
+
+impl<'a> Parser<'a> {
+    fn ident_at(&self, i: usize) -> Option<&str> {
+        self.t.get(i).and_then(|t| t.ident())
+    }
+
+    fn punct_at(&self, i: usize, c: char) -> bool {
+        self.t.get(i).is_some_and(|t| t.is_punct(c))
+    }
+
+    /// Parse items in `[lo, hi)`; the returned items tile the range.
+    fn items(&mut self, lo: usize, hi: usize) -> Vec<Item> {
+        let mut out = Vec::new();
+        let mut i = lo;
+        while i < hi {
+            let item = self.item(i, hi);
+            debug_assert!(item.toks.1 > i, "parser must make progress");
+            i = item.toks.1;
+            out.push(item);
+        }
+        out
+    }
+
+    /// Parse one item starting at `i` (bounded by `hi`).
+    fn item(&mut self, i: usize, hi: usize) -> Item {
+        let start = i;
+        let mut i = i;
+
+        // Stray semicolon at item position.
+        if self.punct_at(i, ';') {
+            return self.mk(ItemKind::Other, String::new(), start, i + 1, None, vec![]);
+        }
+        // Inner attribute `#![…]` — belongs to the enclosing module, not
+        // the next item.
+        if self.punct_at(i, '#') && self.punct_at(i + 1, '!') && self.punct_at(i + 2, '[') {
+            let end = self.balanced(i + 2, hi, '[', ']');
+            return self.mk(ItemKind::Other, String::new(), start, end, None, vec![]);
+        }
+        // Outer attributes attach to the item they precede.
+        while self.punct_at(i, '#') && self.punct_at(i + 1, '[') {
+            i = self.balanced(i + 1, hi, '[', ']');
+        }
+        // Visibility and modifiers.
+        loop {
+            match self.ident_at(i) {
+                Some("pub") => {
+                    i += 1;
+                    if self.punct_at(i, '(') {
+                        i = self.balanced(i, hi, '(', ')');
+                    }
+                }
+                Some("default") if self.is_modifier_here(i) => i += 1,
+                Some("async") | Some("unsafe") => i += 1,
+                Some("const") if self.ident_at(i + 1) == Some("fn") => i += 1,
+                Some("extern")
+                    if self.t.get(i + 1).is_some_and(|t| t.kind == TokKind::Str)
+                        && self.ident_at(i + 2) == Some("fn") =>
+                {
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+
+        match self.ident_at(i) {
+            Some("fn") => self.fn_item(start, i, hi),
+            Some("mod") => {
+                let name = self.ident_at(i + 1).unwrap_or_default().to_string();
+                let mut j = i + 2;
+                if self.punct_at(j, ';') {
+                    return self.mk(ItemKind::Mod, name, start, j + 1, None, vec![]);
+                }
+                if self.punct_at(j, '{') {
+                    let end = self.balanced(j, hi, '{', '}');
+                    let children = self.items(j + 1, end - 1);
+                    return self.mk(ItemKind::Mod, name, start, end, None, children);
+                }
+                j = self.recover(j, hi, "mod body");
+                self.mk(ItemKind::Mod, name, start, j, None, vec![])
+            }
+            Some("impl") => {
+                let mut j = i + 1;
+                if self.punct_at(j, '<') {
+                    j = self.angles(j, hi);
+                }
+                // Self type: tokens up to the body `{` (or a terminating
+                // `;` — never valid, but recover); `for` switches to the
+                // implemented-for type.
+                let mut type_start = j;
+                let mut body_open = None;
+                while j < hi {
+                    if self.punct_at(j, '{') {
+                        body_open = Some(j);
+                        break;
+                    }
+                    if self.punct_at(j, ';') {
+                        break;
+                    }
+                    // Skip balanced groups whole: a `;` inside
+                    // `From<&[T; N]>` or a `{` inside `Fn() -> { … }`
+                    // bounds must not end the header scan.
+                    if self.punct_at(j, '<') {
+                        j = self.angles(j, hi);
+                        continue;
+                    }
+                    if self.punct_at(j, '(') {
+                        j = self.balanced(j, hi, '(', ')');
+                        continue;
+                    }
+                    if self.punct_at(j, '[') {
+                        j = self.balanced(j, hi, '[', ']');
+                        continue;
+                    }
+                    if self.ident_at(j) == Some("for") {
+                        type_start = j + 1;
+                    }
+                    j += 1;
+                }
+                let name = self.type_name(type_start, body_open.unwrap_or(j));
+                match body_open {
+                    Some(open) => {
+                        let end = self.balanced(open, hi, '{', '}');
+                        let children = self.items(open + 1, end - 1);
+                        self.mk(ItemKind::Impl, name, start, end, None, children)
+                    }
+                    None => self.mk(ItemKind::Impl, name, start, (j + 1).min(hi), None, vec![]),
+                }
+            }
+            Some(kw @ ("struct" | "union" | "enum" | "trait")) => {
+                let kind = match kw {
+                    "struct" | "union" => ItemKind::Struct,
+                    "enum" => ItemKind::Enum,
+                    _ => ItemKind::Trait,
+                };
+                let name = self.ident_at(i + 1).unwrap_or_default().to_string();
+                let end = self.skip_to_item_end(i + 2, hi);
+                if kind == ItemKind::Trait {
+                    // Trait bodies hold provided methods worth indexing.
+                    if let Some(open) = (i + 2..end).find(|&k| self.punct_at(k, '{')) {
+                        let close = self.balanced(open, hi, '{', '}');
+                        let children = self.items(open + 1, close - 1);
+                        return self.mk(kind, name, start, end.max(close), None, children);
+                    }
+                }
+                self.mk(kind, name, start, end, None, vec![])
+            }
+            Some("use") => {
+                let end = self.skip_to_semi(i + 1, hi);
+                self.mk(ItemKind::Use, String::new(), start, end, None, vec![])
+            }
+            Some("const") | Some("static") => {
+                // `const NAME: T = …;` (the `const fn` case was consumed
+                // as a modifier above).
+                let name = self.ident_at(i + 1).unwrap_or_default().to_string();
+                let end = self.skip_to_semi(i + 1, hi);
+                self.mk(ItemKind::Const, name, start, end, None, vec![])
+            }
+            Some("type") => {
+                let name = self.ident_at(i + 1).unwrap_or_default().to_string();
+                let end = self.skip_to_semi(i + 1, hi);
+                self.mk(ItemKind::TypeAlias, name, start, end, None, vec![])
+            }
+            Some("extern") => {
+                // `extern crate …;` or a foreign block `extern "C" { … }`.
+                if self.ident_at(i + 1) == Some("crate") {
+                    let end = self.skip_to_semi(i + 1, hi);
+                    return self.mk(ItemKind::Use, String::new(), start, end, None, vec![]);
+                }
+                let mut j = i + 1;
+                if self.t.get(j).is_some_and(|t| t.kind == TokKind::Str) {
+                    j += 1;
+                }
+                if self.punct_at(j, '{') {
+                    let end = self.balanced(j, hi, '{', '}');
+                    return self.mk(
+                        ItemKind::ExternBlock,
+                        String::new(),
+                        start,
+                        end,
+                        None,
+                        vec![],
+                    );
+                }
+                let end = self.recover(j, hi, "extern item");
+                self.mk(ItemKind::Other, String::new(), start, end, None, vec![])
+            }
+            Some("macro_rules") if self.punct_at(i + 1, '!') => {
+                let name = self.ident_at(i + 2).unwrap_or_default().to_string();
+                let end = self.macro_body(i + 3, hi);
+                self.mk(ItemKind::MacroDef, name, start, end, None, vec![])
+            }
+            Some(name) if self.punct_at(i + 1, '!') => {
+                // Item-position macro invocation.
+                let name = name.to_string();
+                let end = self.macro_body(i + 2, hi);
+                self.mk(ItemKind::MacroCall, name, start, end, None, vec![])
+            }
+            _ => {
+                let end = self.recover(i, hi, "item");
+                self.mk(ItemKind::Other, String::new(), start, end, None, vec![])
+            }
+        }
+    }
+
+    /// Parse a fn item whose `fn` keyword sits at `i`; `start` includes
+    /// attributes/modifiers already consumed.
+    fn fn_item(&mut self, start: usize, i: usize, hi: usize) -> Item {
+        let name = self.ident_at(i + 1).unwrap_or_default().to_string();
+        let mut j = i + 2;
+        if self.punct_at(j, '<') {
+            j = self.angles(j, hi);
+        }
+        let mut params = Vec::new();
+        if self.punct_at(j, '(') {
+            let close = self.balanced(j, hi, '(', ')');
+            params = self.param_names(j + 1, close - 1);
+            j = close;
+        } else {
+            self.diag(j.min(hi.saturating_sub(1)), "fn without parameter list");
+        }
+        // Return type: `-> …` up to `where`, `{`, or `;` at depth 0.
+        let mut ret = String::new();
+        if self.punct_at(j, '-') && self.punct_at(j + 1, '>') {
+            j += 2;
+            let ret_start = j;
+            let mut depth = 0i32;
+            while j < hi {
+                let t = &self.t[j];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if depth == 0
+                    && (t.is_punct('{') || t.is_punct(';') || t.ident() == Some("where"))
+                {
+                    break;
+                }
+                j += 1;
+            }
+            ret = self.t[ret_start..j]
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+        }
+        // Where clause: up to `{` or `;` at depth 0.
+        let mut depth = 0i32;
+        while j < hi {
+            let t = &self.t[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && (t.is_punct('{') || t.is_punct(';')) {
+                break;
+            }
+            j += 1;
+        }
+        if self.punct_at(j, ';') {
+            let sig = FnSig {
+                params,
+                ret,
+                body: None,
+            };
+            return self.mk(ItemKind::Fn, name, start, j + 1, Some(sig), vec![]);
+        }
+        if self.punct_at(j, '{') {
+            let end = self.balanced(j, hi, '{', '}');
+            let sig = FnSig {
+                params,
+                ret,
+                body: Some((j + 1, end - 1)),
+            };
+            return self.mk(ItemKind::Fn, name, start, end, Some(sig), vec![]);
+        }
+        let end = self.recover(j, hi, "fn body");
+        self.mk(
+            ItemKind::Fn,
+            name,
+            start,
+            end,
+            Some(FnSig {
+                params,
+                ret,
+                body: None,
+            }),
+            vec![],
+        )
+    }
+
+    /// Extract parameter names from the token range between the parens.
+    fn param_names(&self, lo: usize, hi: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut part_start = lo;
+        let mut depth = 0i32;
+        let mut angle = 0i32;
+        let mut k = lo;
+        while k <= hi {
+            let at_end = k == hi;
+            let t = (!at_end).then(|| &self.t[k]);
+            let is_top_comma =
+                !at_end && t.is_some_and(|t| t.is_punct(',')) && depth == 0 && angle <= 0;
+            if at_end || is_top_comma {
+                if part_start < k {
+                    out.push(self.one_param(part_start, k));
+                }
+                part_start = k + 1;
+                if at_end {
+                    break;
+                }
+                k += 1;
+                continue;
+            }
+            let t = t.expect("bounds checked above");
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') && !(k > lo && self.punct_at(k - 1, '-')) {
+                angle -= 1;
+            }
+            k += 1;
+        }
+        out
+    }
+
+    /// The binding name of one parameter's token range.
+    fn one_param(&self, lo: usize, hi: usize) -> String {
+        let mut k = lo;
+        // Skip `&`, lifetimes, and `mut` to find the pattern head.
+        while k < hi {
+            let t = &self.t[k];
+            if t.is_punct('&') || t.kind == TokKind::Lifetime || t.ident() == Some("mut") {
+                k += 1;
+            } else {
+                break;
+            }
+        }
+        match self.ident_at(k) {
+            Some("self") => "self".to_string(),
+            Some(name)
+                if self.punct_at(k + 1, ':')
+                    || (k + 1 >= hi && name != "_")
+                    || self.punct_at(k + 1, ',') =>
+            {
+                name.to_string()
+            }
+            _ => "_".to_string(),
+        }
+    }
+
+    /// The last path-segment identifier of a type token range (the name
+    /// an impl block is indexed under).
+    fn type_name(&self, lo: usize, hi: usize) -> String {
+        let mut angle = 0i32;
+        let mut name = String::new();
+        let mut k = lo;
+        while k < hi {
+            let t = &self.t[k];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') && !(k > lo && self.punct_at(k - 1, '-')) {
+                angle -= 1;
+            } else if angle == 0 && t.ident() == Some("where") {
+                break;
+            } else if angle == 0 {
+                if let Some(id) = t.ident() {
+                    if id != "dyn" && id != "mut" {
+                        name = id.to_string();
+                    }
+                }
+            }
+            k += 1;
+        }
+        name
+    }
+
+    /// Token index one past the matching closer for the opener at `open`.
+    fn balanced(&mut self, open: usize, hi: usize, o: char, c: char) -> usize {
+        let mut depth = 0i32;
+        let mut k = open;
+        while k < hi {
+            if self.t[k].is_punct(o) {
+                depth += 1;
+            } else if self.t[k].is_punct(c) {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            k += 1;
+        }
+        self.diag(open.min(hi.saturating_sub(1)), "unclosed delimiter");
+        hi
+    }
+
+    /// One past a balanced `<…>` group at `open`, ignoring the `>` of
+    /// `->` arrows inside.
+    fn angles(&mut self, open: usize, hi: usize) -> usize {
+        let mut depth = 0i32;
+        let mut k = open;
+        while k < hi {
+            let t = &self.t[k];
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') && !(k > open && self.punct_at(k - 1, '-')) {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            } else if t.is_punct('(') || t.is_punct('[') {
+                // Balanced sub-groups (fn-pointer params in bounds).
+                k = self.balanced(k, hi, if t.is_punct('(') { '(' } else { '[' }, {
+                    if self.t[k].is_punct('(') {
+                        ')'
+                    } else {
+                        ']'
+                    }
+                });
+                continue;
+            }
+            k += 1;
+        }
+        self.diag(open.min(hi.saturating_sub(1)), "unclosed angle brackets");
+        hi
+    }
+
+    /// One past the `;` ending a declaration-style item (braced groups
+    /// along the way are consumed balanced, so `= { … };` works).
+    fn skip_to_semi(&mut self, from: usize, hi: usize) -> usize {
+        let mut depth = 0i32;
+        let mut k = from;
+        while k < hi {
+            let t = &self.t[k];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if t.is_punct(';') && depth == 0 {
+                return k + 1;
+            }
+            k += 1;
+        }
+        self.diag(from.min(hi.saturating_sub(1)), "missing `;`");
+        hi
+    }
+
+    /// One past the end of a definition-style item: the first `;` at
+    /// depth 0, or the close of the first brace group at depth 0
+    /// (whichever comes first) — `struct S;`, `struct S(T);`,
+    /// `enum E { … }`.
+    fn skip_to_item_end(&mut self, from: usize, hi: usize) -> usize {
+        let mut depth = 0i32;
+        let mut k = from;
+        while k < hi {
+            let t = &self.t[k];
+            if t.is_punct('{') && depth == 0 {
+                return self.balanced(k, hi, '{', '}');
+            }
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if t.is_punct(';') && depth == 0 {
+                return k + 1;
+            }
+            k += 1;
+        }
+        self.diag(from.min(hi.saturating_sub(1)), "unterminated definition");
+        hi
+    }
+
+    /// Consume a macro body: a balanced delimiter group, plus the
+    /// trailing `;` for `(…)` / `[…]` invocations.
+    fn macro_body(&mut self, from: usize, hi: usize) -> usize {
+        match self.t.get(from) {
+            Some(t) if t.is_punct('{') => self.balanced(from, hi, '{', '}'),
+            Some(t) if t.is_punct('(') => {
+                let end = self.balanced(from, hi, '(', ')');
+                if self.punct_at(end, ';') {
+                    end + 1
+                } else {
+                    end
+                }
+            }
+            Some(t) if t.is_punct('[') => {
+                let end = self.balanced(from, hi, '[', ']');
+                if self.punct_at(end, ';') {
+                    end + 1
+                } else {
+                    end
+                }
+            }
+            _ => {
+                self.diag(from.min(hi.saturating_sub(1)), "macro without body");
+                self.recover(from, hi, "macro body")
+            }
+        }
+    }
+
+    /// `default` is a modifier only when an item keyword follows.
+    fn is_modifier_here(&self, i: usize) -> bool {
+        self.ident_at(i + 1)
+            .is_some_and(|id| ITEM_KEYWORDS.contains(&id))
+    }
+
+    /// Error recovery: record a diagnostic and consume to the next `;` at
+    /// depth 0 or through the first balanced brace group.
+    fn recover(&mut self, from: usize, hi: usize, what: &str) -> usize {
+        self.diag(from.min(hi.saturating_sub(1)), what);
+        let end = self.skip_to_item_end(from, hi);
+        end.max(from + 1).min(hi)
+    }
+
+    fn diag(&mut self, at: usize, what: &str) {
+        let (line, col) = self.t.get(at).map(|t| (t.line, t.col)).unwrap_or((1, 1));
+        self.diags.push(ParseDiag {
+            line,
+            col,
+            message: format!("unexpected tokens while parsing {what}"),
+        });
+    }
+
+    fn mk(
+        &self,
+        kind: ItemKind,
+        name: String,
+        start: usize,
+        end: usize,
+        sig: Option<FnSig>,
+        children: Vec<Item>,
+    ) -> Item {
+        let name_tok = self.t[start..end]
+            .iter()
+            .find(|t| t.ident() == Some(name.as_str()))
+            .or_else(|| self.t.get(start));
+        let (line, col) = name_tok.map(|t| (t.line, t.col)).unwrap_or((1, 1));
+        Item {
+            kind,
+            name,
+            toks: (start, end.max(start + 1)),
+            line,
+            col,
+            sig,
+            children,
+        }
+    }
+}
+
+/// Walk an item tree depth-first, visiting every item.
+pub fn walk<'a>(items: &'a [Item], f: &mut impl FnMut(&'a Item, Option<&'a Item>)) {
+    fn inner<'a>(
+        items: &'a [Item],
+        parent: Option<&'a Item>,
+        f: &mut impl FnMut(&'a Item, Option<&'a Item>),
+    ) {
+        for it in items {
+            f(it, parent);
+            inner(&it.children, Some(it), f);
+        }
+    }
+    inner(items, None, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> FileAst {
+        parse(&lex(src).toks)
+    }
+
+    #[test]
+    fn items_tile_the_stream() {
+        let src = "use std::fmt;\n\npub struct S { x: u8 }\n\nimpl S {\n    pub fn get(&self) -> u8 { self.x }\n}\n\nfn free(a: u64, mut b: f64) -> f64 { b += a as f64; b }\n";
+        let lexed = lex(src);
+        let ast = parse(&lexed.toks);
+        assert!(ast.diags.is_empty(), "{:?}", ast.diags);
+        let mut pos = 0usize;
+        for it in &ast.items {
+            assert_eq!(it.toks.0, pos, "gap before {:?}", it.kind);
+            pos = it.toks.1;
+        }
+        assert_eq!(pos, lexed.toks.len());
+        let kinds: Vec<ItemKind> = ast.items.iter().map(|i| i.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ItemKind::Use,
+                ItemKind::Struct,
+                ItemKind::Impl,
+                ItemKind::Fn
+            ]
+        );
+    }
+
+    #[test]
+    fn fn_signatures_recovered() {
+        let ast = parse_src(
+            "impl Journal {\n    fn append(&mut self, frame: &[u8], n: usize) -> io::Result<()> { Ok(()) }\n}\n",
+        );
+        let imp = &ast.items[0];
+        assert_eq!(imp.kind, ItemKind::Impl);
+        assert_eq!(imp.name, "Journal");
+        let f = &imp.children[0];
+        assert_eq!(f.name, "append");
+        let sig = f.sig.as_ref().expect("fn has sig");
+        assert_eq!(sig.params, vec!["self", "frame", "n"]);
+        assert!(sig.ret.contains("Result"));
+        assert!(sig.body.is_some());
+    }
+
+    #[test]
+    fn impl_for_takes_the_implemented_type() {
+        let ast = parse_src("impl fmt::Display for Fingerprint { }\n");
+        assert_eq!(ast.items[0].name, "Fingerprint");
+    }
+
+    #[test]
+    fn generics_and_wheres_do_not_confuse_boundaries() {
+        let ast = parse_src(
+            "fn gather<T: Copy, F: Fn(&T) -> f64>(xs: &[T], f: F) -> Vec<f64>\nwhere\n    T: Send,\n{\n    xs.iter().map(f).collect()\n}\n",
+        );
+        assert!(ast.diags.is_empty(), "{:?}", ast.diags);
+        assert_eq!(ast.items.len(), 1);
+        assert_eq!(ast.items[0].name, "gather");
+        assert_eq!(
+            ast.items[0].sig.as_ref().expect("sig").params,
+            vec!["xs", "f"]
+        );
+    }
+
+    #[test]
+    fn const_with_block_initializer_ends_at_semi() {
+        let ast = parse_src("const X: usize = { 1 + 2 };\nfn after() {}\n");
+        assert!(ast.diags.is_empty(), "{:?}", ast.diags);
+        assert_eq!(ast.items.len(), 2);
+        assert_eq!(ast.items[0].kind, ItemKind::Const);
+        assert_eq!(ast.items[1].name, "after");
+    }
+
+    #[test]
+    fn nested_mods_recurse() {
+        let ast = parse_src("mod outer {\n    mod inner {\n        fn leaf() {}\n    }\n}\n");
+        let outer = &ast.items[0];
+        let inner = &outer.children[0];
+        assert_eq!(inner.children[0].name, "leaf");
+    }
+
+    #[test]
+    fn macro_invocations_at_item_position() {
+        let ast = parse_src("thread_local! {\n    static T: u8 = 0;\n}\nmacro_rules! m { () => {}; }\nfn tail() {}\n");
+        assert!(ast.diags.is_empty(), "{:?}", ast.diags);
+        let kinds: Vec<ItemKind> = ast.items.iter().map(|i| i.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![ItemKind::MacroCall, ItemKind::MacroDef, ItemKind::Fn]
+        );
+    }
+
+    #[test]
+    fn byte_spans_reproduce_source() {
+        let src = "fn a() { let s = \"x\"; }\n\npub fn b(v: u8) -> u8 { v }\n";
+        let lexed = lex(src);
+        let ast = parse(&lexed.toks);
+        let (lo, hi) = ast.items[0].byte_span(&lexed.toks);
+        assert_eq!(&src[lo..hi], "fn a() { let s = \"x\"; }");
+        let (lo, hi) = ast.items[1].byte_span(&lexed.toks);
+        assert_eq!(&src[lo..hi], "pub fn b(v: u8) -> u8 { v }");
+    }
+}

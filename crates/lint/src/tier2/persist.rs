@@ -1,0 +1,118 @@
+//! Pass: `persistence-ordering`.
+//!
+//! Tier 1's `atomic-persistence` rule flags `fs::write` and
+//! `File::create` with *no* rename at all on persistence paths. This
+//! pass takes the complementary, path-sensitive half: when a created
+//! file *is* later renamed into place, the bytes must be fsynced before
+//! the rename — `create → write… → sync_all/sync_data → rename` — or a
+//! crash after the rename can publish a destination whose contents never
+//! reached the disk. The fsync may be transitive: a call between the
+//! create and the rename to a fn that (transitively) fsyncs counts,
+//! computed as a call-graph fixpoint.
+//!
+//! Scope: fns defined in files under `persist_paths`. The create and the
+//! rename are matched within one fn body (the `write_atomic` idiom this
+//! workspace standardizes on); cross-fn create/rename splits are out of
+//! scope by design and land in tier 1.
+
+use crate::config::Config;
+use crate::lexer::Tok;
+use crate::report::Finding;
+use crate::tier2::{in_paths, sites_in, Tier2};
+
+/// Run the pass.
+pub fn run(t2: &Tier2, cfg: &Config, out: &mut Vec<Finding>) {
+    // Which fns fsync, directly or through a callee (fixpoint).
+    let mut syncs = vec![false; t2.sym.fns.len()];
+    for (i, def) in t2.sym.fns.iter().enumerate() {
+        if let Some((lo, hi)) = def.body {
+            let toks = &t2.lexed[def.file].toks;
+            let mask = &t2.masks[def.file];
+            syncs[i] = (lo..hi).any(|k| !mask[k] && is_sync_call(toks, k));
+        }
+    }
+    loop {
+        let mut changed = false;
+        for i in 0..t2.sym.fns.len() {
+            if syncs[i] {
+                continue;
+            }
+            if t2.graph[i]
+                .iter()
+                .any(|s| s.resolved.iter().any(|&r| syncs[r]))
+            {
+                syncs[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for (fidx, def) in t2.sym.fns.iter().enumerate() {
+        let file = &t2.files[def.file];
+        if !in_paths(&file.rel_path, &cfg.persist_paths) || t2.exempt(def.file, cfg) {
+            continue;
+        }
+        let Some((lo, hi)) = def.body else { continue };
+        let toks = &t2.lexed[def.file].toks;
+        let mask = &t2.masks[def.file];
+        for k in lo..hi {
+            if mask[k] || !is_file_create(toks, k) {
+                continue;
+            }
+            // The rename that publishes this create, if any. No rename
+            // at all is tier 1's finding, not ours.
+            let Some(rk) = (k + 1..hi).find(|&j| {
+                !mask[j]
+                    && toks[j].ident() == Some("rename")
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct('('))
+            }) else {
+                continue;
+            };
+            let span = (k, rk);
+            let direct = (span.0..span.1).any(|j| !mask[j] && is_sync_call(toks, j));
+            let via_call =
+                sites_in(&t2.graph[fidx], span).any(|s| s.resolved.iter().any(|&r| syncs[r]));
+            if direct || via_call {
+                continue;
+            }
+            let rt = &toks[rk];
+            out.push(Finding {
+                rule: "persistence-ordering",
+                id: crate::rules::rule_id("persistence-ordering"),
+                file: file.rel_path.clone(),
+                line: rt.line,
+                col: rt.col,
+                message: format!(
+                    "`rename` publishes the file created at line {} with no fsync in between — a crash after the rename can expose contents that never reached disk; call `sync_all()` before renaming (see `checkpoint::write_atomic`)",
+                    toks[k].line
+                ),
+                snippet: t2.lexed[def.file]
+                    .lines
+                    .get(rt.line as usize - 1)
+                    .cloned()
+                    .unwrap_or_default(),
+            });
+        }
+    }
+}
+
+/// `File::create(` at token `k`?
+fn is_file_create(toks: &[Tok], k: usize) -> bool {
+    toks[k].ident() == Some("create")
+        && k >= 3
+        && toks[k - 1].is_punct(':')
+        && toks[k - 2].is_punct(':')
+        && toks[k - 3].ident() == Some("File")
+        && toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+}
+
+/// `.sync_all(` / `.sync_data(` at token `k`?
+fn is_sync_call(toks: &[Tok], k: usize) -> bool {
+    matches!(toks[k].ident(), Some("sync_all" | "sync_data"))
+        && k >= 1
+        && toks[k - 1].is_punct('.')
+        && toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+}

@@ -1,0 +1,364 @@
+//! Pass: `rng-stream-flow`.
+//!
+//! Tier 1's `rng-stream-labels` rule checks `split("…")` literals (and
+//! `format!` skeletons) textually at the call site. This pass upgrades
+//! the check to *value flow*: the label argument is resolved through
+//! local bindings, `format!` placeholder substitution, fn parameters
+//! (back-propagated from every call site), and callee return literals —
+//! so `rng.split(op.label())` is judged by the strings `label()` can
+//! actually return, and a label constant built three calls away still
+//! has to obey the contract:
+//!
+//! * **Scheme** — every resolvable value must match `area/rest`
+//!   (lowercase area, then `/`).
+//! * **Uniqueness** — a fully-resolved constant label must not collide
+//!   with any other split site, including tier-1 literal sites.
+//! * **Namespace confinement** — `campaign/faults/*` labels belong to
+//!   the disruption subsystem; a split on that namespace outside
+//!   `disrupt_paths` means fault streams are leaking into simulation
+//!   code (the reverse direction of tier-1 rule 7).
+//!
+//! Sites whose argument is a bare string literal are tier 1's job and
+//! are skipped here; sites that resolve to nothing (truly dynamic
+//! labels) are skipped too — partial resolution keeps `{}` markers and
+//! is still checked where the constant part suffices.
+
+use std::collections::BTreeMap;
+
+use crate::config::Config;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::rules::LabelRegistry;
+use crate::tier2::{in_paths, locals_in, return_ranges, Tier2};
+
+/// Resolution caps: recursion depth and value-set size.
+const MAX_DEPTH: usize = 4;
+const MAX_VALUES: usize = 12;
+
+/// Run the pass.
+pub fn run(t2: &Tier2, cfg: &Config, tier1: &LabelRegistry, out: &mut Vec<Finding>) {
+    let r = Resolver {
+        t2,
+        callers: build_callers(t2),
+    };
+    // Constant labels seen at tier-2 sites, for cross-site uniqueness.
+    let mut constants: BTreeMap<String, (usize, u32, u32)> = BTreeMap::new();
+    for fidx in 0..t2.sym.fns.len() {
+        let def = &t2.sym.fns[fidx];
+        let file = &t2.files[def.file];
+        if cfg.label_exempt_crates.contains(&file.crate_name) || t2.exempt(def.file, cfg) {
+            continue;
+        }
+        for site in &t2.graph[fidx] {
+            if !(site.callee == "split" && site.is_method) || t2.masks[def.file][site.name_tok] {
+                continue;
+            }
+            let Some(&arg) = site.args.first() else {
+                continue;
+            };
+            // A bare literal is tier 1's site.
+            let trimmed = r.trim(def.file, arg);
+            if trimmed.1 - trimmed.0 == 1 && t2.lexed[def.file].toks[trimmed.0].kind == TokKind::Str
+            {
+                continue;
+            }
+            let values = r.resolve(fidx, arg, 0);
+            if values.is_empty() {
+                continue;
+            }
+            let tok = &t2.lexed[def.file].toks[site.name_tok];
+            let mut emit = |message: String| {
+                out.push(Finding {
+                    rule: "rng-stream-flow",
+                    id: crate::rules::rule_id("rng-stream-flow"),
+                    file: file.rel_path.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                    message,
+                    snippet: t2.lexed[def.file]
+                        .lines
+                        .get(tok.line as usize - 1)
+                        .cloned()
+                        .unwrap_or_default(),
+                });
+            };
+            let bad: Vec<&String> = values.iter().filter(|v| violates_scheme(v)).collect();
+            if !bad.is_empty() {
+                let list = bad
+                    .iter()
+                    .map(|v| format!("\"{v}\""))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                emit(format!(
+                    "RNG stream label resolves (through value flow) to {list} — labels must follow the `area/rest` scheme (lowercase area prefix, then `/`)"
+                ));
+            }
+            if !in_paths(&file.rel_path, &cfg.disrupt_paths) {
+                if let Some(v) = values.iter().find(|v| v.starts_with("campaign/faults/")) {
+                    emit(format!(
+                        "RNG stream label resolves to \"{v}\": the `campaign/faults/` namespace is reserved for the disruption subsystem ({}) — fault streams must not leak into simulation code",
+                        cfg.disrupt_paths.join(", ")
+                    ));
+                }
+            }
+            for v in values.iter().filter(|v| !v.contains('{')) {
+                if let Some(first) = tier1.labels().get(v).and_then(|s| s.first()) {
+                    emit(format!(
+                        "RNG stream label resolves to \"{v}\", which collides with the literal label at {}:{}:{} — reusing a label risks correlated streams",
+                        first.file, first.line, first.col
+                    ));
+                } else if let Some(&(f, l, c)) = constants.get(v) {
+                    if (f, l, c) != (def.file, tok.line, tok.col) {
+                        emit(format!(
+                            "RNG stream label resolves to \"{v}\", which collides with the resolved label at {}:{l}:{c} — reusing a label risks correlated streams",
+                            t2.files[f].rel_path
+                        ));
+                    }
+                } else {
+                    constants.insert(v.clone(), (def.file, tok.line, tok.col));
+                }
+            }
+        }
+    }
+}
+
+/// Does a resolved value (possibly with `{}` placeholders for parts we
+/// could not resolve) provably violate the `area/rest` scheme?
+fn violates_scheme(v: &str) -> bool {
+    match v.split_once('/') {
+        None => !v.contains('{'),
+        Some((area, rest)) => {
+            if area.contains('{') {
+                return false;
+            }
+            area.is_empty()
+                || rest.is_empty()
+                || !area
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-')
+        }
+    }
+}
+
+/// `callers[callee_fidx]` → every `(caller_fidx, site_index)` resolving
+/// to it.
+fn build_callers(t2: &Tier2) -> Vec<Vec<(usize, usize)>> {
+    let mut callers = vec![Vec::new(); t2.sym.fns.len()];
+    for (caller, sites) in t2.graph.iter().enumerate() {
+        for (si, site) in sites.iter().enumerate() {
+            for &callee in &site.resolved {
+                callers[callee].push((caller, si));
+            }
+        }
+    }
+    callers
+}
+
+struct Resolver<'a> {
+    t2: &'a Tier2<'a>,
+    callers: Vec<Vec<(usize, usize)>>,
+}
+
+impl<'a> Resolver<'a> {
+    /// Strip `&`/`mut` prefixes and no-op `.as_str()`/`.to_string()`/
+    /// `.clone()` suffixes from an expression range.
+    fn trim(&self, file: usize, mut range: (usize, usize)) -> (usize, usize) {
+        let toks = &self.t2.lexed[file].toks;
+        loop {
+            if range.0 < range.1
+                && (toks[range.0].is_punct('&') || toks[range.0].ident() == Some("mut"))
+            {
+                range.0 += 1;
+                continue;
+            }
+            if range.1 - range.0 >= 4
+                && toks[range.1 - 1].is_punct(')')
+                && toks[range.1 - 2].is_punct('(')
+                && matches!(
+                    toks[range.1 - 3].ident(),
+                    Some("as_str" | "to_string" | "clone" | "as_ref")
+                )
+                && toks[range.1 - 4].is_punct('.')
+            {
+                range.1 -= 4;
+                continue;
+            }
+            return range;
+        }
+    }
+
+    /// The string values an expression range can take. Unresolvable
+    /// `format!` arguments keep their `{}` placeholder; a fully
+    /// unresolvable expression yields an empty set.
+    fn resolve(&self, fidx: usize, range: (usize, usize), depth: usize) -> Vec<String> {
+        if depth > MAX_DEPTH {
+            return Vec::new();
+        }
+        let def = &self.t2.sym.fns[fidx];
+        let file = def.file;
+        let toks = &self.t2.lexed[file].toks;
+        let (lo, hi) = self.trim(file, range);
+        if lo >= hi {
+            return Vec::new();
+        }
+        // String literal.
+        if hi - lo == 1 && toks[lo].kind == TokKind::Str {
+            return vec![toks[lo].text.clone()];
+        }
+        // `format!("skeleton", args…)`.
+        if toks[lo].ident() == Some("format")
+            && toks.get(lo + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(lo + 2).is_some_and(|t| t.is_punct('('))
+            && toks.get(lo + 3).is_some_and(|t| t.kind == TokKind::Str)
+        {
+            let skeleton = toks[lo + 3].text.clone();
+            let args = split_top(toks, lo + 4, hi - 1);
+            let mut values = vec![String::new()];
+            let mut rest = skeleton.as_str();
+            let mut argi = 0usize;
+            while let Some(pos) = rest.find("{}") {
+                let prefix = &rest[..pos];
+                let sub = args
+                    .get(argi)
+                    .map(|&a| self.resolve(fidx, a, depth + 1))
+                    .unwrap_or_default();
+                let subs: Vec<String> = if sub.is_empty() {
+                    vec!["{}".to_string()]
+                } else {
+                    sub
+                };
+                let mut next = Vec::new();
+                for v in &values {
+                    for s in &subs {
+                        if next.len() < MAX_VALUES {
+                            next.push(format!("{v}{prefix}{s}"));
+                        }
+                    }
+                }
+                values = next;
+                rest = &rest[pos + 2..];
+                argi += 1;
+            }
+            for v in &mut values {
+                v.push_str(rest);
+            }
+            return values;
+        }
+        // A single identifier: local binding or parameter.
+        if hi - lo == 1 && toks[lo].kind == TokKind::Ident {
+            let name = &toks[lo].text;
+            if let Some(body) = def.body {
+                let locals = locals_in(toks, body.0, body.1);
+                if let Some(l) = locals.iter().find(|l| &l.name == name) {
+                    let mut out = Vec::new();
+                    for &r in &l.rhs {
+                        for v in self.resolve(fidx, r, depth + 1) {
+                            if !out.contains(&v) && out.len() < MAX_VALUES {
+                                out.push(v);
+                            }
+                        }
+                    }
+                    return out;
+                }
+            }
+            if let Some(p) = def.params.iter().position(|p| p == name) {
+                return self.resolve_param(fidx, p, depth + 1);
+            }
+            return Vec::new();
+        }
+        // A call whose parens close the range: collect the string
+        // literals its callees can return.
+        for site in &self.t2.graph[fidx] {
+            if site.name_tok < lo || site.name_tok >= hi {
+                continue;
+            }
+            // Accept the site if its matching `)` is the final token of
+            // the range (`op.label()`, `pick(op)` — a call *is* the
+            // whole expression).
+            if !toks[hi - 1].is_punct(')') {
+                break;
+            }
+            let mut depth_p = 0i32;
+            let mut matches_end = false;
+            for (k, t) in toks.iter().enumerate().take(hi).skip(site.name_tok + 1) {
+                if t.is_punct('(') {
+                    depth_p += 1;
+                } else if t.is_punct(')') {
+                    depth_p -= 1;
+                    if depth_p == 0 {
+                        matches_end = k == hi - 1;
+                        break;
+                    }
+                }
+            }
+            if !matches_end {
+                continue;
+            }
+            let mut out = Vec::new();
+            for &ri in &site.resolved {
+                let callee = &self.t2.sym.fns[ri];
+                let Some(cbody) = callee.body else { continue };
+                let ctoks = &self.t2.lexed[callee.file].toks;
+                for (rlo, rhi) in return_ranges(ctoks, cbody.0, cbody.1) {
+                    for t in &ctoks[rlo..rhi] {
+                        if t.kind == TokKind::Str
+                            && !out.contains(&t.text)
+                            && out.len() < MAX_VALUES
+                        {
+                            out.push(t.text.clone());
+                        }
+                    }
+                }
+            }
+            return out;
+        }
+        Vec::new()
+    }
+
+    /// The values a parameter can take, unioned over every call site
+    /// that resolves to this fn.
+    fn resolve_param(&self, fidx: usize, p: usize, depth: usize) -> Vec<String> {
+        if depth > MAX_DEPTH {
+            return Vec::new();
+        }
+        let def = &self.t2.sym.fns[fidx];
+        let mut out = Vec::new();
+        for &(caller, si) in &self.callers[fidx] {
+            let site = &self.t2.graph[caller][si];
+            let offset =
+                usize::from(site.is_method && def.params.first().is_some_and(|x| x == "self"));
+            let Some(&arg) = p.checked_sub(offset).and_then(|ai| site.args.get(ai)) else {
+                continue;
+            };
+            for v in self.resolve(caller, arg, depth + 1) {
+                if !out.contains(&v) && out.len() < MAX_VALUES {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Split `[lo, hi)` at top-level commas.
+fn split_top(toks: &[crate::lexer::Tok], lo: usize, hi: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = lo;
+    for (k, t) in toks.iter().enumerate().take(hi).skip(lo) {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct(',') && depth == 0 {
+            if start < k {
+                out.push((start, k));
+            }
+            start = k + 1;
+        }
+    }
+    if start < hi {
+        out.push((start, hi));
+    }
+    out
+}

@@ -1,0 +1,19 @@
+//! Clean counterpart: the fsync sits between create and rename — and it
+//! is *transitive*, through a helper, to exercise the call-graph
+//! fixpoint.
+
+use std::fs::{self, File};
+use std::io::Write;
+
+fn seal(f: &File) -> std::io::Result<()> {
+    f.sync_all()
+}
+
+pub fn publish(dir: &std::path::Path) -> std::io::Result<()> {
+    let tmp = dir.join("out.tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(b"frame")?;
+    seal(&f)?;
+    fs::rename(&tmp, dir.join("out.bin"))?;
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! f64 reductions rooted in a channel receiver: worker completion order
+//! is scheduling-dependent, and float addition is not associative.
+
+use std::sync::mpsc::channel;
+
+pub fn total() -> f64 {
+    let (tx, rx) = channel::<f64>();
+    drop(tx);
+    rx.iter().sum::<f64>()
+}
+
+pub fn total_folded() -> f64 {
+    let (tx, rx) = channel::<f64>();
+    drop(tx);
+    rx.iter().fold(0.0, |acc, v| acc + v)
+}

@@ -1,0 +1,20 @@
+//! Clean counterparts: slice-rooted sums are ordered, `max` folds
+//! commute, and integer sums are associative at any visit order.
+
+use std::sync::mpsc::channel;
+
+pub fn total(vals: &[f64]) -> f64 {
+    vals.iter().sum::<f64>()
+}
+
+pub fn peak() -> f64 {
+    let (tx, rx) = channel::<f64>();
+    drop(tx);
+    rx.iter().fold(f64::MIN, f64::max)
+}
+
+pub fn count() -> usize {
+    let (tx, rx) = channel::<usize>();
+    drop(tx);
+    rx.iter().sum::<usize>()
+}

@@ -1,0 +1,15 @@
+//! Clean counterpart: the flowed label is on-scheme and unique, and the
+//! bare-literal site stays tier 1's business (skipped here).
+
+pub fn shuffle(rng: &mut SimRng) {
+    let label = stream_name();
+    rng.split(&label);
+}
+
+fn stream_name() -> &'static str {
+    "area/deck"
+}
+
+pub fn direct(rng: &mut SimRng) {
+    rng.split("area/direct");
+}

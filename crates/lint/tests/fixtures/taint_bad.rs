@@ -1,0 +1,15 @@
+//! Host-core count flows through a helper's return value into a record
+//! literal — the taint pass must report the full chain.
+
+use crate::records::RunRecord;
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+}
+
+pub fn emit() -> RunRecord {
+    let threads = host_threads();
+    RunRecord { threads }
+}

@@ -1,0 +1,25 @@
+//! Clean counterpart: the same record literal fed from a deterministic
+//! plan, and a host-core read that only sizes a loop (scheduling, not
+//! values) — neither may fire.
+
+use crate::records::RunRecord;
+
+fn plan_threads(requested: usize) -> usize {
+    requested.max(1)
+}
+
+pub fn emit(requested: usize) -> RunRecord {
+    let threads = plan_threads(requested);
+    RunRecord { threads }
+}
+
+pub fn run_workers() -> usize {
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let mut done = 0usize;
+    for _ in 0..threads {
+        done += 1;
+    }
+    done
+}

@@ -1,0 +1,6 @@
+//! Sink-side fixture: a record struct "defined" on a taint-sink path
+//! (the test mounts this file at `crates/core/src/records.rs`).
+
+pub struct RunRecord {
+    pub threads: usize,
+}

@@ -1,0 +1,83 @@
+//! Output-format pins: the `--json` payload (schema version, field
+//! order, snake_case rule ids) is compared byte-for-byte against a
+//! golden file, and the SARIF log must carry the 2.1.0 envelope shape
+//! with `ruleId`s matching the JSON `id`s.
+
+use wheels_lint::rules::RULES;
+use wheels_lint::{lint_sources, render_sarif, Config, Report, SourceFile};
+
+/// A minimal workspace with exactly one finding at a pinned position.
+fn one_finding_report() -> Report {
+    let f = SourceFile {
+        rel_path: "crates/geo/src/sample.rs".to_string(),
+        crate_name: "geo".to_string(),
+        is_bin: false,
+        is_crate_root: false,
+        src: "pub fn first(xs: &[u32]) -> u32 {\n    *xs.first().unwrap()\n}\n".to_string(),
+    };
+    lint_sources(&[f], &Config::default())
+}
+
+#[test]
+fn json_matches_golden_file() {
+    let got = one_finding_report().render_json();
+    let golden = include_str!("golden/report.json");
+    assert_eq!(
+        got,
+        golden.trim_end(),
+        "--json layout drifted; if intentional, bump SCHEMA_VERSION and regenerate tests/golden/report.json"
+    );
+}
+
+#[test]
+fn json_schema_version_and_ids_are_pinned() {
+    let json = one_finding_report().render_json();
+    assert!(json.starts_with("{\"schema_version\":2,"), "{json}");
+    assert!(json.contains("\"rule\":\"unwrap-in-lib\""), "{json}");
+    assert!(json.contains("\"id\":\"unwrap_in_lib\""), "{json}");
+}
+
+#[test]
+fn rule_ids_are_snake_case_of_names() {
+    for r in RULES.iter() {
+        assert_eq!(r.id, r.name.replace('-', "_"), "{}", r.name);
+        assert!(
+            r.id.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+            "{}",
+            r.id
+        );
+    }
+}
+
+#[test]
+fn sarif_envelope_matches_2_1_0_shape() {
+    let sarif = render_sarif(&one_finding_report());
+    // Envelope.
+    assert!(sarif.starts_with(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":["
+    ));
+    // Driver with the full rule catalogue.
+    assert!(sarif.contains("\"tool\":{\"driver\":{\"name\":\"wheels-lint\",\"rules\":["));
+    for r in RULES.iter() {
+        assert!(sarif.contains(&format!("\"id\":\"{}\"", r.id)), "{}", r.id);
+    }
+    // The result, with ruleId == JSON id and the physical location.
+    assert!(sarif.contains("\"ruleId\":\"unwrap_in_lib\""));
+    assert!(sarif.contains("\"level\":\"error\""));
+    assert!(sarif.contains("\"artifactLocation\":{\"uri\":\"crates/geo/src/sample.rs\"}"));
+    assert!(sarif.contains("\"startLine\":2,\"startColumn\":17"));
+    assert!(sarif.contains("\"snippet\":{\"text\":\"    *xs.first().unwrap()\"}"));
+}
+
+#[test]
+fn sarif_and_json_agree_on_rule_ids() {
+    let report = one_finding_report();
+    let sarif = render_sarif(&report);
+    for f in &report.findings {
+        assert!(
+            sarif.contains(&format!("\"ruleId\":\"{}\"", f.id)),
+            "{}",
+            f.id
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Tier-2 fixture tests: each dataflow pass must fire on its `_bad.rs`
+//! fixture with the exact `file:line:col` positions and stay silent on
+//! the clean `_ok.rs` counterpart, the `--tier1-only` switch must mute
+//! all of tier 2, and the strict-allows audit must flag exactly the
+//! directives that suppress nothing.
+
+use wheels_lint::{lint_sources, lint_sources_opts, Config, Options, SourceFile};
+
+/// Build the virtual workspace entry for one fixture.
+fn fixture(name: &str, crate_name: &str, src: &str) -> SourceFile {
+    SourceFile {
+        rel_path: format!("crates/{crate_name}/src/{name}.rs"),
+        crate_name: crate_name.to_string(),
+        is_bin: false,
+        is_crate_root: false,
+        src: src.to_string(),
+    }
+}
+
+/// Lint fixtures and return `(rule, line, col)` triples.
+fn lint_all(files: Vec<SourceFile>) -> Vec<(&'static str, u32, u32)> {
+    let report = lint_sources(&files, &Config::default());
+    report
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.line, f.col))
+        .collect()
+}
+
+/// The record-struct sink file, mounted on a `taint_sink_paths` entry.
+fn records_file() -> SourceFile {
+    fixture("records", "core", include_str!("fixtures/taint_records.rs"))
+}
+
+#[test]
+fn determinism_taint_fires_with_positions() {
+    let bad = fixture("taint_bad", "core", include_str!("fixtures/taint_bad.rs"));
+    let got = lint_all(vec![records_file(), bad]);
+    assert_eq!(got, vec![("determinism-taint", 14, 5)]);
+}
+
+#[test]
+fn determinism_taint_reports_the_call_chain() {
+    let bad = fixture("taint_bad", "core", include_str!("fixtures/taint_bad.rs"));
+    let report = lint_sources(&[records_file(), bad], &Config::default());
+    let msg = &report.findings[0].message;
+    assert!(msg.contains("available_parallelism"), "{msg}");
+    assert!(msg.contains("returned by host_threads"), "{msg}");
+    assert!(msg.contains("record `RunRecord` literal"), "{msg}");
+}
+
+#[test]
+fn determinism_taint_silent_on_clean_counterpart() {
+    let ok = fixture("taint_ok", "core", include_str!("fixtures/taint_ok.rs"));
+    assert_eq!(lint_all(vec![records_file(), ok]), vec![]);
+}
+
+#[test]
+fn rng_stream_flow_fires_with_positions() {
+    let bad = fixture(
+        "streamflow_bad",
+        "ran",
+        include_str!("fixtures/streamflow_bad.rs"),
+    );
+    assert_eq!(lint_all(vec![bad]), vec![("rng-stream-flow", 7, 9)]);
+}
+
+#[test]
+fn rng_stream_flow_silent_on_clean_counterpart() {
+    let ok = fixture(
+        "streamflow_ok",
+        "ran",
+        include_str!("fixtures/streamflow_ok.rs"),
+    );
+    assert_eq!(lint_all(vec![ok]), vec![]);
+}
+
+#[test]
+fn persistence_ordering_fires_with_positions() {
+    // `checkpoint_flow_bad` lands inside the `crates/core/src/checkpoint`
+    // persist-path prefix.
+    let bad = fixture(
+        "checkpoint_flow_bad",
+        "core",
+        include_str!("fixtures/checkpoint_flow_bad.rs"),
+    );
+    assert_eq!(lint_all(vec![bad]), vec![("persistence-ordering", 12, 9)]);
+}
+
+#[test]
+fn persistence_ordering_silent_on_transitive_fsync() {
+    let ok = fixture(
+        "checkpoint_flow_ok",
+        "core",
+        include_str!("fixtures/checkpoint_flow_ok.rs"),
+    );
+    assert_eq!(lint_all(vec![ok]), vec![]);
+}
+
+#[test]
+fn unordered_float_reduction_fires_with_positions() {
+    let bad = fixture(
+        "analysis/floatfold_bad",
+        "core",
+        include_str!("fixtures/floatfold_bad.rs"),
+    );
+    assert_eq!(
+        lint_all(vec![bad]),
+        vec![
+            ("unordered-float-reduction", 9, 15),
+            ("unordered-float-reduction", 15, 15),
+        ]
+    );
+}
+
+#[test]
+fn unordered_float_reduction_silent_on_clean_counterpart() {
+    let ok = fixture(
+        "analysis/floatfold_ok",
+        "core",
+        include_str!("fixtures/floatfold_ok.rs"),
+    );
+    assert_eq!(lint_all(vec![ok]), vec![]);
+}
+
+#[test]
+fn tier1_only_mutes_every_tier2_pass() {
+    let files = vec![
+        records_file(),
+        fixture("taint_bad", "core", include_str!("fixtures/taint_bad.rs")),
+        fixture(
+            "streamflow_bad",
+            "ran",
+            include_str!("fixtures/streamflow_bad.rs"),
+        ),
+        fixture(
+            "checkpoint_flow_bad",
+            "core",
+            include_str!("fixtures/checkpoint_flow_bad.rs"),
+        ),
+        fixture(
+            "analysis/floatfold_bad",
+            "core",
+            include_str!("fixtures/floatfold_bad.rs"),
+        ),
+    ];
+    let opts = Options {
+        tier2: false,
+        ..Options::default()
+    };
+    let report = lint_sources_opts(&files, &Config::default(), opts);
+    assert_eq!(report.findings.len(), 0, "{:?}", report.findings);
+}
+
+#[test]
+fn tier2_findings_honour_allow_directives() {
+    let src = include_str!("fixtures/streamflow_bad.rs").replace(
+        "    rng.split(&label);",
+        "    // lint: allow(rng-stream-flow, pinned legacy label)\n    rng.split(&label);",
+    );
+    let bad = fixture("streamflow_bad", "ran", &src);
+    assert_eq!(lint_all(vec![bad]), vec![]);
+}
+
+#[test]
+fn strict_allows_flags_stale_directive() {
+    let src =
+        "pub fn f() -> u32 {\n    1\n}\n// lint: allow(unwrap-in-lib, nothing left to suppress)\n";
+    let f = fixture("stale", "geo", src);
+    let opts = Options {
+        strict_allows: true,
+        ..Options::default()
+    };
+    let report = lint_sources_opts(&[f], &Config::default(), opts);
+    let got: Vec<_> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.line, f.col))
+        .collect();
+    assert_eq!(got, vec![("stale-allow", 4, 1)]);
+}
+
+#[test]
+fn strict_allows_flags_unknown_rule_name() {
+    let src = "pub fn f() -> u32 {\n    // lint: allow(no-such-rule, typo)\n    1\n}\n";
+    let f = fixture("typo", "geo", src);
+    let opts = Options {
+        strict_allows: true,
+        ..Options::default()
+    };
+    let report = lint_sources_opts(&[f], &Config::default(), opts);
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].rule, "stale-allow");
+    assert!(report.findings[0].message.contains("no-such-rule"));
+}
+
+#[test]
+fn strict_allows_accepts_used_directive() {
+    let src = "pub fn f(xs: &[u32]) -> u32 {\n    // lint: allow(unwrap-in-lib, slice is non-empty by construction)\n    *xs.first().unwrap()\n}\n";
+    let f = fixture("used", "geo", src);
+    let opts = Options {
+        strict_allows: true,
+        ..Options::default()
+    };
+    let report = lint_sources_opts(&[f], &Config::default(), opts);
+    assert_eq!(report.findings.len(), 0, "{:?}", report.findings);
+}
