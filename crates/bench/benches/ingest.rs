@@ -1,0 +1,216 @@
+//! Streaming-ingest timings — incremental `DatasetView::ingest_shard`
+//! vs a full rebuild, and streaming-merge peak residency vs the
+//! reorder-window size.
+//!
+//! Like the campaign and storage benches, deliberately not Criterion:
+//! one full ingest pass or one windowed campaign run is the right
+//! granularity, and the results land in `BENCH_ingest.json` at the
+//! repo root as a tracked baseline.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo bench -p wheels-bench --bench ingest              # Quick scale
+//! cargo bench -p wheels-bench --bench ingest -- --standard
+//! ```
+//!
+//! The ingest column answers "what does keeping the view live cost per
+//! arriving shard?": all plan-order shards are spliced into one empty
+//! view and the total is divided by the shard count. The rebuild
+//! column is the alternative it replaces — `DatasetView::new` over the
+//! fully merged dataset. The window sweep runs the streaming campaign
+//! merge at several reorder-window sizes and records the engine's own
+//! `MergeStats`, pinning the residency-vs-window contract (peak
+//! resident shards never exceed the window).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use wheels_core::analysis::view::DatasetView;
+use wheels_core::campaign::{Campaign, CampaignConfig};
+use wheels_core::records::Dataset;
+use wheels_experiments::world::Scale;
+
+fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let sink = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        // Keep the optimizer honest.
+        assert!(sink.is_finite());
+    }
+    best
+}
+
+const WINDOWS: [Option<usize>; 4] = [Some(1), Some(4), Some(8), None];
+
+struct WindowPoint {
+    window: Option<usize>,
+    secs: f64,
+    peak_resident: usize,
+    spilled: usize,
+}
+
+struct ScaleResult {
+    name: &'static str,
+    shards: usize,
+    tput_samples: usize,
+    rebuild_secs: f64,
+    ingest_total_secs: f64,
+    windows: Vec<WindowPoint>,
+}
+
+fn bench_scale(campaign: &Campaign, name: &'static str, scale: Scale, reps: usize) -> ScaleResult {
+    eprintln!("{name} scale: building shards...");
+    let cfg = scale.config();
+    let shards = campaign.shard_records(&cfg);
+    let full = campaign.run(&cfg);
+    let tput_samples = full.tput.len();
+
+    // Full rebuild: normalize sort + columnarize + index build over the
+    // already-merged dataset. Sources are pre-cloned outside the timer.
+    let mut rebuild_sources: Vec<_> = (0..reps).map(|_| full.clone()).collect();
+    let rebuild_secs = best_of(reps, || {
+        let src = rebuild_sources.pop().expect("one source per rep");
+        DatasetView::new(src).dataset().tput.len() as f64
+    });
+
+    // Incremental ingest: splice every plan-order shard into one
+    // initially empty view; the per-shard figure amortizes the pass.
+    let mut shard_sets: Vec<_> = (0..reps).map(|_| shards.clone()).collect();
+    let ingest_total_secs = best_of(reps, || {
+        let set = shard_sets.pop().expect("one shard set per rep");
+        let mut view = DatasetView::new(Dataset::default());
+        for rec in set {
+            view.ingest_shard(rec);
+        }
+        view.dataset().tput.len() as f64
+    });
+
+    // Streaming-merge residency: the engine reports how many completed
+    // shards were ever parked in the reorder window at once.
+    let mut windows = Vec::new();
+    for window in WINDOWS {
+        let cfg = CampaignConfig {
+            threads: Some(4),
+            merge_window: window,
+            ..scale.config()
+        };
+        let t0 = Instant::now();
+        let (ds, stats) = campaign.run_with_stats(&cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(ds.tput.len(), tput_samples, "windowed merge changed output");
+        if let Some(w) = window {
+            assert!(
+                stats.peak_resident <= w,
+                "peak residency {} exceeds merge window {w}",
+                stats.peak_resident
+            );
+        }
+        eprintln!(
+            "  window {:?}: {:.3}s, peak resident {}, spilled {}",
+            window, secs, stats.peak_resident, stats.spilled
+        );
+        windows.push(WindowPoint {
+            window,
+            secs,
+            peak_resident: stats.peak_resident,
+            spilled: stats.spilled,
+        });
+    }
+
+    eprintln!(
+        "  {} shards / {} tput samples: rebuild {:.4}s | ingest {:.4}s total, {:.1} us/shard",
+        shards.len(),
+        tput_samples,
+        rebuild_secs,
+        ingest_total_secs,
+        ingest_total_secs / shards.len() as f64 * 1e6
+    );
+
+    ScaleResult {
+        name,
+        shards: shards.len(),
+        tput_samples,
+        rebuild_secs,
+        ingest_total_secs,
+        windows,
+    }
+}
+
+fn json_scale(r: &ScaleResult) -> String {
+    let per_shard_us = r.ingest_total_secs / r.shards as f64 * 1e6;
+    let windows: Vec<String> = r
+        .windows
+        .iter()
+        .map(|w| {
+            format!(
+                "        {{ \"merge_window\": {}, \"secs\": {:.4}, \
+                 \"peak_resident\": {}, \"spilled\": {} }}",
+                w.window
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "null".to_string()),
+                w.secs,
+                w.peak_resident,
+                w.spilled
+            )
+        })
+        .collect();
+    format!(
+        "    {{\n      \"scale\": \"{}\",\n      \"shards\": {},\n      \
+         \"tput_samples\": {},\n      \"rebuild_secs\": {:.6},\n      \
+         \"ingest_total_secs\": {:.6},\n      \"ingest_us_per_shard\": {:.1},\n      \
+         \"windows\": [\n{}\n      ]\n    }}",
+        r.name,
+        r.shards,
+        r.tput_samples,
+        r.rebuild_secs,
+        r.ingest_total_secs,
+        per_shard_us,
+        windows.join(",\n")
+    )
+}
+
+fn main() {
+    let standard = std::env::args().any(|a| a == "--standard");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("ingest bench: {cores} cores, standard={standard}");
+
+    let campaign = Campaign::standard(2022);
+
+    let mut scales = vec![json_scale(&bench_scale(
+        &campaign,
+        "quick",
+        Scale::Quick,
+        5,
+    ))];
+    if standard {
+        scales.push(json_scale(&bench_scale(
+            &campaign,
+            "standard",
+            Scale::Standard,
+            3,
+        )));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"ingest\",\n  \"host_cores\": {},\n  \"note\": \"{}\",\n  \
+         \"scales\": [\n{}\n  ]\n}}\n",
+        cores,
+        "ingest_us_per_shard amortizes one empty-view ingest pass over all plan-order \
+         shards; window points run the 4-thread streaming merge and record the \
+         engine's MergeStats (peak_resident is asserted <= merge_window)",
+        scales.join(",\n")
+    );
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let path = root.join("BENCH_ingest.json");
+    std::fs::write(&path, &json).expect("write BENCH_ingest.json");
+    eprintln!("wrote {}", path.display());
+    print!("{json}");
+}

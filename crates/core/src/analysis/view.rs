@@ -28,11 +28,30 @@
 //! scan the contiguous column slices; the enum-code columns are the
 //! `index()` values the partition math wants, so the build loop never
 //! touches a row struct.
+//!
+//! # Incremental ingest
+//!
+//! [`DatasetView::ingest_shard`] folds one completed campaign shard
+//! into a live view without a rebuild: the big sample tables (tput,
+//! rtt, coverage) are *appended* to the raw storage and every affected
+//! permutation index is extended by a binary-splice merge of the
+//! shard's pre-sorted position run — so the raw tables end up in
+//! arrival order while every indexed accessor keeps yielding canonical
+//! `normalize` order, and `OnceLock` memos are re-armed only for the
+//! partitions and combos the shard actually touched. The small tables
+//! (runs, handovers, apps, audits) stay *physically* canonical (the
+//! handover-impact kernel and the figure code iterate them raw), which
+//! is cheap because they are thousands of times smaller than the
+//! sample tables. [`DatasetView::from_journal`] replays a checkpoint
+//! journal frame-by-frame through the same path, so `run_checkpointed`,
+//! `--resume`, and a future `wheels-serve` share one pipeline.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 use std::sync::OnceLock;
 
 use wheels_radio::tech::{Direction, Technology};
+use wheels_ran::cells::CellId;
 use wheels_ran::operator::Operator;
 use wheels_sim_core::stats::Cdf;
 use wheels_sim_core::time::Timezone;
@@ -41,8 +60,14 @@ use wheels_sim_core::units::{Speed, SpeedBin};
 use crate::analysis::correlation::{self, CorrelationRow};
 use crate::analysis::coverage::{self, TechShare};
 use crate::analysis::handover::{self, HoImpact};
-use crate::column::{ColumnError, ColumnarDataset};
-use crate::records::{CoverageSample, Dataset, RttSample, TputSample};
+use crate::campaign::apply_table1_accounting;
+use crate::checkpoint::{self, CheckpointError, Fingerprint};
+use crate::column::{
+    op_code, AppColumns, AuditColumns, ColumnError, ColumnarDataset, HandoverColumns, RunColumns,
+};
+use crate::records::{
+    merge_sorted_by_key, CoverageSample, Dataset, RttSample, ShardRecords, TputSample,
+};
 
 const OPS: usize = Operator::ALL.len();
 const DIRS: usize = Direction::ALL.len();
@@ -180,6 +205,74 @@ fn push_pos(list: &mut Vec<u32>, i: usize) {
     list.push(u32::try_from(i).expect("table exceeds u32 rows"));
 }
 
+/// Merge a canonical-key-ascending run of `new` positions into the
+/// canonical-key-ascending index `idx`, existing entries first on ties
+/// — exactly the permutation a stable re-sort of the whole partition
+/// would produce. Binary splice: everything before the first affected
+/// slot is untouched, only the tail is merged, and a shard whose keys
+/// sort entirely after the index (the common in-order arrival) is a
+/// plain `extend`.
+fn merge_positions<K: Ord>(idx: &mut Vec<u32>, new: &[u32], key: impl Fn(u32) -> K) {
+    if new.is_empty() {
+        return;
+    }
+    let first = key(new[0]);
+    if idx.last().is_none_or(|&l| key(l) <= first) {
+        idx.extend_from_slice(new);
+        return;
+    }
+    let lo = idx.partition_point(|&i| key(i) <= first);
+    let tail = idx.split_off(lo);
+    idx.reserve(tail.len() + new.len());
+    let mut a = tail.into_iter().peekable();
+    let mut b = new.iter().copied().peekable();
+    while let (Some(&x), Some(&y)) = (a.peek(), b.peek()) {
+        if key(x) <= key(y) {
+            idx.push(x);
+            a.next();
+        } else {
+            idx.push(y);
+            b.next();
+        }
+    }
+    idx.extend(a);
+    idx.extend(b);
+}
+
+/// K-way merge of canonical-key-ascending position runs, ties broken by
+/// position. On a canonically-ordered dataset (positions ascending with
+/// the key) this reproduces the plain position sort the wildcard memos
+/// used before incremental ingest existed; on an ingested view it keeps
+/// the merged index in canonical key order even though raw positions
+/// are arrival-ordered.
+fn merge_indices<K: Ord>(runs: &[&[u32]], key: impl Fn(u32) -> K) -> Vec<u32> {
+    let mut out = Vec::with_capacity(runs.iter().map(|r| r.len()).sum());
+    let mut cursors = vec![0usize; runs.len()];
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, run) in runs.iter().enumerate() {
+            let Some(&x) = run.get(cursors[i]) else {
+                continue;
+            };
+            best = match best {
+                Some(b) => {
+                    let y = runs[b][cursors[b]];
+                    if (key(y), y) <= (key(x), x) {
+                        Some(b)
+                    } else {
+                        Some(i)
+                    }
+                }
+                None => Some(i),
+            };
+        }
+        let Some(b) = best else { break };
+        out.push(runs[b][cursors[b]]);
+        cursors[b] += 1;
+    }
+    out
+}
+
 #[derive(Default)]
 struct TputPart {
     /// Positions into `Dataset::tput`, ascending.
@@ -258,6 +351,15 @@ pub struct DatasetView {
     rtt_cdfs: [OnceLock<Cdf>; RTT_COMBOS],
     /// Memoized handover impact rows (Fig. 12, findings).
     impacts: OnceLock<Vec<HoImpact>>,
+    /// Per-operator served-cell unions accumulated by `ingest_shard`
+    /// (`Operator::ALL` order). Finalized datasets store only counts,
+    /// so the streaming path has to carry the sets itself to keep
+    /// Table 1's unique-cell column from double counting.
+    cell_sets: Vec<BTreeSet<CellId>>,
+    /// Sum of the ingested shards' own `log_bytes` — the base the
+    /// runtime-derived XCAL volume accumulates on top of (zero in
+    /// practice; shards derive no log volume of their own).
+    log_base: f64,
 }
 
 impl DatasetView {
@@ -347,6 +449,8 @@ impl DatasetView {
             tput_cdfs: std::array::from_fn(|_| OnceLock::new()),
             rtt_cdfs: std::array::from_fn(|_| OnceLock::new()),
             impacts: OnceLock::new(),
+            cell_sets: vec![BTreeSet::new(); OPS],
+            log_base: 0.0,
         }
     }
 
@@ -374,12 +478,12 @@ impl DatasetView {
             return &self.tput_parts[tpart(o.index(), dir_index(d), usize::from(dr))].idx;
         }
         self.tput_merged[tcombo(op, dir, driving)].get_or_init(|| {
-            let mut v: Vec<u32> = tput_part_ids(op, dir, driving)
+            let t = &self.cols.tput;
+            let runs: Vec<&[u32]> = tput_part_ids(op, dir, driving)
                 .into_iter()
-                .flat_map(|p| self.tput_parts[p].idx.iter().copied())
+                .map(|p| self.tput_parts[p].idx.as_slice())
                 .collect();
-            v.sort_unstable();
-            v
+            merge_indices(&runs, |i| (*at(&t.t_ms, i), *at(&t.test_id, i)))
         })
     }
 
@@ -388,12 +492,12 @@ impl DatasetView {
             return &self.rtt_parts[rpart(o.index(), usize::from(dr))].idx;
         }
         self.rtt_merged[rcombo(op, driving)].get_or_init(|| {
-            let mut v: Vec<u32> = rtt_part_ids(op, driving)
+            let r = &self.cols.rtt;
+            let runs: Vec<&[u32]> = rtt_part_ids(op, driving)
                 .into_iter()
-                .flat_map(|p| self.rtt_parts[p].idx.iter().copied())
+                .map(|p| self.rtt_parts[p].idx.as_slice())
                 .collect();
-            v.sort_unstable();
-            v
+            merge_indices(&runs, |i| (*at(&r.t_ms, i), *at(&r.test_id, i)))
         })
     }
 
@@ -605,5 +709,283 @@ impl DatasetView {
     /// Fig. 2d share per speed bin via the columnar kernel.
     pub fn coverage_share_by_speed_bin(&self, op: Operator) -> BTreeMap<SpeedBin, TechShare> {
         coverage::by_speed_bin_cols(&self.cols.coverage, &self.cov_idx[op.index()])
+    }
+
+    /// Fold one completed campaign shard into the view incrementally —
+    /// µs per shard instead of the full rebuild `DatasetView::new`
+    /// pays. The sample tables are appended in arrival order and every
+    /// affected permutation index is extended by a binary-splice run
+    /// merge, so all indexed accessors keep yielding exactly what a
+    /// rebuild over the union would yield; memoized sorted runs, merged
+    /// combos and Cdfs are re-armed only where the shard actually
+    /// landed. The small tables stay physically canonical (the raw-scan
+    /// consumers need them so), and Table 1 accounting is recomputed
+    /// with the same f64 accumulation order as the campaign merger.
+    ///
+    /// Preconditions (both guaranteed by the simulator): each shard is
+    /// ingested at most once, and shard canonical keys (test ids,
+    /// coverage/handover instants) never collide across shards — the
+    /// equality with a full rebuild is then independent of arrival
+    /// order. A view seeded from an already-finalized dataset keeps
+    /// exact runtimes but its unique-cell counts cover only ingested
+    /// shards (finalized datasets store counts, not the sets).
+    pub fn ingest_shard(&mut self, rec: ShardRecords) {
+        let ShardRecords {
+            operator,
+            dataset: mut sd,
+            cells,
+        } = rec;
+        if !sd.is_normalized() {
+            // Shards normalize before handing off, but a journal
+            // written by an older build may carry unsorted tables.
+            sd.normalize();
+        }
+
+        let tput_touched = self.ingest_tput(std::mem::take(&mut sd.tput));
+        let rtt_touched = self.ingest_rtt(std::mem::take(&mut sd.rtt));
+        self.ingest_coverage(std::mem::take(&mut sd.coverage));
+        self.ingest_small_tables(&mut sd);
+
+        // Re-arm every memo whose partition set intersects the shard:
+        // wildcard slots merge multiple partitions, so one landed
+        // partition can dirty several combos. Fully-specified slots
+        // only carry a Cdf (their index is the partition itself).
+        let mut op_opts: Vec<Option<Operator>> = Operator::ALL.iter().copied().map(Some).collect();
+        op_opts.push(None);
+        let mut dir_opts: Vec<Option<Direction>> =
+            Direction::ALL.iter().copied().map(Some).collect();
+        dir_opts.push(None);
+        const DRV: [Option<bool>; 3] = [Some(false), Some(true), None];
+        for &o in &op_opts {
+            for &dr in &DRV {
+                for &d in &dir_opts {
+                    if tput_part_ids(o, d, dr).iter().any(|&p| tput_touched[p]) {
+                        let c = tcombo(o, d, dr);
+                        self.tput_merged[c] = OnceLock::new();
+                        self.tput_cdfs[c] = OnceLock::new();
+                    }
+                }
+                if rtt_part_ids(o, dr).iter().any(|&p| rtt_touched[p]) {
+                    let c = rcombo(o, dr);
+                    self.rtt_merged[c] = OnceLock::new();
+                    self.rtt_cdfs[c] = OnceLock::new();
+                }
+            }
+        }
+        self.impacts = OnceLock::new();
+
+        // Table 1 accounting, identical accumulation order to the
+        // campaign merger's finish pass.
+        self.cell_sets[operator.index()].extend(cells.iter().copied());
+        self.log_base += sd.log_bytes;
+        self.ds.rx_bytes += sd.rx_bytes;
+        self.ds.tx_bytes += sd.tx_bytes;
+        apply_table1_accounting(&mut self.ds, &Operator::ALL, &self.cell_sets, self.log_base);
+        self.cols.rx_bytes = self.ds.rx_bytes;
+        self.cols.tx_bytes = self.ds.tx_bytes;
+        self.cols.log_bytes = self.ds.log_bytes;
+        self.cols.cells_operator.clear();
+        self.cols.cells_count.clear();
+        for &(op, n) in &self.ds.unique_cells {
+            self.cols.cells_operator.push(op_code(op));
+            self.cols
+                .cells_count
+                .push(u64::try_from(n).expect("usize fits u64 on every supported target"));
+        }
+        self.cols.runtime_operator.clear();
+        self.cols.runtime_min.clear();
+        for &(op, min) in &self.ds.runtime_min {
+            self.cols.runtime_operator.push(op_code(op));
+            self.cols.runtime_min.push(min);
+        }
+    }
+
+    /// Append the shard's throughput run and splice-merge each touched
+    /// partition index; returns the touched-partition mask.
+    fn ingest_tput(&mut self, rows: Vec<TputSample>) -> [bool; TPUT_PARTS] {
+        let mut touched = [false; TPUT_PARTS];
+        if rows.is_empty() {
+            return touched;
+        }
+        let base = self.ds.tput.len();
+        let mut add: Vec<TputPart> = (0..TPUT_PARTS).map(|_| TputPart::default()).collect();
+        for (j, s) in rows.iter().enumerate() {
+            let i = base + j;
+            self.cols.tput.push(s);
+            let tech = s.tech.index();
+            let p = &mut add[tpart(
+                s.operator.index(),
+                dir_index(s.direction),
+                usize::from(s.driving),
+            )];
+            push_pos(&mut p.idx, i);
+            push_pos(&mut p.by_tech[tech], i);
+            push_pos(&mut p.by_tz[tz_index(s.tz)], i);
+            let b = bin_index(SpeedBin::of(Speed::from_mph(s.speed_mph)));
+            push_pos(&mut p.by_bin_tech[b][tech], i);
+            push_pos(self.tput_by_test.entry(s.test_id).or_default(), i);
+        }
+        self.ds.tput.extend(rows);
+
+        let t_ms = &self.cols.tput.t_ms;
+        let test_id = &self.cols.tput.test_id;
+        let key = |i: u32| (*at(t_ms, i), *at(test_id, i));
+        for (p, new) in add.iter().enumerate() {
+            if new.idx.is_empty() {
+                continue;
+            }
+            touched[p] = true;
+            let part = &mut self.tput_parts[p];
+            merge_positions(&mut part.idx, &new.idx, key);
+            for (list, run) in part.by_tech.iter_mut().zip(&new.by_tech) {
+                merge_positions(list, run, key);
+            }
+            for (list, run) in part.by_tz.iter_mut().zip(&new.by_tz) {
+                merge_positions(list, run, key);
+            }
+            for (bin, new_bin) in part.by_bin_tech.iter_mut().zip(&new.by_bin_tech) {
+                for (list, run) in bin.iter_mut().zip(new_bin) {
+                    merge_positions(list, run, key);
+                }
+            }
+            part.sorted_mbps = OnceLock::new();
+        }
+        touched
+    }
+
+    /// RTT twin of [`DatasetView::ingest_tput`].
+    fn ingest_rtt(&mut self, rows: Vec<RttSample>) -> [bool; RTT_PARTS] {
+        let mut touched = [false; RTT_PARTS];
+        if rows.is_empty() {
+            return touched;
+        }
+        let base = self.ds.rtt.len();
+        let mut add: Vec<RttPart> = (0..RTT_PARTS).map(|_| RttPart::default()).collect();
+        for (j, s) in rows.iter().enumerate() {
+            let i = base + j;
+            self.cols.rtt.push(s);
+            let tech = s.tech.index();
+            let p = &mut add[rpart(s.operator.index(), usize::from(s.driving))];
+            push_pos(&mut p.idx, i);
+            push_pos(&mut p.by_tech[tech], i);
+            let b = bin_index(SpeedBin::of(Speed::from_mph(s.speed_mph)));
+            push_pos(&mut p.by_bin_tech[b][tech], i);
+            push_pos(self.rtt_by_test.entry(s.test_id).or_default(), i);
+        }
+        self.ds.rtt.extend(rows);
+
+        let t_ms = &self.cols.rtt.t_ms;
+        let test_id = &self.cols.rtt.test_id;
+        let key = |i: u32| (*at(t_ms, i), *at(test_id, i));
+        for (p, new) in add.iter().enumerate() {
+            if new.idx.is_empty() {
+                continue;
+            }
+            touched[p] = true;
+            let part = &mut self.rtt_parts[p];
+            merge_positions(&mut part.idx, &new.idx, key);
+            for (list, run) in part.by_tech.iter_mut().zip(&new.by_tech) {
+                merge_positions(list, run, key);
+            }
+            for (bin, new_bin) in part.by_bin_tech.iter_mut().zip(&new.by_bin_tech) {
+                for (list, run) in bin.iter_mut().zip(new_bin) {
+                    merge_positions(list, run, key);
+                }
+            }
+            part.sorted_ms = OnceLock::new();
+        }
+        touched
+    }
+
+    /// Coverage twin: per-operator index splice (coverage has no lazy
+    /// memos — the share kernels scan the index on every call).
+    fn ingest_coverage(&mut self, rows: Vec<CoverageSample>) {
+        if rows.is_empty() {
+            return;
+        }
+        let base = self.ds.coverage.len();
+        let mut add: [Vec<u32>; OPS] = Default::default();
+        for (j, s) in rows.iter().enumerate() {
+            self.cols.coverage.push(s);
+            push_pos(&mut add[s.operator.index()], base + j);
+        }
+        self.ds.coverage.extend(rows);
+
+        let t_ms = &self.cols.coverage.t_ms;
+        let op = &self.cols.coverage.operator;
+        let key = |i: u32| (*at(t_ms, i), *at(op, i));
+        for (list, run) in self.cov_idx.iter_mut().zip(&add) {
+            merge_positions(list, run, key);
+        }
+    }
+
+    /// Physically merge the shard's small tables into canonical order
+    /// (raw-order consumers: the handover kernels and the figure code)
+    /// and rebuild their column bundles — thousands of times smaller
+    /// than the sample tables, so the rebuild is noise.
+    fn ingest_small_tables(&mut self, sd: &mut Dataset) {
+        merge_sorted_by_key(&mut self.ds.runs, std::mem::take(&mut sd.runs), |r| {
+            (r.start.as_millis(), r.id)
+        });
+        merge_sorted_by_key(
+            &mut self.ds.handovers,
+            std::mem::take(&mut sd.handovers),
+            |h| {
+                (
+                    h.event.start.as_millis(),
+                    h.operator.index(),
+                    h.event.to_cell,
+                )
+            },
+        );
+        merge_sorted_by_key(&mut self.ds.apps, std::mem::take(&mut sd.apps), |a| a.id);
+        merge_sorted_by_key(&mut self.ds.audits, std::mem::take(&mut sd.audits), |a| {
+            (a.scheduled.as_millis(), a.test_id)
+        });
+
+        self.cols.runs = RunColumns::default();
+        for r in &self.ds.runs {
+            self.cols.runs.push(r);
+        }
+        self.cols.handovers = HandoverColumns::default();
+        for h in &self.ds.handovers {
+            self.cols.handovers.push(h);
+        }
+        self.cols.apps = AppColumns::default();
+        for a in &self.ds.apps {
+            self.cols.apps.push(a);
+        }
+        self.cols.audits = AuditColumns::default();
+        for a in &self.ds.audits {
+            self.cols.audits.push(a);
+        }
+    }
+
+    /// Rebuild a view by replaying a checkpoint journal frame-by-frame
+    /// through [`DatasetView::ingest_shard`] — the one incremental
+    /// pipeline `run_checkpointed`, `--resume` and a future
+    /// `wheels-serve` share. Strictly read-only (`checkpoint::tail`
+    /// stops at a torn tail without truncating it); returns the view
+    /// and the number of frames delivered.
+    pub fn from_journal(
+        dir: &Path,
+        fp: &Fingerprint,
+    ) -> Result<(DatasetView, usize), CheckpointError> {
+        let mut view = DatasetView::new(Dataset::default());
+        let n = checkpoint::tail(dir, fp, |_, rec| {
+            view.ingest_shard(rec);
+            Ok(())
+        })?;
+        Ok((view, n))
+    }
+
+    /// Surrender the dataset, restoring physical canonical order first
+    /// (ingest leaves the sample tables arrival-ordered). The stable
+    /// re-sort makes the export byte-identical to a plan-order campaign
+    /// merge whenever canonical keys are shard-unique — which the
+    /// simulator guarantees.
+    pub fn into_dataset(mut self) -> Dataset {
+        self.ds.normalize();
+        self.ds
     }
 }

@@ -21,8 +21,13 @@
 //! overnight gaps (one segment per drive day, optionally sub-split via
 //! [`CampaignConfig::shard_cycles`]), each shard runs independently on a
 //! worker pool with its own RNG stream (`campaign/{op}/{segment}`) and its
-//! own test-id range, and the shard datasets are merged in a fixed order
-//! and normalized — so the result is bit-identical at any thread count.
+//! own test-id range, and the shard datasets **stream** into the merged
+//! result in a fixed plan order: each shard normalizes itself into sorted
+//! runs, and completed shards drain through a bounded reorder window
+//! ([`CampaignConfig::merge_window`]) via an incremental sorted-run merge
+//! ([`Dataset::merge_normalized`]) — no terminal sort, no unbounded
+//! shard buffering, and the result is bit-identical at any thread count
+//! and any window size.
 //!
 //! Each drive shard cold-starts its [`RanSession`] a [`WARMUP`] window
 //! before its first cycle so the serving state (grant, A3 filter state) at
@@ -32,7 +37,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 use wheels_apps::arcav::{AppConfig, OffloadRun};
 use wheels_apps::gaming::GamingRun;
@@ -49,7 +54,7 @@ use wheels_sim_core::rng::SimRng;
 use wheels_sim_core::time::{SimDuration, SimTime};
 use wheels_transport::servers::ServerFleet;
 
-use crate::checkpoint::{CheckpointError, Fingerprint, Journal};
+use crate::checkpoint::{CheckpointError, Fingerprint, FrameSpan, Journal};
 use crate::disrupt::{FaultConfig, FaultKind, FaultSchedule, RetryPolicy};
 use crate::measure::{self, VehicleCtx};
 use crate::records::{
@@ -95,6 +100,16 @@ pub struct CampaignConfig {
     /// (None = one shard per drive day). Changing this changes the RNG
     /// stream layout, so it is part of the config, not a runtime knob.
     pub shard_cycles: Option<usize>,
+    /// Reorder-window size for the streaming merge: at most this many
+    /// completed shards sit in RAM waiting to drain in plan order
+    /// (None = unbounded). Plain runs bound residency by backpressure
+    /// (a worker more than a window ahead of the drain front waits);
+    /// checkpointed runs never stall — out-of-window shards drop their
+    /// RAM copy and re-read their own journal frame at drain time. Like
+    /// `threads`, this is a pure runtime knob: the output is
+    /// bit-identical at any window size, so it is not part of the
+    /// checkpoint [`Fingerprint`].
+    pub merge_window: Option<usize>,
     /// Measurement-disruption injection (default: disabled). Fault
     /// schedules are drawn from dedicated `campaign/faults/{op}/{segment}`
     /// streams, so enabling them never perturbs the simulation streams
@@ -113,9 +128,24 @@ impl Default for CampaignConfig {
             cycle_stride_s: 0,
             threads: None,
             shard_cycles: None,
+            merge_window: None,
             faults: FaultConfig::default(),
         }
     }
+}
+
+/// Telemetry from one streaming campaign merge
+/// ([`Campaign::run_with_stats`]): how tight the reorder window held.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Largest number of completed shards resident in RAM at once while
+    /// waiting to drain — never exceeds the effective merge window.
+    pub peak_resident: usize,
+    /// Completed shards whose RAM copy was dropped because they landed
+    /// outside the reorder window; they were re-read from their own
+    /// checkpoint-journal frame at drain time (journalled runs only —
+    /// plain runs bound residency by backpressure instead).
+    pub spilled: usize,
 }
 
 /// Duration of one round-robin cycle, including the trailing inter-test
@@ -181,6 +211,99 @@ impl ShardOut {
             ds: rec.dataset,
             cells: rec.cells.into_iter().collect(),
         }
+    }
+}
+
+/// One completed shard waiting in the reorder window of a journalled
+/// run: in-window shards stay resident; out-of-window shards drop their
+/// RAM copy — the journal frame they were just appended to *is* the
+/// spill — and carry only the frame's byte span for the drain-time
+/// re-read. Frames replayed by `--resume` start out spilled by
+/// construction.
+enum Done {
+    Resident(Box<ShardOut>),
+    Spilled(FrameSpan),
+}
+
+/// The streaming append-target of a campaign run: shard outputs drain
+/// into it one at a time, in plan order, each folding in via the linear
+/// run merge ([`Dataset::merge_normalized`]) — so the engine never holds
+/// more than the reorder window of completed shards and never pays the
+/// old terminal O(n log n) `normalize` sort.
+struct Merger<'o> {
+    ops: &'o [Operator],
+    out: Dataset,
+    /// Per-operator served-cell unions (Table 1's unique-cell counts
+    /// must not double count a cell seen by two shards).
+    cells: Vec<BTreeSet<CellId>>,
+}
+
+impl<'o> Merger<'o> {
+    fn new(ops: &'o [Operator]) -> Self {
+        Merger {
+            ops,
+            out: Dataset::default(),
+            cells: vec![BTreeSet::new(); ops.len()],
+        }
+    }
+
+    /// Fold the next shard (plan order) into the accumulator.
+    fn drain(&mut self, shard: ShardOut) {
+        if let Some(i) = self.ops.iter().position(|o| *o == shard.op) {
+            self.cells[i].extend(shard.cells.iter().copied());
+        }
+        let mut ds = shard.ds;
+        if !ds.is_normalized() {
+            // Shards normalize before handing off, but a journal written
+            // by an older build may still carry unsorted shard tables.
+            ds.normalize();
+        }
+        self.out.merge_normalized(ds);
+    }
+
+    /// Post-merge Table 1 accounting (per-operator unique-cell unions,
+    /// runtimes, runtime-derived XCAL log volume) and the final dataset.
+    /// Byte-identical to the old merge-everything-then-`normalize` path:
+    /// the incremental run merges reproduce the stable sort's
+    /// permutation, and the shared accounting pass reproduces its exact
+    /// f64 accumulation order.
+    fn finish(mut self) -> Dataset {
+        let log_base = self.out.log_bytes;
+        apply_table1_accounting(&mut self.out, self.ops, &self.cells, log_base);
+        debug_assert!(
+            self.out.is_normalized(),
+            "streaming merge left a table out of canonical order"
+        );
+        self.out
+    }
+}
+
+/// Table 1 accounting over an assembled dataset: per-operator
+/// unique-cell counts, runtimes, and the runtime-derived XCAL log
+/// volume accumulated in `ops` order on top of `log_base` (the summed
+/// per-shard log bytes, zero in practice). Shared by [`Merger::finish`]
+/// and the incremental `DatasetView::ingest_shard` path so both
+/// reproduce the exact f64 accumulation order of the pre-streaming
+/// terminal merge. Replaces any aggregates already present.
+pub(crate) fn apply_table1_accounting(
+    ds: &mut Dataset,
+    ops: &[Operator],
+    cells: &[BTreeSet<CellId>],
+    log_base: f64,
+) {
+    ds.unique_cells.clear();
+    ds.runtime_min.clear();
+    ds.log_bytes = log_base;
+    for (i, op) in ops.iter().enumerate() {
+        let runtime_ms: u64 = ds
+            .runs
+            .iter()
+            .filter(|r| r.operator == *op)
+            .map(|r| r.end.since(r.start).as_millis())
+            .sum();
+        ds.unique_cells.push((*op, cells[i].len()));
+        ds.runtime_min.push((*op, runtime_ms as f64 / 60_000.0));
+        ds.log_bytes += (runtime_ms as f64 / measure::SAMPLE_MS as f64) * LOG_BYTES_PER_SAMPLE;
     }
 }
 
@@ -320,11 +443,29 @@ impl Campaign {
     }
 
     /// Run the full campaign: execute the shard plan on a worker pool and
-    /// merge the results in plan order. Bit-identical at any thread count.
+    /// stream the results through the reorder window in plan order.
+    /// Bit-identical at any thread count and any merge window.
     pub fn run(&self, cfg: &CampaignConfig) -> Dataset {
+        self.run_with_stats(cfg).0
+    }
+
+    /// [`Campaign::run`] plus the streaming-merge telemetry — the bench
+    /// harness asserts the `merge_window` residency bound through this.
+    pub fn run_with_stats(&self, cfg: &CampaignConfig) -> (Dataset, MergeStats) {
         let jobs = self.plan(cfg);
-        let shards = self.run_jobs(&jobs, cfg);
-        self.finalize(shards, &Operator::ALL)
+        self.run_jobs(&jobs, cfg, &Operator::ALL)
+    }
+
+    /// Simulate every shard in the plan sequentially and hand back the
+    /// raw per-shard records in plan order — the feed for the
+    /// incremental `DatasetView::ingest_shard` pipeline and its
+    /// bench/property harnesses, which deliberately need the whole plan
+    /// materialized to shuffle and replay it.
+    pub fn shard_records(&self, cfg: &CampaignConfig) -> Vec<ShardRecords> {
+        self.plan(cfg)
+            .iter()
+            .map(|job| self.run_shard(job, cfg).into_records())
+            .collect()
     }
 
     /// The identity of a checkpointed run: every config field the shard
@@ -362,46 +503,49 @@ impl Campaign {
         dir: &Path,
         resume: bool,
     ) -> Result<Dataset, CheckpointError> {
+        Ok(self.run_checkpointed_with_stats(cfg, dir, resume)?.0)
+    }
+
+    /// [`Campaign::run_checkpointed`] plus the streaming-merge telemetry
+    /// (peak resident shard count, journal spill count).
+    pub fn run_checkpointed_with_stats(
+        &self,
+        cfg: &CampaignConfig,
+        dir: &Path,
+        resume: bool,
+    ) -> Result<(Dataset, MergeStats), CheckpointError> {
         let fp = self.fingerprint(cfg);
         let jobs = self.plan(cfg);
         let (journal, completed) = if resume {
-            Journal::resume(dir, &fp)?
+            Journal::resume_indexed(dir, &fp)?
         } else {
             (Journal::create(dir, &fp)?, BTreeMap::new())
         };
         // A matching fingerprint pins the plan shape, but frames still
-        // assert which shard they are — cross-check before trusting any.
-        for (i, rec) in &completed {
-            match jobs.get(*i) {
-                None => {
-                    return Err(CheckpointError::Invalid(format!(
-                        "journal frame for shard {i} is outside the {}-job plan",
-                        jobs.len()
-                    )));
-                }
-                Some(job) if job.op != rec.operator => {
-                    return Err(CheckpointError::Invalid(format!(
-                        "journal frame for shard {i} records {}, the plan expects {}",
-                        rec.operator.label(),
-                        job.op.label()
-                    )));
-                }
-                Some(_) => {}
+        // assert which shard they are — check the plan bounds up front;
+        // the operator cross-check happens when each frame is decoded at
+        // drain time (frames are no longer eagerly materialized).
+        for i in completed.keys() {
+            if *i >= jobs.len() {
+                return Err(CheckpointError::Invalid(format!(
+                    "journal frame for shard {i} is outside the {}-job plan",
+                    jobs.len()
+                )));
             }
         }
-        let shards = self.run_jobs_journalled(&jobs, cfg, journal, completed)?;
-        Ok(self.finalize(shards, &Operator::ALL))
+        self.run_jobs_journalled(&jobs, cfg, journal, completed)
     }
 
     /// Run the campaign for one operator (sequentially, same shard plan —
     /// the result matches that operator's slice of [`Campaign::run`]).
     pub fn run_operator(&self, op: Operator, cfg: &CampaignConfig) -> Dataset {
-        let mut shards = Vec::new();
+        let ops = [op];
+        let mut merger = Merger::new(&ops);
         if cfg.include_static {
-            shards.push(self.run_shard(&ShardJob { op, segment: None }, cfg));
+            merger.drain(self.run_shard(&ShardJob { op, segment: None }, cfg));
         }
         for seg in self.segments(cfg) {
-            shards.push(self.run_shard(
+            merger.drain(self.run_shard(
                 &ShardJob {
                     op,
                     segment: Some(seg),
@@ -409,7 +553,7 @@ impl Campaign {
                 cfg,
             ));
         }
-        self.finalize(shards, &[op])
+        merger.finish()
     }
 
     /// Worker count for a plan: `cfg.threads`, defaulting to one per
@@ -425,68 +569,173 @@ impl Campaign {
     }
 
     /// Execute jobs on a pool of `cfg.threads` workers (default: one per
-    /// core). Workers pull jobs from a shared counter; results land in
-    /// per-job slots so the merge order is the plan order regardless of
-    /// which worker ran what.
-    fn run_jobs(&self, jobs: &[ShardJob], cfg: &CampaignConfig) -> Vec<ShardOut> {
+    /// core), draining completed shards into the streaming [`Merger`] in
+    /// plan order through a bounded reorder window. Workers pull jobs
+    /// from a shared counter but *wait* before simulating a job more
+    /// than `merge_window` shards ahead of the drain front —
+    /// backpressure, not buffering, bounds residency when there is no
+    /// journal to spill to. The claimant of the drain-front job itself
+    /// never waits, so the pool always makes progress; and because the
+    /// drain order is the plan order no matter which worker ran what,
+    /// the output is byte-identical at any thread count and any window.
+    fn run_jobs(
+        &self,
+        jobs: &[ShardJob],
+        cfg: &CampaignConfig,
+        ops: &[Operator],
+    ) -> (Dataset, MergeStats) {
+        struct Reorder<'o> {
+            merger: Merger<'o>,
+            parked: BTreeMap<usize, ShardOut>,
+            next_drain: usize,
+            peak_resident: usize,
+        }
         let threads = Self::worker_threads(cfg, jobs.len());
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<ShardOut>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let window = cfg.merge_window.unwrap_or(usize::MAX).max(1);
+        let next_job = AtomicUsize::new(0);
+        let state = Mutex::new(Reorder {
+            merger: Merger::new(ops),
+            parked: BTreeMap::new(),
+            next_drain: 0,
+            peak_resident: 0,
+        });
+        let in_window = Condvar::new();
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(i) else { break };
-                    let out = self.run_shard(job, cfg);
-                    *slots[i].lock().expect("shard slot mutex poisoned") = Some(out);
+                    let i = next_job.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    {
+                        let mut st = state.lock().expect("reorder state mutex poisoned");
+                        while i >= st.next_drain.saturating_add(window) {
+                            st = in_window.wait(st).expect("reorder state mutex poisoned");
+                        }
+                    }
+                    let out = self.run_shard(&jobs[i], cfg);
+                    let mut st = state.lock().expect("reorder state mutex poisoned");
+                    st.parked.insert(i, out);
+                    st.peak_resident = st.peak_resident.max(st.parked.len());
+                    loop {
+                        let front = st.next_drain;
+                        let Some(done) = st.parked.remove(&front) else {
+                            break;
+                        };
+                        st.merger.drain(done);
+                        st.next_drain += 1;
+                    }
+                    drop(st);
+                    in_window.notify_all();
                 });
             }
         });
-        slots
-            .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .expect("shard slot mutex poisoned")
-                    .expect("shard completed")
-            })
-            .collect()
+        let st = state.into_inner().expect("reorder state mutex poisoned");
+        debug_assert_eq!(st.next_drain, jobs.len(), "every shard drained");
+        (
+            st.merger.finish(),
+            MergeStats {
+                peak_resident: st.peak_resident,
+                spilled: 0,
+            },
+        )
     }
 
-    /// [`Campaign::run_jobs`] with a checkpoint journal attached: slots
-    /// for `completed` shards are pre-filled from the replayed frames and
-    /// never re-simulated; every freshly-run shard is appended to the
-    /// journal (serialized under a lock — appends must not interleave)
-    /// *before* its result counts as done, so a kill at any moment loses
-    /// at most the shards still in flight. A journal write failure stops
-    /// the pool at the next job boundary and surfaces as an error rather
-    /// than silently degrading to an uncheckpointed run.
+    /// [`Campaign::run_jobs`] with a checkpoint journal attached: every
+    /// freshly-run shard is appended to the journal (serialized under a
+    /// lock — appends must not interleave) *before* its result counts as
+    /// done, so a kill at any moment loses at most the shards still in
+    /// flight. Journalled runs never stall on the reorder window:
+    /// instead of backpressure, an out-of-window shard drops its RAM
+    /// copy — its own just-synced journal frame is the spill — and is
+    /// re-read at drain time; frames replayed by `--resume` enter the
+    /// same way. A journal failure stops the pool at the next job
+    /// boundary and surfaces as an error rather than silently degrading
+    /// to an uncheckpointed run.
     fn run_jobs_journalled(
         &self,
         jobs: &[ShardJob],
         cfg: &CampaignConfig,
         journal: Journal,
-        completed: BTreeMap<usize, ShardRecords>,
-    ) -> Result<Vec<ShardOut>, CheckpointError> {
-        let threads = Self::worker_threads(cfg, jobs.len());
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<ShardOut>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
-        for (i, rec) in completed {
-            *slots[i].lock().expect("shard slot mutex poisoned") =
-                Some(ShardOut::from_records(rec));
+        completed: BTreeMap<usize, FrameSpan>,
+    ) -> Result<(Dataset, MergeStats), CheckpointError> {
+        struct Reorder<'o> {
+            merger: Merger<'o>,
+            parked: BTreeMap<usize, Done>,
+            next_drain: usize,
+            resident: usize,
+            peak_resident: usize,
+            spilled: usize,
         }
+        let threads = Self::worker_threads(cfg, jobs.len());
+        let window = cfg.merge_window.unwrap_or(usize::MAX).max(1);
+        let reader = journal.reader();
+        // Drain every contiguous done shard at the front of the window:
+        // resident shards fold straight in, spilled ones re-read their
+        // journal frame (re-verifying the operator the plan expects).
+        let drain = |st: &mut Reorder| -> Result<(), CheckpointError> {
+            loop {
+                let front = st.next_drain;
+                let Some(done) = st.parked.remove(&front) else {
+                    break;
+                };
+                let out = match done {
+                    Done::Resident(out) => {
+                        st.resident -= 1;
+                        *out
+                    }
+                    Done::Spilled(span) => {
+                        let rec = reader.read_frame(span)?;
+                        if rec.operator != jobs[st.next_drain].op {
+                            return Err(CheckpointError::Invalid(format!(
+                                "journal frame for shard {} records {}, the plan expects {}",
+                                st.next_drain,
+                                rec.operator.label(),
+                                jobs[st.next_drain].op.label()
+                            )));
+                        }
+                        ShardOut::from_records(rec)
+                    }
+                };
+                st.merger.drain(out);
+                st.next_drain += 1;
+            }
+            Ok(())
+        };
+        let mut init = Reorder {
+            merger: Merger::new(&Operator::ALL),
+            parked: BTreeMap::new(),
+            next_drain: 0,
+            resident: 0,
+            peak_resident: 0,
+            spilled: 0,
+        };
+        for (i, span) in completed {
+            init.parked.insert(i, Done::Spilled(span));
+        }
+        drain(&mut init)?;
+        let state = Mutex::new(init);
+        let next_job = AtomicUsize::new(0);
         let journal = Mutex::new(journal);
         let failed: Mutex<Option<CheckpointError>> = Mutex::new(None);
+        let fail = |e: CheckpointError| {
+            let mut slot = failed.lock().expect("journal failure mutex poisoned");
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        };
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(i) else { break };
-                    if slots[i]
-                        .lock()
-                        .expect("shard slot mutex poisoned")
-                        .is_some()
+                    let i = next_job.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
                     {
-                        continue; // replayed from the journal
+                        let st = state.lock().expect("reorder state mutex poisoned");
+                        if i < st.next_drain || st.parked.contains_key(&i) {
+                            continue; // replayed from the journal
+                        }
                     }
                     if failed
                         .lock()
@@ -495,23 +744,33 @@ impl Campaign {
                     {
                         break; // the journal is broken; stop burning work
                     }
-                    let rec = self.run_shard(job, cfg).into_records();
-                    let append = journal
+                    let rec = self.run_shard(&jobs[i], cfg).into_records();
+                    let appended = journal
                         .lock()
                         .expect("journal mutex poisoned")
                         .append(i, &rec);
-                    match append {
-                        Ok(()) => {
-                            *slots[i].lock().expect("shard slot mutex poisoned") =
-                                Some(ShardOut::from_records(rec));
-                        }
+                    let span = match appended {
+                        Ok(span) => span,
                         Err(e) => {
-                            let mut slot = failed.lock().expect("journal failure mutex poisoned");
-                            if slot.is_none() {
-                                *slot = Some(e);
-                            }
+                            fail(e);
                             break;
                         }
+                    };
+                    let mut st = state.lock().expect("reorder state mutex poisoned");
+                    if i < st.next_drain.saturating_add(window) {
+                        let parked = &mut st.parked;
+                        // lint: allow(bounded-ingest, this is the reorder window itself — residency is capped at merge_window and everything past it spills to the journal branch below)
+                        parked.insert(i, Done::Resident(ShardOut::from_records(rec).into()));
+                        st.resident += 1;
+                        st.peak_resident = st.peak_resident.max(st.resident);
+                    } else {
+                        st.parked.insert(i, Done::Spilled(span));
+                        st.spilled += 1;
+                    }
+                    if let Err(e) = drain(&mut st) {
+                        drop(st);
+                        fail(e);
+                        break;
                     }
                 });
             }
@@ -519,14 +778,18 @@ impl Campaign {
         if let Some(e) = failed.into_inner().expect("journal failure mutex poisoned") {
             return Err(e);
         }
-        Ok(slots
-            .into_iter()
-            .map(|m| {
-                m.into_inner()
-                    .expect("shard slot mutex poisoned")
-                    .expect("shard completed")
-            })
-            .collect())
+        let mut st = state.into_inner().expect("reorder state mutex poisoned");
+        // A fully-replayed resume never deposits anything from a worker,
+        // so the tail of the window drains here.
+        drain(&mut st)?;
+        debug_assert_eq!(st.next_drain, jobs.len(), "every shard drained");
+        Ok((
+            st.merger.finish(),
+            MergeStats {
+                peak_resident: st.peak_resident,
+                spilled: st.spilled,
+            },
+        ))
     }
 
     /// Run one shard: the operator's static baselines (segment = None) or
@@ -591,38 +854,17 @@ impl Campaign {
             None => runner.run_static_stops(dep),
             Some(seg) => runner.run_segment(seg, cfg.include_apps),
         }
+        // Hand each shard off as a set of sorted runs: merging
+        // stably-sorted runs in plan order reproduces the permutation of
+        // the old terminal stable sort over the concatenation (the
+        // classic mergesort identity), which is what keeps the streaming
+        // engine byte-identical to the buffering one.
+        runner.ds.normalize();
         ShardOut {
             op,
             ds: runner.ds,
             cells: runner.session.unique_cells().collect(),
         }
-    }
-
-    /// Merge shard outputs (already in plan order) and compute the
-    /// post-merge Table 1 accounting: per-operator unique-cell unions,
-    /// runtimes, and the runtime-derived XCAL log volume.
-    fn finalize(&self, shards: Vec<ShardOut>, ops: &[Operator]) -> Dataset {
-        let mut out = Dataset::default();
-        let mut cells: Vec<BTreeSet<CellId>> = vec![BTreeSet::new(); ops.len()];
-        for shard in shards {
-            if let Some(i) = ops.iter().position(|o| *o == shard.op) {
-                cells[i].extend(shard.cells.iter().copied());
-            }
-            out.merge(shard.ds);
-        }
-        for (i, op) in ops.iter().enumerate() {
-            let runtime_ms: u64 = out
-                .runs
-                .iter()
-                .filter(|r| r.operator == *op)
-                .map(|r| r.end.since(r.start).as_millis())
-                .sum();
-            out.unique_cells.push((*op, cells[i].len()));
-            out.runtime_min.push((*op, runtime_ms as f64 / 60_000.0));
-            out.log_bytes += (runtime_ms as f64 / measure::SAMPLE_MS as f64) * LOG_BYTES_PER_SAMPLE;
-        }
-        out.normalize();
-        out
     }
 }
 
@@ -1444,6 +1686,40 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn merge_window_is_a_pure_runtime_knob() {
+        let c = Campaign::standard(7);
+        let base = CampaignConfig {
+            max_cycles: Some(2),
+            include_apps: false,
+            include_static: false,
+            cycle_stride_s: 40_000,
+            shard_cycles: Some(1),
+            ..CampaignConfig::default()
+        };
+        let baseline = c.run(&base);
+        assert!(baseline.is_normalized(), "streamed output is canonical");
+        for (threads, window) in [(1, 1), (4, 1), (4, 2), (2, 3)] {
+            let cfg = CampaignConfig {
+                threads: Some(threads),
+                merge_window: Some(window),
+                ..base.clone()
+            };
+            let (ds, stats) = c.run_with_stats(&cfg);
+            assert_eq!(
+                serde_json::to_string(&ds).unwrap(),
+                serde_json::to_string(&baseline).unwrap(),
+                "threads {threads} window {window}"
+            );
+            assert!(
+                stats.peak_resident <= window,
+                "threads {threads} window {window}: peak resident {}",
+                stats.peak_resident
+            );
+            assert_eq!(stats.spilled, 0, "plain runs never spill");
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ use std::fmt;
 use std::io;
 use std::path::Path;
 
-use crate::checkpoint::{fnv1a64, write_atomic};
+use crate::checkpoint::{fnv1a64, write_atomic_with};
 
 use super::ColumnarDataset;
 
@@ -71,198 +71,150 @@ impl From<io::Error> for WcdError {
     }
 }
 
-/// The single source of truth for the column catalogue: visits every
-/// `(name, column)` pair of a [`ColumnarDataset`] in file order. Both
-/// the encoder and the decoder walk this list, so the two sides can
-/// never disagree about names, tags, or ordering. The three dataset
-/// scalars travel as one-element `f64` sections at the end.
+/// The single source of truth for the column catalogue: hands every
+/// `(name, field path, kind)` triple of a [`ColumnarDataset`] in file
+/// order to the callback macro `$with`, so the encoder (shared
+/// borrows, streamed) and the decoder (`&mut` slots, filled in place)
+/// walk one list and can never disagree about names, tags, or
+/// ordering. The three dataset scalars travel as one-element `f64`
+/// sections at the end.
 macro_rules! catalogue {
-    ($ds:expr, $f:expr) => {{
-        let ds = $ds;
-        let mut f = $f;
-        let mut walk = || -> Result<(), WcdError> {
-            f("tput.t_ms", kind_u64(&mut ds.tput.t_ms))?;
-            f("tput.test_id", kind_u32(&mut ds.tput.test_id))?;
-            f("tput.operator", kind_u8(&mut ds.tput.operator))?;
-            f("tput.direction", kind_u8(&mut ds.tput.direction))?;
-            f("tput.mbps", kind_f64(&mut ds.tput.mbps))?;
-            f("tput.tech", kind_u8(&mut ds.tput.tech))?;
-            f("tput.cell", kind_u32(&mut ds.tput.cell))?;
-            f("tput.speed_mph", kind_f64(&mut ds.tput.speed_mph))?;
-            f("tput.zone", kind_u8(&mut ds.tput.zone))?;
-            f("tput.tz", kind_u8(&mut ds.tput.tz))?;
-            f("tput.server", kind_u8(&mut ds.tput.server))?;
-            f("tput.rsrp_dbm", kind_f64(&mut ds.tput.rsrp_dbm))?;
-            f("tput.mcs", kind_u8(&mut ds.tput.mcs))?;
-            f("tput.bler", kind_f64(&mut ds.tput.bler))?;
-            f("tput.carriers", kind_u8(&mut ds.tput.carriers))?;
-            f(
-                "tput.handovers_in_bin",
-                kind_u8(&mut ds.tput.handovers_in_bin),
-            )?;
-            f("tput.driving", kind_u8(&mut ds.tput.driving))?;
+    ($with:ident) => {
+        $with!("tput.t_ms", tput.t_ms, U64);
+        $with!("tput.test_id", tput.test_id, U32);
+        $with!("tput.operator", tput.operator, U8);
+        $with!("tput.direction", tput.direction, U8);
+        $with!("tput.mbps", tput.mbps, F64);
+        $with!("tput.tech", tput.tech, U8);
+        $with!("tput.cell", tput.cell, U32);
+        $with!("tput.speed_mph", tput.speed_mph, F64);
+        $with!("tput.zone", tput.zone, U8);
+        $with!("tput.tz", tput.tz, U8);
+        $with!("tput.server", tput.server, U8);
+        $with!("tput.rsrp_dbm", tput.rsrp_dbm, F64);
+        $with!("tput.mcs", tput.mcs, U8);
+        $with!("tput.bler", tput.bler, F64);
+        $with!("tput.carriers", tput.carriers, U8);
+        $with!("tput.handovers_in_bin", tput.handovers_in_bin, U8);
+        $with!("tput.driving", tput.driving, U8);
 
-            f("rtt.t_ms", kind_u64(&mut ds.rtt.t_ms))?;
-            f("rtt.test_id", kind_u32(&mut ds.rtt.test_id))?;
-            f("rtt.operator", kind_u8(&mut ds.rtt.operator))?;
-            f("rtt.rtt_valid", kind_u8(&mut ds.rtt.rtt_valid))?;
-            f("rtt.rtt_ms", kind_f64(&mut ds.rtt.rtt_ms))?;
-            f("rtt.tech", kind_u8(&mut ds.rtt.tech))?;
-            f("rtt.speed_mph", kind_f64(&mut ds.rtt.speed_mph))?;
-            f("rtt.tz", kind_u8(&mut ds.rtt.tz))?;
-            f("rtt.server", kind_u8(&mut ds.rtt.server))?;
-            f("rtt.driving", kind_u8(&mut ds.rtt.driving))?;
+        $with!("rtt.t_ms", rtt.t_ms, U64);
+        $with!("rtt.test_id", rtt.test_id, U32);
+        $with!("rtt.operator", rtt.operator, U8);
+        $with!("rtt.rtt_valid", rtt.rtt_valid, U8);
+        $with!("rtt.rtt_ms", rtt.rtt_ms, F64);
+        $with!("rtt.tech", rtt.tech, U8);
+        $with!("rtt.speed_mph", rtt.speed_mph, F64);
+        $with!("rtt.tz", rtt.tz, U8);
+        $with!("rtt.server", rtt.server, U8);
+        $with!("rtt.driving", rtt.driving, U8);
 
-            f("coverage.t_ms", kind_u64(&mut ds.coverage.t_ms))?;
-            f("coverage.operator", kind_u8(&mut ds.coverage.operator))?;
-            f("coverage.tech", kind_u8(&mut ds.coverage.tech))?;
-            f("coverage.direction", kind_u8(&mut ds.coverage.direction))?;
-            f("coverage.miles", kind_f64(&mut ds.coverage.miles))?;
-            f("coverage.speed_mph", kind_f64(&mut ds.coverage.speed_mph))?;
-            f("coverage.tz", kind_u8(&mut ds.coverage.tz))?;
-            f("coverage.zone", kind_u8(&mut ds.coverage.zone))?;
+        $with!("coverage.t_ms", coverage.t_ms, U64);
+        $with!("coverage.operator", coverage.operator, U8);
+        $with!("coverage.tech", coverage.tech, U8);
+        $with!("coverage.direction", coverage.direction, U8);
+        $with!("coverage.miles", coverage.miles, F64);
+        $with!("coverage.speed_mph", coverage.speed_mph, F64);
+        $with!("coverage.tz", coverage.tz, U8);
+        $with!("coverage.zone", coverage.zone, U8);
 
-            f("runs.id", kind_u32(&mut ds.runs.id))?;
-            f("runs.kind", kind_u8(&mut ds.runs.kind))?;
-            f("runs.operator", kind_u8(&mut ds.runs.operator))?;
-            f("runs.start_ms", kind_u64(&mut ds.runs.start_ms))?;
-            f("runs.end_ms", kind_u64(&mut ds.runs.end_ms))?;
-            f("runs.miles", kind_f64(&mut ds.runs.miles))?;
-            f("runs.tz", kind_u8(&mut ds.runs.tz))?;
-            f("runs.server", kind_u8(&mut ds.runs.server))?;
-            f("runs.hs5g_fraction", kind_f64(&mut ds.runs.hs5g_fraction))?;
-            f("runs.handovers", kind_u32(&mut ds.runs.handovers))?;
-            f("runs.driving", kind_u8(&mut ds.runs.driving))?;
-            f("runs.partial", kind_u8(&mut ds.runs.partial))?;
+        $with!("runs.id", runs.id, U32);
+        $with!("runs.kind", runs.kind, U8);
+        $with!("runs.operator", runs.operator, U8);
+        $with!("runs.start_ms", runs.start_ms, U64);
+        $with!("runs.end_ms", runs.end_ms, U64);
+        $with!("runs.miles", runs.miles, F64);
+        $with!("runs.tz", runs.tz, U8);
+        $with!("runs.server", runs.server, U8);
+        $with!("runs.hs5g_fraction", runs.hs5g_fraction, F64);
+        $with!("runs.handovers", runs.handovers, U32);
+        $with!("runs.driving", runs.driving, U8);
+        $with!("runs.partial", runs.partial, U8);
 
-            f("handovers.start_ms", kind_u64(&mut ds.handovers.start_ms))?;
-            f(
-                "handovers.duration_ms",
-                kind_u64(&mut ds.handovers.duration_ms),
-            )?;
-            f("handovers.from_cell", kind_u32(&mut ds.handovers.from_cell))?;
-            f("handovers.to_cell", kind_u32(&mut ds.handovers.to_cell))?;
-            f("handovers.from_tech", kind_u8(&mut ds.handovers.from_tech))?;
-            f("handovers.to_tech", kind_u8(&mut ds.handovers.to_tech))?;
-            f("handovers.kind", kind_u8(&mut ds.handovers.kind))?;
-            f("handovers.operator", kind_u8(&mut ds.handovers.operator))?;
-            f(
-                "handovers.test_valid",
-                kind_u8(&mut ds.handovers.test_valid),
-            )?;
-            f("handovers.test_id", kind_u32(&mut ds.handovers.test_id))?;
-            f("handovers.direction", kind_u8(&mut ds.handovers.direction))?;
+        $with!("handovers.start_ms", handovers.start_ms, U64);
+        $with!("handovers.duration_ms", handovers.duration_ms, U64);
+        $with!("handovers.from_cell", handovers.from_cell, U32);
+        $with!("handovers.to_cell", handovers.to_cell, U32);
+        $with!("handovers.from_tech", handovers.from_tech, U8);
+        $with!("handovers.to_tech", handovers.to_tech, U8);
+        $with!("handovers.kind", handovers.kind, U8);
+        $with!("handovers.operator", handovers.operator, U8);
+        $with!("handovers.test_valid", handovers.test_valid, U8);
+        $with!("handovers.test_id", handovers.test_id, U32);
+        $with!("handovers.direction", handovers.direction, U8);
 
-            f("apps.id", kind_u32(&mut ds.apps.id))?;
-            f("apps.operator", kind_u8(&mut ds.apps.operator))?;
-            f("apps.kind", kind_u8(&mut ds.apps.kind))?;
-            f("apps.server", kind_u8(&mut ds.apps.server))?;
-            f("apps.driving", kind_u8(&mut ds.apps.driving))?;
-            f("apps.off_valid", kind_u8(&mut ds.apps.off_valid))?;
-            f("apps.off_e2e_len", kind_u32(&mut ds.apps.off_e2e_len))?;
-            f(
-                "apps.off_frames_offloaded",
-                kind_u64(&mut ds.apps.off_frames_offloaded),
-            )?;
-            f(
-                "apps.off_frames_total",
-                kind_u64(&mut ds.apps.off_frames_total),
-            )?;
-            f("apps.off_compressed", kind_u8(&mut ds.apps.off_compressed))?;
-            f("apps.off_hs5g", kind_f64(&mut ds.apps.off_hs5g))?;
-            f("apps.off_handovers", kind_u64(&mut ds.apps.off_handovers))?;
-            f("apps.off_e2e_ms", kind_f64(&mut ds.apps.off_e2e_ms))?;
-            f("apps.vid_valid", kind_u8(&mut ds.apps.vid_valid))?;
-            f("apps.vid_chunks_len", kind_u32(&mut ds.apps.vid_chunks_len))?;
-            f("apps.vid_hs5g", kind_f64(&mut ds.apps.vid_hs5g))?;
-            f("apps.vid_handovers", kind_u64(&mut ds.apps.vid_handovers))?;
-            f(
-                "apps.vid_bitrate_mbps",
-                kind_f64(&mut ds.apps.vid_bitrate_mbps),
-            )?;
-            f("apps.vid_rebuffer_s", kind_f64(&mut ds.apps.vid_rebuffer_s))?;
-            f("apps.vid_qoe", kind_f64(&mut ds.apps.vid_qoe))?;
-            f("apps.gam_valid", kind_u8(&mut ds.apps.gam_valid))?;
-            f(
-                "apps.gam_bitrate_len",
-                kind_u32(&mut ds.apps.gam_bitrate_len),
-            )?;
-            f(
-                "apps.gam_latency_len",
-                kind_u32(&mut ds.apps.gam_latency_len),
-            )?;
-            f(
-                "apps.gam_frames_dropped",
-                kind_u64(&mut ds.apps.gam_frames_dropped),
-            )?;
-            f(
-                "apps.gam_frames_sent",
-                kind_u64(&mut ds.apps.gam_frames_sent),
-            )?;
-            f("apps.gam_hs5g", kind_f64(&mut ds.apps.gam_hs5g))?;
-            f("apps.gam_handovers", kind_u64(&mut ds.apps.gam_handovers))?;
-            f(
-                "apps.gam_bitrate_mbps",
-                kind_f64(&mut ds.apps.gam_bitrate_mbps),
-            )?;
-            f("apps.gam_latency_ms", kind_f64(&mut ds.apps.gam_latency_ms))?;
+        $with!("apps.id", apps.id, U32);
+        $with!("apps.operator", apps.operator, U8);
+        $with!("apps.kind", apps.kind, U8);
+        $with!("apps.server", apps.server, U8);
+        $with!("apps.driving", apps.driving, U8);
+        $with!("apps.off_valid", apps.off_valid, U8);
+        $with!("apps.off_e2e_len", apps.off_e2e_len, U32);
+        $with!("apps.off_frames_offloaded", apps.off_frames_offloaded, U64);
+        $with!("apps.off_frames_total", apps.off_frames_total, U64);
+        $with!("apps.off_compressed", apps.off_compressed, U8);
+        $with!("apps.off_hs5g", apps.off_hs5g, F64);
+        $with!("apps.off_handovers", apps.off_handovers, U64);
+        $with!("apps.off_e2e_ms", apps.off_e2e_ms, F64);
+        $with!("apps.vid_valid", apps.vid_valid, U8);
+        $with!("apps.vid_chunks_len", apps.vid_chunks_len, U32);
+        $with!("apps.vid_hs5g", apps.vid_hs5g, F64);
+        $with!("apps.vid_handovers", apps.vid_handovers, U64);
+        $with!("apps.vid_bitrate_mbps", apps.vid_bitrate_mbps, F64);
+        $with!("apps.vid_rebuffer_s", apps.vid_rebuffer_s, F64);
+        $with!("apps.vid_qoe", apps.vid_qoe, F64);
+        $with!("apps.gam_valid", apps.gam_valid, U8);
+        $with!("apps.gam_bitrate_len", apps.gam_bitrate_len, U32);
+        $with!("apps.gam_latency_len", apps.gam_latency_len, U32);
+        $with!("apps.gam_frames_dropped", apps.gam_frames_dropped, U64);
+        $with!("apps.gam_frames_sent", apps.gam_frames_sent, U64);
+        $with!("apps.gam_hs5g", apps.gam_hs5g, F64);
+        $with!("apps.gam_handovers", apps.gam_handovers, U64);
+        $with!("apps.gam_bitrate_mbps", apps.gam_bitrate_mbps, F64);
+        $with!("apps.gam_latency_ms", apps.gam_latency_ms, F64);
 
-            f("audits.test_id", kind_u32(&mut ds.audits.test_id))?;
-            f("audits.operator", kind_u8(&mut ds.audits.operator))?;
-            f("audits.kind", kind_u8(&mut ds.audits.kind))?;
-            f("audits.day", kind_u8(&mut ds.audits.day))?;
-            f("audits.scheduled_ms", kind_u64(&mut ds.audits.scheduled_ms))?;
-            f("audits.status", kind_u8(&mut ds.audits.status))?;
-            f("audits.attempts", kind_u32(&mut ds.audits.attempts))?;
-            f("audits.fault", kind_u8(&mut ds.audits.fault))?;
-            f(
-                "audits.planned_samples",
-                kind_u32(&mut ds.audits.planned_samples),
-            )?;
-            f(
-                "audits.recorded_samples",
-                kind_u32(&mut ds.audits.recorded_samples),
-            )?;
-            f("audits.lost_samples", kind_u32(&mut ds.audits.lost_samples))?;
+        $with!("audits.test_id", audits.test_id, U32);
+        $with!("audits.operator", audits.operator, U8);
+        $with!("audits.kind", audits.kind, U8);
+        $with!("audits.day", audits.day, U8);
+        $with!("audits.scheduled_ms", audits.scheduled_ms, U64);
+        $with!("audits.status", audits.status, U8);
+        $with!("audits.attempts", audits.attempts, U32);
+        $with!("audits.fault", audits.fault, U8);
+        $with!("audits.planned_samples", audits.planned_samples, U32);
+        $with!("audits.recorded_samples", audits.recorded_samples, U32);
+        $with!("audits.lost_samples", audits.lost_samples, U32);
 
-            f("cells.operator", kind_u8(&mut ds.cells_operator))?;
-            f("cells.count", kind_u64(&mut ds.cells_count))?;
-            f("runtime.operator", kind_u8(&mut ds.runtime_operator))?;
-            f("runtime.min", kind_f64(&mut ds.runtime_min))?;
+        $with!("cells.operator", cells_operator, U8);
+        $with!("cells.count", cells_count, U64);
+        $with!("runtime.operator", runtime_operator, U8);
+        $with!("runtime.min", runtime_min, F64);
 
-            f("scalar.rx_bytes", scalar(&mut ds.rx_bytes))?;
-            f("scalar.tx_bytes", scalar(&mut ds.tx_bytes))?;
-            f("scalar.log_bytes", scalar(&mut ds.log_bytes))?;
-            Ok(())
-        };
-        walk()
-    }};
+        $with!("scalar.rx_bytes", rx_bytes, Scalar);
+        $with!("scalar.tx_bytes", tx_bytes, Scalar);
+        $with!("scalar.log_bytes", log_bytes, Scalar);
+    };
 }
 
-fn kind_u8(v: &mut Vec<u8>) -> EntrySource<'_> {
-    EntrySource::U8(v)
-}
-fn kind_u32(v: &mut Vec<u32>) -> EntrySource<'_> {
-    EntrySource::U32(v)
-}
-fn kind_u64(v: &mut Vec<u64>) -> EntrySource<'_> {
-    EntrySource::U64(v)
-}
-fn kind_f64(v: &mut Vec<f64>) -> EntrySource<'_> {
-    EntrySource::F64(v)
-}
-fn scalar(v: &mut f64) -> EntrySource<'_> {
-    EntrySource::Scalar(v)
-}
-
-/// A mutable borrow of one catalogue column; each visitor decides
-/// whether to read it (encode) or fill it (decode).
+/// A mutable borrow of one catalogue column slot, filled by the
+/// decoder.
 enum EntrySource<'a> {
     U8(&'a mut Vec<u8>),
     U32(&'a mut Vec<u32>),
     U64(&'a mut Vec<u64>),
     F64(&'a mut Vec<f64>),
     Scalar(&'a mut f64),
+}
+
+/// A shared borrow of one catalogue column, read by the encoder. The
+/// split from [`EntrySource`] is what lets `encode_to` stream straight
+/// off the caller's dataset without cloning it.
+enum EntryRef<'a> {
+    U8(&'a Vec<u8>),
+    U32(&'a Vec<u32>),
+    U64(&'a Vec<u64>),
+    F64(&'a Vec<f64>),
+    Scalar(&'a f64),
 }
 
 impl EntrySource<'_> {
@@ -276,68 +228,101 @@ impl EntrySource<'_> {
     }
 }
 
-fn push_section(out: &mut Vec<u8>, name: &str, src: &EntrySource<'_>) -> Result<(), WcdError> {
-    let (tag, elems, payload): (u8, u64, Vec<u8>) = match src {
-        EntrySource::U8(v) => (TAG_U8, len64(v.len())?, v.to_vec()),
-        EntrySource::U32(v) => (
-            TAG_U32,
-            len64(v.len())?,
-            v.iter().flat_map(|x| x.to_le_bytes()).collect(),
-        ),
-        EntrySource::U64(v) => (
-            TAG_U64,
-            len64(v.len())?,
-            v.iter().flat_map(|x| x.to_le_bytes()).collect(),
-        ),
-        EntrySource::F64(v) => (
-            TAG_F64,
-            len64(v.len())?,
-            v.iter().flat_map(|x| x.to_le_bytes()).collect(),
-        ),
-        EntrySource::Scalar(v) => (TAG_F64, 1, v.to_le_bytes().to_vec()),
-    };
-    let name_len = u8::try_from(name.len())
-        .map_err(|_| WcdError::Invalid(format!("column name {name:?} exceeds 255 bytes")))?;
-    out.push(tag);
-    out.push(name_len);
-    out.extend_from_slice(name.as_bytes());
-    out.extend_from_slice(&elems.to_le_bytes());
-    out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
-    while !out.len().is_multiple_of(8) {
-        out.push(0);
+/// Streaming section emitter: tracks the absolute file offset so the
+/// pad-to-8 math works against any `io::Write` sink (the in-memory
+/// buffer's length is not available once the bytes go straight to a
+/// file). One scratch buffer is reused across sections, so peak memory
+/// is one column's payload, not the whole file image.
+struct SectionWriter<W: io::Write> {
+    w: W,
+    pos: u64,
+    scratch: Vec<u8>,
+}
+
+impl<W: io::Write> SectionWriter<W> {
+    fn put(&mut self, bytes: &[u8]) -> Result<(), WcdError> {
+        self.w.write_all(bytes)?;
+        self.pos += len64(bytes.len())?;
+        Ok(())
     }
-    out.extend_from_slice(&payload);
-    debug_assert_eq!(tag, src.tag());
-    Ok(())
+
+    fn section(&mut self, name: &str, col: EntryRef<'_>) -> Result<(), WcdError> {
+        self.scratch.clear();
+        let (tag, elems) = match col {
+            EntryRef::U8(v) => {
+                self.scratch.extend_from_slice(v);
+                (TAG_U8, len64(v.len())?)
+            }
+            EntryRef::U32(v) => {
+                self.scratch.extend(v.iter().flat_map(|x| x.to_le_bytes()));
+                (TAG_U32, len64(v.len())?)
+            }
+            EntryRef::U64(v) => {
+                self.scratch.extend(v.iter().flat_map(|x| x.to_le_bytes()));
+                (TAG_U64, len64(v.len())?)
+            }
+            EntryRef::F64(v) => {
+                self.scratch.extend(v.iter().flat_map(|x| x.to_le_bytes()));
+                (TAG_F64, len64(v.len())?)
+            }
+            EntryRef::Scalar(v) => {
+                self.scratch.extend_from_slice(&v.to_le_bytes());
+                (TAG_F64, 1)
+            }
+        };
+        let name_len = u8::try_from(name.len())
+            .map_err(|_| WcdError::Invalid(format!("column name {name:?} exceeds 255 bytes")))?;
+        let sum = fnv1a64(&self.scratch);
+        self.put(&[tag, name_len])?;
+        self.put(name.as_bytes())?;
+        self.put(&elems.to_le_bytes())?;
+        self.put(&sum.to_le_bytes())?;
+        while !self.pos.is_multiple_of(8) {
+            self.put(&[0])?;
+        }
+        self.w.write_all(&self.scratch)?;
+        self.pos += len64(self.scratch.len())?;
+        Ok(())
+    }
 }
 
 fn len64(n: usize) -> Result<u64, WcdError> {
     u64::try_from(n).map_err(|_| WcdError::Invalid("column length exceeds u64".to_string()))
 }
 
-/// Serialize a columnar dataset to WCD1 bytes.
-pub fn encode(ds: &ColumnarDataset) -> Vec<u8> {
-    // The catalogue visitor takes `&mut` slots so decode can fill them;
-    // encode pays one clone to reuse the same single-source catalogue —
-    // save cost is dominated by the payload copies either way.
-    let mut ds = ds.clone();
-    let mut out = Vec::new();
-    out.extend_from_slice(MAGIC);
+/// Serialize a columnar dataset straight into `w`, section by section.
+/// Peak memory is one column's payload (the checksum needs the
+/// serialized bytes before the header is written), never the full
+/// encoded image — the `dataset --format bin` export streams through
+/// here. Bytes produced are identical to [`encode`].
+pub fn encode_to<W: io::Write>(ds: &ColumnarDataset, w: W) -> Result<(), WcdError> {
     let mut count: u32 = 0;
-    let counter: Result<(), WcdError> = catalogue!(&mut ds, |_name: &str,
-                                                             _src: EntrySource<'_>|
-     -> Result<(), WcdError> {
-        count += 1;
-        Ok(())
-    });
-    counter.expect("counting visitor cannot fail");
-    out.extend_from_slice(&count.to_le_bytes());
-    let body: Result<(), WcdError> = catalogue!(&mut ds, |name: &str,
-                                                          src: EntrySource<'_>|
-     -> Result<(), WcdError> {
-        push_section(&mut out, name, &src)
-    });
-    body.expect("encode visitor cannot fail: lengths checked per section");
+    macro_rules! count_col {
+        ($name:literal, $($field:ident).+, $kind:ident) => {
+            count += 1;
+        };
+    }
+    catalogue!(count_col);
+    let mut sw = SectionWriter {
+        w,
+        pos: 0,
+        scratch: Vec::new(),
+    };
+    sw.put(MAGIC)?;
+    sw.put(&count.to_le_bytes())?;
+    macro_rules! write_col {
+        ($name:literal, $($field:ident).+, $kind:ident) => {
+            sw.section($name, EntryRef::$kind(&ds.$($field).+))?;
+        };
+    }
+    catalogue!(write_col);
+    Ok(())
+}
+
+/// Serialize a columnar dataset to WCD1 bytes in memory.
+pub fn encode(ds: &ColumnarDataset) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_to(ds, &mut out).expect("encoding to memory cannot fail");
     out
 }
 
@@ -464,19 +449,20 @@ pub fn decode(bytes: &[u8]) -> Result<ColumnarDataset, WcdError> {
 
     let mut ds = ColumnarDataset::default();
     let mut seen: u32 = 0;
-    let visit: Result<(), WcdError> = catalogue!(&mut ds, |name: &str,
-                                                           slot: EntrySource<'_>|
-     -> Result<(), WcdError> {
-        let (got_name, tag, payload) = r.section()?;
-        if got_name != name {
-            return Err(WcdError::Invalid(format!(
-                "expected column {name}, file has {got_name}"
-            )));
-        }
-        seen += 1;
-        fill(slot, tag, payload, name)
-    });
-    visit?;
+    macro_rules! read_col {
+        ($name:literal, $($field:ident).+, $kind:ident) => {{
+            let (got_name, tag, payload) = r.section()?;
+            if got_name != $name {
+                return Err(WcdError::Invalid(format!(
+                    "expected column {}, file has {got_name}",
+                    $name
+                )));
+            }
+            seen += 1;
+            fill(EntrySource::$kind(&mut ds.$($field).+), tag, payload, $name)?;
+        }};
+    }
+    catalogue!(read_col);
     if seen != declared {
         return Err(WcdError::Invalid(format!(
             "catalogue declares {declared} columns, schema expects {seen}"
@@ -493,9 +479,10 @@ pub fn decode(bytes: &[u8]) -> Result<ColumnarDataset, WcdError> {
 }
 
 /// Encode and persist via the checkpoint crash-safety discipline
-/// (temp file + fsync + atomic rename).
-pub fn write_file(path: &Path, ds: &ColumnarDataset) -> io::Result<()> {
-    write_atomic(path, &encode(ds))
+/// (temp file + fsync + atomic rename), streaming sections to the
+/// temp file instead of materializing the encoded image in memory.
+pub fn write_file(path: &Path, ds: &ColumnarDataset) -> Result<(), WcdError> {
+    write_atomic_with(path, |w| encode_to(ds, w))
 }
 
 #[cfg(test)]
@@ -522,6 +509,59 @@ mod tests {
         let bytes = encode(&ds);
         let back = decode(&bytes).expect("decodes");
         assert_eq!(back.rx_bytes, 1.5);
+    }
+
+    /// An `io::Write` that forwards one byte per `write` call, forcing
+    /// the section writer's running-offset pad math to survive
+    /// arbitrarily fragmented sinks.
+    struct DribbleWriter(Vec<u8>);
+
+    impl io::Write for DribbleWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            match buf.first() {
+                Some(&b) => {
+                    self.0.push(b);
+                    Ok(1)
+                }
+                None => Ok(0),
+            }
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn streamed_encode_is_byte_identical() {
+        let ds = ColumnarDataset {
+            rx_bytes: 3.25,
+            tx_bytes: 0.5,
+            log_bytes: 9.0,
+            cells_operator: vec![0, 1, 2],
+            cells_count: vec![10, 20, 30],
+            ..ColumnarDataset::default()
+        };
+        let mut dribbled = DribbleWriter(Vec::new());
+        encode_to(&ds, &mut dribbled).expect("streamed encode succeeds");
+        assert_eq!(dribbled.0, encode(&ds));
+    }
+
+    #[test]
+    fn write_file_streams_the_same_bytes() {
+        let dir = std::env::temp_dir().join("wheels-wcd-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.wcd");
+        let ds = ColumnarDataset {
+            log_bytes: 42.0,
+            runtime_operator: vec![0, 1, 2],
+            runtime_min: vec![1.0, 2.0, 3.0],
+            ..ColumnarDataset::default()
+        };
+        write_file(&path, &ds).expect("streamed file write succeeds");
+        assert_eq!(std::fs::read(&path).unwrap(), encode(&ds));
+        assert!(!dir.join("stream.wcd.tmp").exists());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -300,6 +300,45 @@ pub struct ShardRecords {
     pub cells: Vec<wheels_ran::cells::CellId>,
 }
 
+/// Merge a sorted run `src` into the sorted `dst`, keyed by `key`, with
+/// `dst`'s elements winning ties. This is exactly the permutation a
+/// stable sort of `dst ++ src` would produce, so repeatedly merging
+/// shard runs in plan order reproduces the old concatenate-then-
+/// `normalize` bytes without the terminal O(n log n) sort.
+pub(crate) fn merge_sorted_by_key<T, K: Ord>(dst: &mut Vec<T>, src: Vec<T>, key: impl Fn(&T) -> K) {
+    if src.is_empty() {
+        return;
+    }
+    // Fast path: the incoming run sorts entirely after the existing one
+    // (common when shards cover disjoint ascending time windows).
+    if dst.last().is_none_or(|d| key(d) <= key(&src[0])) {
+        dst.extend(src);
+        return;
+    }
+    let old = std::mem::take(dst);
+    dst.reserve(old.len() + src.len());
+    let (mut a, mut b) = (old.into_iter(), src.into_iter());
+    let (mut x, mut y) = (a.next(), b.next());
+    while let (Some(xv), Some(yv)) = (x.as_ref(), y.as_ref()) {
+        if key(xv) <= key(yv) {
+            dst.extend(x.take());
+            x = a.next();
+        } else {
+            dst.extend(y.take());
+            y = b.next();
+        }
+    }
+    dst.extend(x);
+    dst.extend(a);
+    dst.extend(y);
+    dst.extend(b);
+}
+
+/// True when `v` is sorted (non-strictly) by `key`.
+fn sorted_by_key<T, K: Ord>(v: &[T], key: impl Fn(&T) -> K) -> bool {
+    v.windows(2).all(|w| key(&w[0]) <= key(&w[1]))
+}
+
 impl Dataset {
     /// Merge another dataset (used to combine per-operator shards).
     pub fn merge(&mut self, other: Dataset) {
@@ -339,6 +378,62 @@ impl Dataset {
             .sort_by_key(|a| (a.scheduled.as_millis(), a.test_id));
         self.unique_cells.sort_by_key(|(op, _)| op.index());
         self.runtime_min.sort_by_key(|(op, _)| op.index());
+    }
+
+    /// Merge another **normalized** dataset into this **normalized**
+    /// one while keeping every table in canonical order. Equivalent to
+    /// [`Dataset::merge`] followed by [`Dataset::normalize`] — the run
+    /// merge keeps `self`'s rows first on ties, exactly like the stable
+    /// sort — but costs one linear pass per table instead of a full
+    /// re-sort, which is what lets the campaign engine drain shards
+    /// incrementally instead of sorting at the end.
+    pub fn merge_normalized(&mut self, other: Dataset) {
+        merge_sorted_by_key(&mut self.tput, other.tput, |s| (s.t.as_millis(), s.test_id));
+        merge_sorted_by_key(&mut self.rtt, other.rtt, |s| (s.t.as_millis(), s.test_id));
+        merge_sorted_by_key(&mut self.coverage, other.coverage, |s| {
+            (s.t.as_millis(), s.operator.index())
+        });
+        merge_sorted_by_key(&mut self.runs, other.runs, |r| (r.start.as_millis(), r.id));
+        merge_sorted_by_key(&mut self.handovers, other.handovers, |h| {
+            (
+                h.event.start.as_millis(),
+                h.operator.index(),
+                h.event.to_cell,
+            )
+        });
+        merge_sorted_by_key(&mut self.apps, other.apps, |a| a.id);
+        merge_sorted_by_key(&mut self.audits, other.audits, |a| {
+            (a.scheduled.as_millis(), a.test_id)
+        });
+        self.rx_bytes += other.rx_bytes;
+        self.tx_bytes += other.tx_bytes;
+        self.log_bytes += other.log_bytes;
+        merge_sorted_by_key(&mut self.unique_cells, other.unique_cells, |(op, _)| {
+            op.index()
+        });
+        merge_sorted_by_key(&mut self.runtime_min, other.runtime_min, |(op, _)| {
+            op.index()
+        });
+    }
+
+    /// True when every table is already in [`Dataset::normalize`]'s
+    /// canonical order (so `normalize` would be a no-op permutation).
+    pub fn is_normalized(&self) -> bool {
+        sorted_by_key(&self.tput, |s| (s.t.as_millis(), s.test_id))
+            && sorted_by_key(&self.rtt, |s| (s.t.as_millis(), s.test_id))
+            && sorted_by_key(&self.coverage, |s| (s.t.as_millis(), s.operator.index()))
+            && sorted_by_key(&self.runs, |r| (r.start.as_millis(), r.id))
+            && sorted_by_key(&self.handovers, |h| {
+                (
+                    h.event.start.as_millis(),
+                    h.operator.index(),
+                    h.event.to_cell,
+                )
+            })
+            && sorted_by_key(&self.apps, |a| a.id)
+            && sorted_by_key(&self.audits, |a| (a.scheduled.as_millis(), a.test_id))
+            && sorted_by_key(&self.unique_cells, |(op, _)| op.index())
+            && sorted_by_key(&self.runtime_min, |(op, _)| op.index())
     }
 
     /// Throughput samples filtered the way most figures need.
@@ -450,6 +545,39 @@ mod tests {
         });
         let vals: Vec<f64> = d.rtt_where(Some(Operator::Verizon), Some(true)).collect();
         assert_eq!(vals, vec![64.0]);
+    }
+
+    #[test]
+    fn merge_normalized_matches_merge_then_normalize() {
+        let mk = |t_ms: u64, id: u32| RttSample {
+            t: SimTime(t_ms),
+            test_id: id,
+            operator: Operator::Verizon,
+            rtt_ms: Some(40.0),
+            tech: Technology::Lte,
+            speed_mph: 60.0,
+            tz: Timezone::Central,
+            server: ServerKind::Cloud,
+            driving: true,
+        };
+        let mut a = Dataset {
+            rtt: vec![mk(0, 1), mk(500, 1), mk(2_000, 7)],
+            rx_bytes: 3.0,
+            ..Default::default()
+        };
+        let b = Dataset {
+            rtt: vec![mk(500, 1), mk(500, 2), mk(9_000, 3)],
+            rx_bytes: 4.0,
+            ..Default::default()
+        };
+        assert!(a.is_normalized() && b.is_normalized());
+        let mut plain = a.clone();
+        plain.merge(b.clone());
+        plain.normalize();
+        a.merge_normalized(b);
+        assert_eq!(a, plain);
+        assert!(a.is_normalized());
+        assert_eq!(a.rx_bytes, 7.0);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! plus the Table 1 accounting) as a single document.
 //!
 //! ```text
-//! dataset [--quick|--standard|--full] [--seed N] [--threads N] [--faults]
+//! dataset [--quick|--standard|--full] [--seed N] [--threads N]
+//!         [--merge-window N] [--faults]
 //!         [--checkpoint DIR | --resume DIR] [--format json|bin] [output]
 //! ```
 //!
@@ -35,7 +36,7 @@ use wheels_core::checkpoint::write_atomic;
 use wheels_core::column::wcd;
 use wheels_core::disrupt::FaultConfig;
 use wheels_experiments::cli::{self, Format};
-use wheels_experiments::world::{Scale, World};
+use wheels_experiments::world::{Scale, Tuning, World};
 
 fn main() {
     let args = cli::parse_args(Scale::Quick, std::env::args().skip(1)).unwrap_or_else(|e| {
@@ -53,29 +54,18 @@ fn main() {
     } else {
         FaultConfig::default()
     };
+    let tuning = Tuning {
+        threads: args.threads,
+        merge_window: args.merge_window,
+    };
     let world = match (&args.checkpoint, &args.resume) {
-        (Some(dir), _) => World::build_checkpointed(
-            args.scale,
-            args.seed,
-            args.threads,
-            faults,
-            Path::new(dir),
-            false,
-        ),
-        (_, Some(dir)) => World::build_checkpointed(
-            args.scale,
-            args.seed,
-            args.threads,
-            faults,
-            Path::new(dir),
-            true,
-        ),
-        _ => Ok(World::build_with_faults(
-            args.scale,
-            args.seed,
-            args.threads,
-            faults,
-        )),
+        (Some(dir), _) => {
+            World::build_checkpointed(args.scale, args.seed, tuning, faults, Path::new(dir), false)
+        }
+        (_, Some(dir)) => {
+            World::build_checkpointed(args.scale, args.seed, tuning, faults, Path::new(dir), true)
+        }
+        _ => Ok(World::build_tuned(args.scale, args.seed, tuning, faults)),
     }
     .unwrap_or_else(|e| {
         eprintln!("{e}");
@@ -91,26 +81,52 @@ fn main() {
         ds.handovers.len(),
         ds.apps.len()
     );
-    let bytes = match args.format {
-        Format::Json => serde_json::to_string(ds)
-            .expect("dataset serializes")
-            .into_bytes(),
-        // The world's view already holds the columnar twin; encoding is
-        // a checksum pass over its fixed-width sections.
-        Format::Bin => wcd::encode(world.view().columns()),
-    };
-    match out_path {
-        Some(p) => {
-            if let Err(e) = write_atomic(Path::new(&p), &bytes) {
-                eprintln!("cannot write {p}: {e}");
-                std::process::exit(1);
+    match args.format {
+        Format::Json => {
+            let bytes = serde_json::to_string(ds)
+                .expect("dataset serializes")
+                .into_bytes();
+            match out_path {
+                Some(p) => {
+                    if let Err(e) = write_atomic(Path::new(&p), &bytes) {
+                        eprintln!("cannot write {p}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("wrote {p} ({} MB)", bytes.len() / 1_000_000);
+                }
+                None => {
+                    if let Err(e) = std::io::stdout().lock().write_all(&bytes) {
+                        eprintln!("cannot write dataset to stdout: {e}");
+                        std::process::exit(1);
+                    }
+                }
             }
-            eprintln!("wrote {p} ({} MB)", bytes.len() / 1_000_000);
         }
-        None => {
-            if let Err(e) = std::io::stdout().lock().write_all(&bytes) {
-                eprintln!("cannot write dataset to stdout: {e}");
-                std::process::exit(1);
+        // The world's view already holds the columnar twin; the binary
+        // export streams its sections straight to the sink (temp file +
+        // atomic rename, or stdout) — the full encoded image never
+        // exists in memory, so peak RSS stays near the dataset itself.
+        Format::Bin => {
+            let cols = world.view().columns();
+            match out_path {
+                Some(p) => {
+                    let path = Path::new(&p);
+                    if let Err(e) = wcd::write_file(path, cols) {
+                        eprintln!("cannot write {p}: {e}");
+                        std::process::exit(1);
+                    }
+                    let written = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                    eprintln!("wrote {p} ({} MB)", written / 1_000_000);
+                }
+                None => {
+                    let mut w = std::io::BufWriter::new(std::io::stdout().lock());
+                    let streamed = wcd::encode_to(cols, &mut w)
+                        .and_then(|()| w.flush().map_err(wcd::WcdError::from));
+                    if let Err(e) = streamed {
+                        eprintln!("cannot write dataset to stdout: {e}");
+                        std::process::exit(1);
+                    }
+                }
             }
         }
     }

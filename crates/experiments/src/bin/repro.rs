@@ -1,7 +1,8 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick|--standard|--full] [--seed N] [--threads N] [--faults]
+//! repro [--quick|--standard|--full] [--seed N] [--threads N]
+//!       [--merge-window N] [--faults]
 //!       [--checkpoint DIR | --resume DIR] [--load FILE] [ids...]
 //! repro --list
 //! ```
@@ -25,13 +26,16 @@
 //! With no ids, every experiment runs. Experiments execute on a worker
 //! pool (`--threads N`, default = host cores) with output buffered per
 //! experiment and printed in registry order, so stdout is byte-identical
-//! at any thread count. Run in release mode; `--full` is the paper's
+//! at any thread count. `--merge-window N` bounds the campaign merge to
+//! at most N resident completed shards (the rest spill through the
+//! checkpoint journal) — like `--threads`, it never changes any output,
+//! only peak memory. Run in release mode; `--full` is the paper's
 //! continuous protocol and takes minutes.
 
 use std::io::Write;
 
 use wheels_core::disrupt::FaultConfig;
-use wheels_experiments::world::{Scale, World};
+use wheels_experiments::world::{Scale, Tuning, World};
 use wheels_experiments::{cli, registry, render_report, resolve};
 
 fn main() {
@@ -78,11 +82,15 @@ fn main() {
         eprintln!("loaded {path} ({fmt} format, {} bytes)", bytes.len());
         Ok(World::from_dataset(args.scale, args.seed, ds))
     } else {
+        let tuning = Tuning {
+            threads: args.threads,
+            merge_window: args.merge_window,
+        };
         match (&args.checkpoint, &args.resume) {
             (Some(dir), _) => World::build_checkpointed(
                 args.scale,
                 args.seed,
-                args.threads,
+                tuning,
                 faults,
                 std::path::Path::new(dir),
                 false,
@@ -90,17 +98,12 @@ fn main() {
             (_, Some(dir)) => World::build_checkpointed(
                 args.scale,
                 args.seed,
-                args.threads,
+                tuning,
                 faults,
                 std::path::Path::new(dir),
                 true,
             ),
-            _ => Ok(World::build_with_faults(
-                args.scale,
-                args.seed,
-                args.threads,
-                faults,
-            )),
+            _ => Ok(World::build_tuned(args.scale, args.seed, tuning, faults)),
         }
     }
     .unwrap_or_else(|e| {

@@ -26,6 +26,11 @@ pub struct Args {
     /// Worker-pool cap (`--threads N`, default = host cores). Never
     /// changes any output, only wall time.
     pub threads: Option<usize>,
+    /// Streaming-merge reorder window (`--merge-window N`, default =
+    /// unbounded): at most N completed shards are held resident waiting
+    /// for plan order; the rest apply backpressure or spill to the
+    /// checkpoint journal. Never changes any output, only peak memory.
+    pub merge_window: Option<usize>,
     /// Enable the demo disruption mix (`--faults`): injected server
     /// outages, app crashes, logger gaps and clock-drift bursts, with
     /// retry/salvage accounting in the quality report.
@@ -65,6 +70,7 @@ pub fn parse_args(
         scale: default_scale,
         seed: 2022,
         threads: None,
+        merge_window: None,
         faults: false,
         checkpoint: None,
         resume: None,
@@ -102,6 +108,18 @@ pub fn parse_args(
                     return Err("--threads needs a positive integer, got 0".to_string());
                 }
                 args.threads = Some(n);
+            }
+            "--merge-window" => {
+                let v = iter
+                    .next()
+                    .ok_or("--merge-window needs a positive shard count")?;
+                let n: usize = v.parse().map_err(|_| {
+                    format!("--merge-window needs a positive shard count, got {v:?}")
+                })?;
+                if n == 0 {
+                    return Err("--merge-window needs a positive shard count, got 0".to_string());
+                }
+                args.merge_window = Some(n);
             }
             "--faults" => args.faults = true,
             "--checkpoint" => {
@@ -207,6 +225,24 @@ mod tests {
         assert!(parse(&["--threads", "zero"]).is_err());
         let e = parse(&["--threads", "0"]).unwrap_err();
         assert!(e.contains("positive"), "{e}");
+    }
+
+    #[test]
+    fn merge_window_flag() {
+        assert_eq!(parse(&[]).unwrap().merge_window, None);
+        let a = parse(&["--merge-window", "8"]).unwrap();
+        assert_eq!(a.merge_window, Some(8));
+        assert!(parse(&["--merge-window"]).is_err());
+        assert!(parse(&["--merge-window", "four"]).is_err());
+        let e = parse(&["--merge-window", "0"]).unwrap_err();
+        assert!(e.contains("positive"), "{e}");
+        assert_eq!(
+            parse(&["--merge-window", "2", "--merge-window", "2"]).unwrap_err(),
+            "duplicate flag --merge-window"
+        );
+        // A pure runtime knob, like --threads: fine alongside --load.
+        let a = parse(&["--load", "ds.wcd", "--merge-window", "4"]).unwrap();
+        assert_eq!(a.merge_window, Some(4));
     }
 
     #[test]

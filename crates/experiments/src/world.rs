@@ -51,6 +51,19 @@ impl Scale {
     }
 }
 
+/// Runtime knobs that never change any output: the worker-pool cap and
+/// the streaming-merge reorder window. Bundled so the builders don't grow
+/// one positional `Option` per knob.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tuning {
+    /// Worker-pool cap (`None` = host cores). Affects wall time only.
+    pub threads: Option<usize>,
+    /// Streaming-merge reorder window (`None` = unbounded): at most this
+    /// many completed shards are held resident waiting for plan order.
+    /// Affects peak memory only.
+    pub merge_window: Option<usize>,
+}
+
 /// The shared world.
 pub struct World {
     /// The campaign (route, trace, deployments, servers).
@@ -87,7 +100,22 @@ impl World {
         threads: Option<usize>,
         faults: FaultConfig,
     ) -> World {
-        let (campaign, cfg) = Self::campaign_for(scale, seed, threads, faults);
+        Self::build_tuned(
+            scale,
+            seed,
+            Tuning {
+                threads,
+                ..Tuning::default()
+            },
+            faults,
+        )
+    }
+
+    /// Build a fresh world with the full set of runtime knobs. Neither
+    /// knob changes the dataset: threads move wall time, the merge window
+    /// moves peak memory, and the bytes are identical either way.
+    pub fn build_tuned(scale: Scale, seed: u64, tuning: Tuning, faults: FaultConfig) -> World {
+        let (campaign, cfg) = Self::campaign_for(scale, seed, tuning, faults);
         let dataset = campaign.run(&cfg);
         World {
             campaign,
@@ -105,12 +133,12 @@ impl World {
     pub fn build_checkpointed(
         scale: Scale,
         seed: u64,
-        threads: Option<usize>,
+        tuning: Tuning,
         faults: FaultConfig,
         dir: &Path,
         resume: bool,
     ) -> Result<World, CheckpointError> {
-        let (campaign, cfg) = Self::campaign_for(scale, seed, threads, faults);
+        let (campaign, cfg) = Self::campaign_for(scale, seed, tuning, faults);
         let dataset = campaign.run_checkpointed(&cfg, dir, resume)?;
         Ok(World {
             campaign,
@@ -135,15 +163,18 @@ impl World {
     fn campaign_for(
         scale: Scale,
         seed: u64,
-        threads: Option<usize>,
+        tuning: Tuning,
         faults: FaultConfig,
     ) -> (Campaign, CampaignConfig) {
         let campaign = Campaign::standard(seed);
         let mut cfg = scale.config();
         cfg.seed = seed;
         cfg.faults = faults;
-        if threads.is_some() {
-            cfg.threads = threads;
+        if tuning.threads.is_some() {
+            cfg.threads = tuning.threads;
+        }
+        if tuning.merge_window.is_some() {
+            cfg.merge_window = tuning.merge_window;
         }
         (campaign, cfg)
     }

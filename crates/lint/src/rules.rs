@@ -27,9 +27,9 @@ pub struct RuleMeta {
     pub about: &'static str,
 }
 
-/// The rule catalogue, in order: tier-1 token rules (0–8), tier-2
-/// dataflow passes (9–12), and the strict-allows audit (13).
-pub const RULES: [RuleMeta; 14] = [
+/// The rule catalogue, in order: tier-1 token rules (0–9), tier-2
+/// dataflow passes (10–13), and the strict-allows audit (14).
+pub const RULES: [RuleMeta; 15] = [
     RuleMeta {
         name: "nondeterminism",
         id: "nondeterminism",
@@ -74,6 +74,11 @@ pub const RULES: [RuleMeta; 14] = [
         name: "columnar-kernel",
         id: "columnar_kernel",
         about: "batched analysis paths gather from column slices, not per-row struct walks",
+    },
+    RuleMeta {
+        name: "bounded-ingest",
+        id: "bounded_ingest",
+        about: "campaign-merge paths keep shard-record residency inside the reorder window",
     },
     RuleMeta {
         name: "determinism-taint",
@@ -763,6 +768,92 @@ pub fn columnar_kernel(
             &toks[k],
             format!(
                 "`.iter().map(|{param}| {param}.{field})` walks rows struct-by-struct in a batched analysis path — gather from the contiguous `{field}` column slice (see the `*_cols` kernels), or justify with `// lint: allow(columnar-kernel, reason)`"
+            ),
+        ));
+    }
+}
+
+/// Identifiers in a call's argument tokens that mark shard-records
+/// flow: the record bundle types and the functions that produce them.
+const SHARD_ARG_MARKERS: [&str; 6] = [
+    "ShardOut",
+    "ShardRecords",
+    "into_records",
+    "from_records",
+    "run_shard",
+    "read_frame",
+];
+
+/// Rule 10 — bounded-ingest: on the campaign-merge paths
+/// (`ingest_paths`), growing a collection of shard records with
+/// `.push(..)` / `.insert(..)` and no residency bound defeats the
+/// streaming merge — the engine guarantees at most `merge_window`
+/// completed shards resident, and one unbounded accumulation of
+/// `ShardRecords` silently restores the all-shards-in-memory behavior
+/// the reorder window exists to prevent. A call is flagged when the
+/// receiver identifier mentions shards or the argument tokens carry a
+/// shard-records marker ([`SHARD_ARG_MARKERS`]); the bounded park
+/// inside the reorder window itself carries a reasoned allow.
+pub fn bounded_ingest(
+    file: &SourceFile,
+    lexed: &LexedFile,
+    mask: &[bool],
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    if !cfg
+        .ingest_paths
+        .iter()
+        .any(|p| file.rel_path.starts_with(p.as_str()))
+    {
+        return;
+    }
+    const RULE: &str = RULES[9].name;
+    let toks = &lexed.toks;
+    for k in 0..toks.len() {
+        if mask[k] {
+            continue;
+        }
+        let Some(method @ ("push" | "insert")) = toks[k].ident() else {
+            continue;
+        };
+        if k == 0 || !toks[k - 1].is_punct('.') || !toks.get(k + 1).is_some_and(|t| t.is_punct('('))
+        {
+            continue;
+        }
+        let shard_receiver = k >= 2
+            && toks[k - 2]
+                .ident()
+                .is_some_and(|id| id.to_ascii_lowercase().contains("shard"));
+        let shard_argument = {
+            let mut depth = 0i32;
+            let mut j = k + 1;
+            let mut hit = false;
+            while let Some(t) = toks.get(j) {
+                if t.is_punct('(') {
+                    depth += 1;
+                } else if t.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.ident().is_some_and(|id| SHARD_ARG_MARKERS.contains(&id)) {
+                    hit = true;
+                }
+                j += 1;
+            }
+            hit
+        };
+        if !(shard_receiver || shard_argument) {
+            continue;
+        }
+        out.push(finding(
+            RULE,
+            file,
+            lexed,
+            &toks[k],
+            format!(
+                "`.{method}(..)` accumulates shard records on a campaign-merge path with no residency bound — the streaming merge parks at most `merge_window` shards and spills the rest through the journal; bound this collection, or justify with `// lint: allow(bounded-ingest, reason)`"
             ),
         ));
     }

