@@ -1,0 +1,194 @@
+//! `wheels-serve` timings: query latency over TCP and per-shard ingest
+//! lag (append-to-queryable).
+//!
+//! Like the other benches, deliberately not Criterion: the interesting
+//! numbers are end-to-end — a real server, a real socket, a real
+//! journal — and they land in `BENCH_serve.json` at the repo root as a
+//! tracked baseline.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo bench -p wheels-bench --bench serve              # Quick scale
+//! cargo bench -p wheels-bench --bench serve -- --standard
+//! ```
+//!
+//! Two measurements:
+//!
+//! - **Query latency**: a finished quick journal is served, then one
+//!   client issues a mixed request stream (quantile / cdf / table1) and
+//!   records per-request round-trip times; we report p50/p90/p99.
+//! - **Ingest lag**: shard frames are appended to a live journal one at
+//!   a time, and for each we measure append → answer-visible (the
+//!   server's shard counter advancing). With `--poll-ms 1` this is the
+//!   poll latency plus the ~ms splice, i.e. the freshness a dashboard
+//!   sees.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use wheels_core::analysis::view::DatasetView;
+use wheels_core::campaign::{Campaign, CampaignConfig};
+use wheels_core::checkpoint::Journal;
+use wheels_core::records::Dataset;
+use wheels_experiments::world::{Scale, World};
+use wheels_serve::server::{self, JournalSpec, ServeOptions};
+
+const QUERIES: [&str; 4] = [
+    "{\"cmd\":\"quantile\",\"table\":\"tput\",\"q\":0.5}",
+    "{\"cmd\":\"quantile\",\"table\":\"rtt\",\"op\":\"verizon\",\"driving\":true,\"q\":0.9}",
+    "{\"cmd\":\"cdf\",\"table\":\"tput\",\"op\":\"tmobile\",\"dir\":\"dl\",\"points\":11}",
+    "{\"cmd\":\"table1\"}",
+];
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn start_server(dir: PathBuf, cfg: &CampaignConfig, poll_ms: u64) -> server::ServerHandle {
+    let fp = Campaign::standard(cfg.seed).fingerprint(cfg);
+    let base = World::from_view(Scale::Quick, cfg.seed, DatasetView::new(Dataset::default()));
+    server::start(
+        base,
+        JournalSpec {
+            dir,
+            fingerprint: fp,
+        },
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 2,
+            poll_ms,
+            io_timeout_ms: 60_000,
+            max_inflight: 16,
+        },
+    )
+    .expect("server starts")
+}
+
+fn wait_for_shards(handle: &server::ServerHandle, want: usize) {
+    let t0 = Instant::now();
+    while handle.shards_ingested() < want {
+        assert!(t0.elapsed() < Duration::from_secs(300), "ingest stalled");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Round-trip latencies (µs) for `n` requests cycled from `QUERIES`
+/// over one persistent connection.
+fn query_latencies(handle: &server::ServerHandle, n: usize) -> Vec<f64> {
+    let sock = TcpStream::connect(handle.addr()).expect("connect");
+    sock.set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    sock.set_nodelay(true).expect("nodelay");
+    let mut writer = sock.try_clone().expect("clone socket");
+    let mut reader = BufReader::new(sock);
+    let mut line = String::new();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let req = format!("{}\n", QUERIES[i % QUERIES.len()]);
+        let t0 = Instant::now();
+        writer.write_all(req.as_bytes()).expect("send");
+        writer.flush().expect("flush");
+        line.clear();
+        let got = reader.read_line(&mut line).expect("response");
+        assert!(got > 0 && line.starts_with("{\"ok\":true"), "{line}");
+        out.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    out
+}
+
+fn main() {
+    let standard = std::env::args().any(|a| a == "--standard");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("serve bench: {cores} cores, standard={standard}");
+    let scale = if standard {
+        Scale::Standard
+    } else {
+        Scale::Quick
+    };
+    let scale_name = if standard { "standard" } else { "quick" };
+    let campaign = Campaign::standard(2022);
+    let mut cfg = scale.config();
+    cfg.seed = 2022;
+    cfg.threads = Some(2);
+
+    // --- Query latency over a fully-caught-up server. ---
+    eprintln!("building the {scale_name} journal...");
+    let tmp = std::env::temp_dir().join(format!("wheels-bench-serve-{}", std::process::id()));
+    let query_dir = tmp.join("query");
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&query_dir).expect("bench tmp dir");
+    campaign
+        .run_checkpointed(&cfg, &query_dir, false)
+        .expect("checkpoint campaign");
+    let fp = campaign.fingerprint(&cfg);
+    let handle = start_server(query_dir.clone(), &cfg, 10);
+    wait_for_shards(&handle, fp.jobs);
+    // Warm the memoized CDFs out of band, then measure.
+    let _ = query_latencies(&handle, QUERIES.len());
+    let n = 400;
+    let mut lat = query_latencies(&handle, n);
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let (p50, p90, p99) = (
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.90),
+        percentile(&lat, 0.99),
+    );
+    eprintln!("query latency over {n} reqs: p50 {p50:.0}us p90 {p90:.0}us p99 {p99:.0}us");
+    handle.shutdown().expect("clean shutdown");
+
+    // --- Ingest lag: append shards one at a time to a live journal. ---
+    eprintln!("measuring ingest lag...");
+    let lag_dir = tmp.join("lag");
+    std::fs::create_dir_all(&lag_dir).expect("bench tmp dir");
+    let shards = campaign.shard_records(&cfg);
+    let mut journal = Journal::create(&lag_dir, &fp).expect("create journal");
+    let handle = start_server(lag_dir.clone(), &cfg, 1);
+    let mut lags = Vec::with_capacity(shards.len());
+    for (i, rec) in shards.into_iter().enumerate() {
+        journal.append(i, &rec).expect("append shard frame");
+        // Clock starts once the frame is durable: the lag a reader sees
+        // between a finished shard and queryable answers.
+        let t0 = Instant::now();
+        wait_for_shards(&handle, i + 1);
+        lags.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let shard_count = lags.len();
+    let mut sorted = lags.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let (lag_p50, lag_max) = (percentile(&sorted, 0.5), sorted[sorted.len() - 1]);
+    let lag_mean = lags.iter().sum::<f64>() / shard_count as f64;
+    eprintln!(
+        "ingest lag over {shard_count} shards: mean {lag_mean:.2}ms p50 {lag_p50:.2}ms max {lag_max:.2}ms"
+    );
+    handle.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"host_cores\": {cores},\n  \"scale\": \"{scale_name}\",\n  \
+         \"note\": \"{note}\",\n  \"query\": {{\n    \"requests\": {n},\n    \
+         \"p50_us\": {p50:.1},\n    \"p90_us\": {p90:.1},\n    \"p99_us\": {p99:.1}\n  }},\n  \
+         \"ingest_lag\": {{\n    \"shards\": {shard_count},\n    \"poll_ms\": 1,\n    \
+         \"mean_ms\": {lag_mean:.3},\n    \"p50_ms\": {lag_p50:.3},\n    \
+         \"max_ms\": {lag_max:.3}\n  }}\n}}\n",
+        note = "query percentiles are TCP round-trips of a mixed quantile/cdf/table1 stream \
+                against a caught-up server; ingest lag is append-to-queryable per live shard \
+                frame at --poll-ms 1 (poll latency + splice)",
+    );
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let path = root.join("BENCH_serve.json");
+    std::fs::write(&path, &json).expect("write BENCH_serve.json");
+    eprintln!("wrote {}", path.display());
+    print!("{json}");
+}

@@ -61,7 +61,7 @@ use crate::analysis::correlation::{self, CorrelationRow};
 use crate::analysis::coverage::{self, TechShare};
 use crate::analysis::handover::{self, HoImpact};
 use crate::campaign::apply_table1_accounting;
-use crate::checkpoint::{self, CheckpointError, Fingerprint};
+use crate::checkpoint::{self, CheckpointError, Fingerprint, TailState};
 use crate::column::{
     op_code, AppColumns, AuditColumns, ColumnError, ColumnarDataset, HandoverColumns, RunColumns,
 };
@@ -963,20 +963,22 @@ impl DatasetView {
 
     /// Rebuild a view by replaying a checkpoint journal frame-by-frame
     /// through [`DatasetView::ingest_shard`] — the one incremental
-    /// pipeline `run_checkpointed`, `--resume` and a future
-    /// `wheels-serve` share. Strictly read-only (`checkpoint::tail`
-    /// stops at a torn tail without truncating it); returns the view
-    /// and the number of frames delivered.
+    /// pipeline `run_checkpointed`, `--resume` and `wheels-serve`
+    /// share. Strictly read-only (`checkpoint::tail` stops at a torn
+    /// tail without truncating it); returns the view and the
+    /// [`TailState`] resume cursor, so a live follower can keep
+    /// polling from `TailState::next_offset` via
+    /// `checkpoint::tail_from` without re-reading the replayed prefix.
     pub fn from_journal(
         dir: &Path,
         fp: &Fingerprint,
-    ) -> Result<(DatasetView, usize), CheckpointError> {
+    ) -> Result<(DatasetView, TailState), CheckpointError> {
         let mut view = DatasetView::new(Dataset::default());
-        let n = checkpoint::tail(dir, fp, |_, rec| {
+        let state = checkpoint::tail(dir, fp, |_, rec| {
             view.ingest_shard(rec);
             Ok(())
         })?;
-        Ok((view, n))
+        Ok((view, state))
     }
 
     /// Surrender the dataset, restoring physical canonical order first

@@ -324,20 +324,73 @@ fn open_verified(
     Ok((path, bytes, pos))
 }
 
+/// Where a journal tail stopped: the resume cursor a live follower
+/// feeds back into [`tail_from`] on its next poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailState {
+    /// Byte offset of the first unconsumed frame — the end of the last
+    /// intact frame delivered (or, equivalently, the start of the torn
+    /// tail if the walk stopped at one). Resuming here makes polling
+    /// incremental: nothing before this offset is ever re-read, and a
+    /// frame that was torn on one poll and completed by the writer
+    /// before the next is delivered exactly once.
+    pub next_offset: u64,
+    /// Frames delivered to the sink by this walk.
+    pub delivered: usize,
+}
+
 /// Replay `dir`'s journal frame-by-frame into `sink`, in append order,
 /// without ever holding more than one decoded frame in memory. The
 /// identity header is verified against `fp` exactly like a resume, but
 /// the walk is strictly **read-only**: a torn tail stops the replay
 /// (every intact frame before it is delivered) and is *not* truncated
 /// away. This is the one incremental pipeline shared by
-/// `run_checkpointed --resume`, `DatasetView::from_journal`, and any
-/// future live follower. Returns the number of frames delivered.
+/// `run_checkpointed --resume`, `DatasetView::from_journal`, and the
+/// `wheels-serve` live follower. Returns the [`TailState`] cursor;
+/// follow-up polls continue from it via [`tail_from`].
 pub fn tail(
     dir: &Path,
     fp: &Fingerprint,
+    sink: impl FnMut(usize, ShardRecords) -> Result<(), CheckpointError>,
+) -> Result<TailState, CheckpointError> {
+    tail_from(dir, fp, None, sink)
+}
+
+/// [`tail`] with a resume cursor: `resume_at = Some(offset)` continues
+/// a live follow from a prior [`TailState::next_offset`], reading only
+/// the bytes at and after the offset — no full-journal re-read per
+/// poll, and no header re-verification (the identity was pinned when
+/// the follower attached with `resume_at = None`). The offset contract
+/// makes the torn-tail race safe by construction: a poll that lands
+/// mid-append stops *at* the torn frame's start and returns that
+/// offset, so the next poll re-scans the now-completed frame and
+/// delivers it exactly once — never skipped, never double-ingested.
+/// Offsets must come from a prior tail of the same journal; an
+/// arbitrary offset is harmless (a frame checksum cannot hold at a
+/// misaligned position, so the walk just reports a torn tail) but
+/// useless.
+pub fn tail_from(
+    dir: &Path,
+    fp: &Fingerprint,
+    resume_at: Option<u64>,
     mut sink: impl FnMut(usize, ShardRecords) -> Result<(), CheckpointError>,
-) -> Result<usize, CheckpointError> {
-    let (_path, bytes, mut pos) = open_verified(dir, fp)?;
+) -> Result<TailState, CheckpointError> {
+    // `bytes[start..]` holds the unconsumed journal suffix; `base` is
+    // the absolute file offset of `bytes[0]`.
+    let (bytes, mut pos, base) = match resume_at {
+        None => {
+            let (_path, bytes, pos) = open_verified(dir, fp)?;
+            (bytes, pos, 0u64)
+        }
+        Some(off) => {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut f = File::open(Journal::file_path(dir))?;
+            f.seek(SeekFrom::Start(off))?;
+            let mut bytes = Vec::new();
+            f.read_to_end(&mut bytes)?;
+            (bytes, 0usize, off)
+        }
+    };
     let mut delivered = 0usize;
     loop {
         match scan_frame(&bytes, pos) {
@@ -360,7 +413,12 @@ pub fn tail(
             }
         }
     }
-    Ok(delivered)
+    let consumed = u64::try_from(pos)
+        .map_err(|_| CheckpointError::Invalid("journal length exceeds u64".to_string()))?;
+    Ok(TailState {
+        next_offset: base + consumed,
+        delivered,
+    })
 }
 
 /// Write `bytes` to `path` atomically: temp file in the same directory,
@@ -681,12 +739,17 @@ mod tests {
         let cut = full.len() + (torn.len() - full.len()) / 2;
         std::fs::write(Journal::file_path(&dir), &torn[..cut]).unwrap();
         let mut seen = Vec::new();
-        let n = tail(&dir, &fp(1), |job, rec| {
+        let state = tail(&dir, &fp(1), |job, rec| {
             seen.push((job, rec.operator));
             Ok(())
         })
         .unwrap();
-        assert_eq!(n, 2);
+        assert_eq!(state.delivered, 2);
+        assert_eq!(
+            state.next_offset,
+            u64::try_from(full.len()).unwrap(),
+            "resume cursor must sit at the start of the torn frame"
+        );
         assert_eq!(seen, vec![(2, Operator::Verizon), (0, Operator::TMobile)]);
         assert_eq!(
             std::fs::metadata(Journal::file_path(&dir)).unwrap().len(),
@@ -698,6 +761,76 @@ mod tests {
             Err(CheckpointError::Mismatch(d)) => assert!(d.contains("seed"), "{d}"),
             other => panic!("expected Mismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tail_from_resumes_mid_frame_without_skip_or_double_ingest() {
+        let dir = tmpdir("ckpt_tail_resume");
+        let mut j = Journal::create(&dir, &fp(1)).unwrap();
+        j.append(0, &rec(Operator::Verizon)).unwrap();
+        let mut seen = Vec::new();
+        let st0 = tail(&dir, &fp(1), |job, rec| {
+            seen.push((job, rec.operator));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!((st0.delivered, seen.len()), (1, 1));
+        let len0 = std::fs::metadata(Journal::file_path(&dir)).unwrap().len();
+        assert_eq!(st0.next_offset, len0);
+
+        // The writer starts appending frame 1; a poll lands mid-frame.
+        j.append(1, &rec(Operator::TMobile)).unwrap();
+        let full = std::fs::read(Journal::file_path(&dir)).unwrap();
+        let cut = usize::try_from(st0.next_offset).unwrap() + FRAME_HEADER / 2;
+        std::fs::write(Journal::file_path(&dir), &full[..cut]).unwrap();
+        let st1 = tail_from(&dir, &fp(1), Some(st0.next_offset), |job, rec| {
+            seen.push((job, rec.operator));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(st1.delivered, 0, "a torn frame must not be delivered");
+        assert_eq!(
+            st1.next_offset, st0.next_offset,
+            "the cursor must stay at the torn frame's start"
+        );
+
+        // The writer finishes the append; the next poll picks the frame
+        // up exactly once — neither skipped nor double-ingested.
+        std::fs::write(Journal::file_path(&dir), &full).unwrap();
+        let st2 = tail_from(&dir, &fp(1), Some(st1.next_offset), |job, rec| {
+            seen.push((job, rec.operator));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(st2.delivered, 1);
+        assert_eq!(st2.next_offset, u64::try_from(full.len()).unwrap());
+
+        // Polls are incremental: with the cursor past the header, a new
+        // frame is picked up even when the already-consumed prefix is
+        // unreadable garbage — proof the poll never re-reads from byte 0.
+        j.append(2, &rec(Operator::Att)).unwrap();
+        let appended = std::fs::read(Journal::file_path(&dir)).unwrap();
+        let mut scribbled = appended.clone();
+        for b in scribbled.iter_mut().take(MAGIC.len()) {
+            *b = 0xFF;
+        }
+        std::fs::write(Journal::file_path(&dir), &scribbled).unwrap();
+        let st3 = tail_from(&dir, &fp(1), Some(st2.next_offset), |job, rec| {
+            seen.push((job, rec.operator));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(st3.delivered, 1);
+        assert_eq!(st3.next_offset, u64::try_from(appended.len()).unwrap());
+        assert_eq!(
+            seen,
+            vec![
+                (0, Operator::Verizon),
+                (1, Operator::TMobile),
+                (2, Operator::Att)
+            ],
+            "every frame exactly once, in append order"
+        );
     }
 
     #[test]

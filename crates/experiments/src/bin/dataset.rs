@@ -32,6 +32,14 @@
 use std::io::Write;
 use std::path::Path;
 
+/// `dataset | head` closing stdout early is normal Unix usage: exit 0
+/// quietly instead of failing. No-op for every other error kind.
+fn exit_broken_pipe_quietly(e: &std::io::Error) {
+    if e.kind() == std::io::ErrorKind::BrokenPipe {
+        std::process::exit(0);
+    }
+}
+
 use wheels_core::checkpoint::write_atomic;
 use wheels_core::column::wcd;
 use wheels_core::disrupt::FaultConfig;
@@ -96,6 +104,7 @@ fn main() {
                 }
                 None => {
                     if let Err(e) = std::io::stdout().lock().write_all(&bytes) {
+                        exit_broken_pipe_quietly(&e);
                         eprintln!("cannot write dataset to stdout: {e}");
                         std::process::exit(1);
                     }
@@ -123,6 +132,9 @@ fn main() {
                     let streamed = wcd::encode_to(cols, &mut w)
                         .and_then(|()| w.flush().map_err(wcd::WcdError::from));
                     if let Err(e) = streamed {
+                        if let wcd::WcdError::Io(io) = &e {
+                            exit_broken_pipe_quietly(io);
+                        }
                         eprintln!("cannot write dataset to stdout: {e}");
                         std::process::exit(1);
                     }

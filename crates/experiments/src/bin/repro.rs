@@ -38,12 +38,29 @@ use wheels_core::disrupt::FaultConfig;
 use wheels_experiments::world::{Scale, Tuning, World};
 use wheels_experiments::{cli, registry, render_report, resolve};
 
+/// Write report output to stdout, exiting 0 quietly on a broken pipe
+/// (`repro ... | head` closing early is normal Unix usage, not an
+/// error) and 1 with a diagnostic on any other write failure.
+fn write_stdout_or_exit(bytes: &[u8]) {
+    let mut out = std::io::stdout().lock();
+    let done = out.write_all(bytes).and_then(|()| out.flush());
+    if let Err(e) = done {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        eprintln!("cannot write report to stdout: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--list") {
+        let mut listing = String::new();
         for (id, desc, _) in registry() {
-            println!("{id:<8} {desc}");
+            listing.push_str(&format!("{id:<8} {desc}\n"));
         }
+        write_stdout_or_exit(listing.as_bytes());
         return;
     }
     let args = cli::parse_args(Scale::Standard, argv).unwrap_or_else(|e| {
@@ -121,8 +138,5 @@ fn main() {
     );
 
     let report = render_report(&world, &exps, args.threads);
-    std::io::stdout()
-        .lock()
-        .write_all(report.as_bytes())
-        .expect("write stdout");
+    write_stdout_or_exit(report.as_bytes());
 }

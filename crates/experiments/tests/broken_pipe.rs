@@ -1,0 +1,43 @@
+//! `repro ... | head` behavior: a consumer closing stdout early is
+//! normal Unix usage, so the binaries must exit 0 quietly instead of
+//! panicking on the write.
+//!
+//! The test holds the read end of the child's stdout pipe and drops it
+//! immediately after spawn. Both binaries spend seconds simulating the
+//! quick campaign before their first stdout write, so by the time they
+//! write, the pipe's read end is long gone and the write deterministically
+//! fails with `EPIPE` — which, pre-fix, panicked (`exit 101`).
+
+use std::process::{Command, Stdio};
+
+fn exit_with_closed_stdout(bin: &str, args: &[&str]) -> std::process::ExitStatus {
+    let mut child = Command::new(bin)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn binary");
+    drop(child.stdout.take());
+    child.wait().expect("wait for binary")
+}
+
+#[test]
+fn repro_exits_zero_when_stdout_closes_early() {
+    let status = exit_with_closed_stdout(env!("CARGO_BIN_EXE_repro"), &["--quick", "table1"]);
+    assert!(status.success(), "expected exit 0, got {status:?}");
+}
+
+#[test]
+fn dataset_json_export_exits_zero_when_stdout_closes_early() {
+    let status = exit_with_closed_stdout(env!("CARGO_BIN_EXE_dataset"), &["--quick"]);
+    assert!(status.success(), "expected exit 0, got {status:?}");
+}
+
+#[test]
+fn dataset_bin_export_exits_zero_when_stdout_closes_early() {
+    let status = exit_with_closed_stdout(
+        env!("CARGO_BIN_EXE_dataset"),
+        &["--quick", "--format", "bin"],
+    );
+    assert!(status.success(), "expected exit 0, got {status:?}");
+}

@@ -1,0 +1,310 @@
+//! The wire protocol: line-delimited JSON over TCP.
+//!
+//! One request object per line, one response object per line. Every
+//! response carries `"ok"`; failures add `"error"` (and overload adds
+//! `"busy": true` so clients can distinguish shedding from bad input).
+//!
+//! ```text
+//! → {"cmd":"status"}
+//! → {"cmd":"quantile","table":"tput","op":"verizon","dir":"dl","driving":true,"q":0.5}
+//! → {"cmd":"cdf","table":"rtt","points":11}
+//! → {"cmd":"table1"}
+//! → {"cmd":"figure","id":"fig3"}
+//! → {"cmd":"shutdown"}
+//! ```
+//!
+//! Requests are parsed through the [`serde::Value`] tree (the vendored
+//! stand-in has no tagged-enum derive), and responses are built as
+//! `Value` trees and rendered with `serde_json` — the same renderer the
+//! offline dataset export uses, which is what makes served bytes
+//! comparable to offline bytes at all.
+
+use serde::Value;
+use wheels_radio::tech::Direction;
+use wheels_ran::operator::Operator;
+
+/// Which sample table a `quantile`/`cdf` query runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Table {
+    /// 500 ms throughput samples (Mbps).
+    Tput,
+    /// RTT samples (ms).
+    Rtt,
+}
+
+impl Table {
+    /// Wire spelling, echoed back in responses.
+    pub fn label(self) -> &'static str {
+        match self {
+            Table::Tput => "tput",
+            Table::Rtt => "rtt",
+        }
+    }
+}
+
+/// Partition filter shared by `quantile` and `cdf`: each `None` means
+/// "marginal over that dimension", mirroring the `DatasetView` API.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Filter {
+    /// Operator, or all three.
+    pub op: Option<Operator>,
+    /// Link direction (throughput only).
+    pub dir: Option<Direction>,
+    /// Driving vs static samples, or both.
+    pub driving: Option<bool>,
+}
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Live server state: shards ingested, journal offset, uptime,
+    /// metrics. Served by the server itself (not part of the
+    /// byte-identity contract — uptime is wall clock).
+    Status,
+    /// One interpolated quantile of a sample partition.
+    Quantile {
+        /// Sample table.
+        table: Table,
+        /// Partition filter.
+        filter: Filter,
+        /// Quantile in `[0, 1]`.
+        q: f64,
+    },
+    /// An evenly-spaced quantile sweep — a CDF sampled at `points`
+    /// probabilities from 0 to 1 inclusive.
+    Cdf {
+        /// Sample table.
+        table: Table,
+        /// Partition filter.
+        filter: Filter,
+        /// Number of sweep points (2..=1001).
+        points: usize,
+    },
+    /// The Table-1 accounting block of the consolidated dataset.
+    Table1,
+    /// One experiment's rendered text (any id from `repro --list`).
+    Figure {
+        /// Experiment id, e.g. `fig3`.
+        id: String,
+    },
+    /// Ask the server to drain and exit.
+    Shutdown,
+}
+
+/// Build a JSON object from borrowed keys — the one constructor every
+/// response goes through, so key order is fixed at the call site.
+pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Render a response tree as its wire line (no trailing newline).
+pub fn render(v: &Value) -> String {
+    serde_json::to_string(v).expect("a Value tree always serializes")
+}
+
+/// The error-response line for `msg`.
+pub fn error_line(msg: &str) -> String {
+    render(&obj(vec![
+        ("ok", Value::Bool(false)),
+        ("error", Value::String(msg.to_string())),
+    ]))
+}
+
+/// The load-shedding response: the server is at its in-flight cap and
+/// refuses the connection rather than queuing it unboundedly.
+pub fn busy_line() -> String {
+    render(&obj(vec![
+        ("ok", Value::Bool(false)),
+        ("busy", Value::Bool(true)),
+        ("error", Value::String("server at capacity".to_string())),
+    ]))
+}
+
+fn parse_table(fields: &[(String, Value)]) -> Result<Table, String> {
+    match serde::get_field(fields, "table") {
+        Value::String(s) => match s.as_str() {
+            "tput" => Ok(Table::Tput),
+            "rtt" => Ok(Table::Rtt),
+            other => Err(format!("unknown table {other:?} (want tput|rtt)")),
+        },
+        Value::Null => Err("missing \"table\" (want tput|rtt)".to_string()),
+        _ => Err("\"table\" must be a string".to_string()),
+    }
+}
+
+fn parse_filter(fields: &[(String, Value)]) -> Result<Filter, String> {
+    let op = match serde::get_field(fields, "op") {
+        Value::Null => None,
+        Value::String(s) => match s.to_ascii_lowercase().as_str() {
+            "verizon" => Some(Operator::Verizon),
+            "tmobile" | "t-mobile" => Some(Operator::TMobile),
+            "att" | "at&t" => Some(Operator::Att),
+            other => return Err(format!("unknown op {other:?} (want verizon|tmobile|att)")),
+        },
+        _ => return Err("\"op\" must be a string".to_string()),
+    };
+    let dir = match serde::get_field(fields, "dir") {
+        Value::Null => None,
+        Value::String(s) => match s.to_ascii_lowercase().as_str() {
+            "dl" | "downlink" => Some(Direction::Downlink),
+            "ul" | "uplink" => Some(Direction::Uplink),
+            other => return Err(format!("unknown dir {other:?} (want dl|ul)")),
+        },
+        _ => return Err("\"dir\" must be a string".to_string()),
+    };
+    let driving = match serde::get_field(fields, "driving") {
+        Value::Null => None,
+        Value::Bool(b) => Some(*b),
+        _ => return Err("\"driving\" must be a boolean".to_string()),
+    };
+    Ok(Filter { op, dir, driving })
+}
+
+fn parse_f64(fields: &[(String, Value)], name: &str) -> Result<f64, String> {
+    match serde::get_field(fields, name) {
+        Value::F64(x) => Ok(*x),
+        Value::U64(n) => Ok(*n as f64),
+        Value::I64(n) => Ok(*n as f64),
+        Value::Null => Err(format!("missing {name:?}")),
+        _ => Err(format!("{name:?} must be a number")),
+    }
+}
+
+fn parse_usize(fields: &[(String, Value)], name: &str) -> Result<usize, String> {
+    match serde::get_field(fields, name) {
+        Value::U64(n) => usize::try_from(*n).map_err(|_| format!("{name:?} too large")),
+        Value::Null => Err(format!("missing {name:?}")),
+        _ => Err(format!("{name:?} must be a non-negative integer")),
+    }
+}
+
+/// Decode one request line. Every malformed input maps to an error
+/// string that becomes an [`error_line`] — a bad client never kills a
+/// connection handler.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let Value::Object(fields) = &v else {
+        return Err("request must be a JSON object".to_string());
+    };
+    let cmd = match serde::get_field(fields, "cmd") {
+        Value::String(s) => s.as_str(),
+        _ => return Err("missing \"cmd\"".to_string()),
+    };
+    match cmd {
+        "status" => Ok(Request::Status),
+        "table1" => Ok(Request::Table1),
+        "shutdown" => Ok(Request::Shutdown),
+        "quantile" => Ok(Request::Quantile {
+            table: parse_table(fields)?,
+            filter: parse_filter(fields)?,
+            q: parse_f64(fields, "q")?,
+        }),
+        "cdf" => Ok(Request::Cdf {
+            table: parse_table(fields)?,
+            filter: parse_filter(fields)?,
+            points: parse_usize(fields, "points")?,
+        }),
+        "figure" => match serde::get_field(fields, "id") {
+            Value::String(id) => Ok(Request::Figure { id: id.clone() }),
+            _ => Err("figure needs a string \"id\"".to_string()),
+        },
+        other => Err(format!(
+            "unknown cmd {other:?} (want status|quantile|cdf|table1|figure|shutdown)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_request_shapes() {
+        assert_eq!(parse_request(r#"{"cmd":"status"}"#), Ok(Request::Status));
+        assert_eq!(parse_request(r#"{"cmd":"table1"}"#), Ok(Request::Table1));
+        assert_eq!(
+            parse_request(r#"{"cmd":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        );
+        assert_eq!(
+            parse_request(
+                r#"{"cmd":"quantile","table":"tput","op":"verizon","dir":"dl","driving":true,"q":0.5}"#
+            ),
+            Ok(Request::Quantile {
+                table: Table::Tput,
+                filter: Filter {
+                    op: Some(Operator::Verizon),
+                    dir: Some(Direction::Downlink),
+                    driving: Some(true),
+                },
+                q: 0.5,
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"cdf","table":"rtt","points":11}"#),
+            Ok(Request::Cdf {
+                table: Table::Rtt,
+                filter: Filter::default(),
+                points: 11,
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"figure","id":"fig3"}"#),
+            Ok(Request::Figure {
+                id: "fig3".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn integer_quantiles_and_spelling_variants_are_accepted() {
+        assert_eq!(
+            parse_request(
+                r#"{"cmd":"quantile","table":"tput","op":"T-Mobile","dir":"UPLINK","q":1}"#
+            ),
+            Ok(Request::Quantile {
+                table: Table::Tput,
+                filter: Filter {
+                    op: Some(Operator::TMobile),
+                    dir: Some(Direction::Uplink),
+                    driving: None,
+                },
+                q: 1.0,
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_requests_map_to_errors_not_panics() {
+        for bad in [
+            "",
+            "not json",
+            "[1,2]",
+            r#"{"cmd":"nope"}"#,
+            r#"{"cmd":"quantile"}"#,
+            r#"{"cmd":"quantile","table":"xyz","q":0.5}"#,
+            r#"{"cmd":"quantile","table":"tput","op":"sprint","q":0.5}"#,
+            r#"{"cmd":"quantile","table":"tput","q":"half"}"#,
+            r#"{"cmd":"cdf","table":"tput"}"#,
+            r#"{"cmd":"figure"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_and_busy_lines_are_valid_json() {
+        let e = error_line("boom");
+        assert!(e.starts_with(r#"{"ok":false"#), "{e}");
+        let b = busy_line();
+        assert!(b.contains(r#""busy":true"#), "{b}");
+        for line in [e, b] {
+            serde_json::from_str::<Value>(&line).expect("round-trips");
+        }
+    }
+}

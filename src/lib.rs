@@ -26,6 +26,7 @@ pub use wheels_experiments as experiments;
 pub use wheels_geo as geo;
 pub use wheels_radio as radio;
 pub use wheels_ran as ran;
+pub use wheels_serve as serve;
 pub use wheels_sim_core as sim_core;
 pub use wheels_transport as transport;
 pub use wheels_ue as ue;

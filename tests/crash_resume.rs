@@ -208,8 +208,8 @@ fn view_from_journal_replays_to_identical_dataset() {
     let dir = tmpdir("from_journal");
     campaign.run_checkpointed(&c, &dir, false).unwrap();
     let fp = campaign.fingerprint(&c);
-    let (view, n) = DatasetView::from_journal(&dir, &fp).unwrap();
-    assert_eq!(n, 9, "expected all 9 shard frames to replay");
+    let (view, st) = DatasetView::from_journal(&dir, &fp).unwrap();
+    assert_eq!(st.delivered, 9, "expected all 9 shard frames to replay");
     assert_eq!(json(&view.into_dataset()), baseline);
 
     // The replay is strictly read-only: a torn tail yields the intact
@@ -219,8 +219,12 @@ fn view_from_journal_replays_to_identical_dataset() {
     let cut = usize::try_from(ends[4]).unwrap() + 7;
     let torn_dir = tmpdir("from_journal_torn");
     plant_truncated(&bytes, cut, &torn_dir);
-    let (_, n) = DatasetView::from_journal(&torn_dir, &fp).unwrap();
-    assert_eq!(n, 4, "4 intact shard frames behind the header");
+    let (_, st) = DatasetView::from_journal(&torn_dir, &fp).unwrap();
+    assert_eq!(st.delivered, 4, "4 intact shard frames behind the header");
+    assert_eq!(
+        st.next_offset, ends[4],
+        "resume cursor must point at the torn frame's start"
+    );
     let len = std::fs::metadata(torn_dir.join(JOURNAL_FILE))
         .unwrap()
         .len();
