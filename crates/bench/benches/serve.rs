@@ -66,6 +66,7 @@ fn start_server(dir: PathBuf, cfg: &CampaignConfig, poll_ms: u64) -> server::Ser
             poll_ms,
             io_timeout_ms: 60_000,
             max_inflight: 16,
+            ..ServeOptions::default()
         },
     )
     .expect("server starts")

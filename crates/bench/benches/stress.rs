@@ -1,0 +1,111 @@
+//! `wheels-stress` soak timings: kill/resume cycle cost, invariant
+//! verification cost, and query throughput under chaos.
+//!
+//! Like the other benches, deliberately not Criterion: the interesting
+//! numbers are end-to-end — real child processes SIGKILLed at seeded
+//! journal watermarks, a real server under live query load — and they
+//! land in `BENCH_stress.json` at the repo root as a tracked baseline.
+//!
+//! Usage (the harness spawns the `wheels-stress` binary, so build it
+//! first):
+//!
+//! ```text
+//! cargo build --release -p wheels-stress
+//! cargo bench -p wheels-bench --bench stress             # mini profile
+//! cargo bench -p wheels-bench --bench stress -- --quick  # quick world
+//! ```
+
+use std::path::PathBuf;
+
+use wheels_stress::harness;
+use wheels_stress::options::{Profile, StressOptions};
+use wheels_stress::report::latency_summary;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let profile = if quick { Profile::Quick } else { Profile::Mini };
+    let profile_name = if quick { "quick" } else { "mini" };
+    eprintln!("stress bench: {cores} cores, profile={profile_name}");
+
+    let child_exe = wheels_stress::default_child_exe().expect(
+        "wheels-stress binary not found next to this bench — run \
+         `cargo build --release -p wheels-stress` first",
+    );
+    let dir = std::env::temp_dir().join(format!("wheels-bench-stress-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let report = harness::run(&StressOptions {
+        dir: dir.clone(),
+        profile,
+        seed: 42,
+        faults: true,
+        stress_seed: 1,
+        cycles: 2,
+        duration_s: None,
+        clients: 2,
+        report: None,
+        child_exe: Some(child_exe),
+    })
+    .expect("soak harness runs");
+    assert_eq!(report.exit_code(), 0, "soak failed: {:?}", report.failures);
+
+    let cycle_ms: Vec<u64> = report.cycles.iter().map(|c| c.cycle_ms).collect();
+    let verify_ms: Vec<u64> = report.cycles.iter().map(|c| c.verify_ms).collect();
+    let mean = |xs: &[u64]| {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<u64>() as f64 / xs.len() as f64
+        }
+    };
+    let (answered, p50, p90, p99) = latency_summary(&report.load.latency);
+    let qps = if report.elapsed_ms == 0 {
+        0.0
+    } else {
+        answered as f64 * 1000.0 / report.elapsed_ms as f64
+    };
+    eprintln!(
+        "{} cycles: run mean {:.0}ms, verify mean {:.0}ms; {} queries ({qps:.0}/s) \
+         p50<={p50}us p90<={p90}us p99<={p99}us; {:.1} shards/s, salvage {:.0}%",
+        report.cycles.len(),
+        mean(&cycle_ms),
+        mean(&verify_ms),
+        answered,
+        report.shards_per_s,
+        report.salvage_rate * 100.0,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let json = format!(
+        "{{\n  \"bench\": \"stress\",\n  \"host_cores\": {cores},\n  \"profile\": \"{profile_name}\",\n  \
+         \"note\": \"{note}\",\n  \"soak\": {{\n    \"jobs\": {jobs},\n    \"cycles\": {cycles},\n    \
+         \"elapsed_ms\": {elapsed},\n    \"cycle_mean_ms\": {cmean:.1},\n    \
+         \"verify_mean_ms\": {vmean:.1},\n    \"shards_per_s\": {sps:.2},\n    \
+         \"salvage_rate\": {salvage:.3},\n    \"retry_rate\": {retry:.3}\n  }},\n  \
+         \"queries\": {{\n    \"answered\": {answered},\n    \"per_s\": {qps:.1},\n    \
+         \"p50_us\": {p50},\n    \"p90_us\": {p90},\n    \"p99_us\": {p99}\n  }}\n}}\n",
+        note = "a full chaos soak: campaign children SIGKILLed at seeded journal watermarks \
+                and resumed with varied knobs while a live server answers a mixed query load; \
+                every cycle re-verifies prefix replay, served identity, and byte-identical \
+                resume; latency bounds are log2-bucket upper edges from the shared metrics layer",
+        jobs = report.jobs,
+        cycles = report.cycles.len(),
+        elapsed = report.elapsed_ms,
+        cmean = mean(&cycle_ms),
+        vmean = mean(&verify_ms),
+        sps = report.shards_per_s,
+        salvage = report.salvage_rate,
+        retry = report.retry_rate,
+    );
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let path = root.join("BENCH_stress.json");
+    std::fs::write(&path, &json).expect("write BENCH_stress.json");
+    eprintln!("wrote {}", path.display());
+    print!("{json}");
+}

@@ -448,7 +448,44 @@ pub fn write_atomic_with<E: From<io::Error>>(
     let f = w.into_inner().map_err(|e| e.into_error())?;
     f.sync_all()?;
     std::fs::rename(&tmp, path)?;
+    // The rename is durable only once the *directory entry* is on disk:
+    // fsyncing the file persists its bytes, but a crash before the
+    // parent directory syncs can resurrect the old name (or no name at
+    // all) on some filesystems. Journal creation rides through here, so
+    // this is what makes "the journal exists" itself crash-safe.
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    fsync_dir(&parent)?;
     Ok(())
+}
+
+/// Count of parent-directory fsyncs issued, observable from the
+/// durability unit test (`dir_is_synced_after_atomic_writes`).
+#[cfg(test)]
+static DIR_SYNCS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Fsync a directory so a just-renamed entry inside it survives power
+/// loss. On platforms where directories cannot be opened for sync this
+/// degrades to a no-op error propagation like any other io failure.
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(test)]
+    DIR_SYNCS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    File::open(dir)?.sync_all()
+}
+
+/// Append-traffic counters the journal bumps when a [`JournalMetrics`]
+/// is attached ([`Journal::attach_metrics`]). Pure event counts — no
+/// clocks — so checkpointed runs stay deterministic; the shared
+/// primitives come from `wheels-metrics` (the same layer `wheels-serve`
+/// and `wheels-stress` report through).
+#[derive(Debug, Default)]
+pub struct JournalMetrics {
+    /// Shard frames appended (excludes the identity header).
+    pub frames_appended: wheels_metrics::Counter,
+    /// Frame bytes appended, framing included.
+    pub bytes_appended: wheels_metrics::Counter,
 }
 
 /// An open shard journal: created fresh (`--checkpoint`) or recovered
@@ -456,6 +493,7 @@ pub fn write_atomic_with<E: From<io::Error>>(
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
+    metrics: Option<std::sync::Arc<JournalMetrics>>,
 }
 
 impl Journal {
@@ -476,7 +514,10 @@ impl Journal {
         bytes.extend_from_slice(&encode_frame(header.as_bytes())?);
         let path = Self::file_path(dir);
         write_atomic(&path, &bytes)?;
-        Ok(Journal { path })
+        Ok(Journal {
+            path,
+            metrics: None,
+        })
     }
 
     /// Recover the journal in `dir` for the run identified by `fp`
@@ -521,7 +562,13 @@ impl Journal {
             })?)?;
             f.sync_all()?;
         }
-        Ok((Journal { path }, completed))
+        Ok((
+            Journal {
+                path,
+                metrics: None,
+            },
+            completed,
+        ))
     }
 
     /// [`Journal::resume_indexed`], then decode every indexed frame — a
@@ -540,6 +587,14 @@ impl Journal {
             completed.insert(job, reader.read_frame(span)?);
         }
         Ok((journal, completed))
+    }
+
+    /// Attach append-traffic counters; every subsequent
+    /// [`Journal::append`] bumps them. Counters are shared ([`Arc`])
+    /// because the observer usually outlives the journal — e.g. the
+    /// campaign's metrics bundle keeps reporting after the run ends.
+    pub fn attach_metrics(&mut self, metrics: std::sync::Arc<JournalMetrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// A read-only handle on this journal's file, usable concurrently
@@ -569,6 +624,10 @@ impl Journal {
         f.sync_data()?;
         let len = u64::try_from(frame.len())
             .map_err(|_| CheckpointError::Invalid("frame length exceeds u64".to_string()))?;
+        if let Some(m) = &self.metrics {
+            m.frames_appended.inc();
+            m.bytes_appended.add(len);
+        }
         Ok(FrameSpan {
             start,
             end: start + len,
@@ -938,5 +997,25 @@ mod tests {
         write_atomic(&path, b"second").unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), b"second");
         assert!(!dir.join("out.json.tmp").exists());
+    }
+
+    #[test]
+    fn dir_is_synced_after_atomic_writes() {
+        use std::sync::atomic::Ordering;
+        let dir = tmpdir("ckpt_dirsync");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Other tests also write atomically (the counter is global), so
+        // assert the delta from our three renames, not an absolute.
+        let before = DIR_SYNCS.load(Ordering::Relaxed);
+        write_atomic(&dir.join("a.json"), b"a").unwrap();
+        write_atomic(&dir.join("b.json"), b"b").unwrap();
+        Journal::create(&dir, &fp(1)).unwrap();
+        let after = DIR_SYNCS.load(Ordering::Relaxed);
+        assert!(
+            after >= before + 3,
+            "expected >=3 parent-dir fsyncs (two write_atomic + journal \
+             creation), saw {}",
+            after - before
+        );
     }
 }

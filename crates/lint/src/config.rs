@@ -59,11 +59,18 @@ pub struct Config {
     pub ingest_paths: Vec<String>,
     /// Crates excluded from every tier-2 dataflow pass (this tool
     /// itself: its fixtures and string tables would otherwise trip the
-    /// very patterns it searches for; the serving layer, which is
-    /// wall-clock-aware by design — uptime, latency histograms — and
-    /// whose answers are pinned byte-identical to the offline replay by
-    /// its own integration tests rather than by taint analysis).
+    /// very patterns it searches for; the serving layer and the stress
+    /// harness, which are wall-clock-aware by design — uptime, latency
+    /// histograms, soak timings — and whose answers are pinned
+    /// byte-identical to the offline replay by their own integration
+    /// tests rather than by taint analysis).
     pub tier2_exempt_crates: Vec<String>,
+    /// Path prefixes on the always-on service and soak-harness paths:
+    /// `loop`/`while` bodies that sleep (retry/poll loops) must carry a
+    /// visible bound — a stop flag, deadline, timeout, or attempt
+    /// budget — or they can spin forever against a peer that never
+    /// recovers.
+    pub retry_paths: Vec<String>,
     /// Path prefixes whose record/encoder structs and fns count as
     /// determinism-taint *sinks*: values persisted or published from
     /// here must never derive from wall-clock, entropy, host topology,
@@ -108,7 +115,8 @@ impl Default for Config {
                 "crates/core/src/campaign.rs",
                 "crates/core/src/checkpoint.rs",
             ]),
-            tier2_exempt_crates: v(&["lint", "serve"]),
+            tier2_exempt_crates: v(&["lint", "serve", "stress"]),
+            retry_paths: v(&["crates/serve/src", "crates/stress/src"]),
             taint_sink_paths: v(&[
                 "crates/core/src/records.rs",
                 "crates/core/src/checkpoint.rs",

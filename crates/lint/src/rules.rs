@@ -27,9 +27,9 @@ pub struct RuleMeta {
     pub about: &'static str,
 }
 
-/// The rule catalogue, in order: tier-1 token rules (0–9), tier-2
-/// dataflow passes (10–13), and the strict-allows audit (14).
-pub const RULES: [RuleMeta; 15] = [
+/// The rule catalogue, in order: tier-1 token rules (0–10), tier-2
+/// dataflow passes (11–14), and the strict-allows audit (15).
+pub const RULES: [RuleMeta; 16] = [
     RuleMeta {
         name: "nondeterminism",
         id: "nondeterminism",
@@ -79,6 +79,12 @@ pub const RULES: [RuleMeta; 15] = [
         name: "bounded-ingest",
         id: "bounded_ingest",
         about: "campaign-merge paths keep shard-record residency inside the reorder window",
+    },
+    RuleMeta {
+        name: "bounded-retry",
+        id: "bounded_retry",
+        about:
+            "retry/poll loops on service and soak paths carry a stop flag, deadline, or attempt cap",
     },
     RuleMeta {
         name: "determinism-taint",
@@ -854,6 +860,118 @@ pub fn bounded_ingest(
             &toks[k],
             format!(
                 "`.{method}(..)` accumulates shard records on a campaign-merge path with no residency bound — the streaming merge parks at most `merge_window` shards and spills the rest through the journal; bound this collection, or justify with `// lint: allow(bounded-ingest, reason)`"
+            ),
+        ));
+    }
+}
+
+/// Identifier fragments that mark a retry/poll loop as bounded: a stop
+/// flag consulted, a deadline or timeout compared, elapsed time read,
+/// or an attempt/iteration budget counted. Matching is by lowercase
+/// substring so `stopping()`, `past_deadline()`, `CHILD_TIMEOUT`, and
+/// `attempts_left` all count.
+const RETRY_BOUND_MARKERS: [&str; 9] = [
+    "stop", "deadline", "elapsed", "timeout", "attempt", "remain", "budget", "tries", "retries",
+];
+
+/// Rule 11 — bounded-retry: on the always-on service and soak-harness
+/// paths (`retry_paths`), a `loop`/`while` body that sleeps is a
+/// retry or poll loop, and it must visibly bound itself — consult a
+/// stop flag, compare a deadline/timeout, read elapsed time, or count
+/// an attempt budget ([`RETRY_BOUND_MARKERS`], checked across the loop
+/// head and body). An unbounded sleep loop spins forever against a
+/// peer that never recovers, which on the serve path means a worker
+/// thread that survives shutdown and on the stress path a soak that
+/// wedges instead of reporting. `for` loops are exempt: their iterator
+/// is the bound.
+pub fn bounded_retry(
+    file: &SourceFile,
+    lexed: &LexedFile,
+    mask: &[bool],
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    if !cfg
+        .retry_paths
+        .iter()
+        .any(|p| file.rel_path.starts_with(p.as_str()))
+    {
+        return;
+    }
+    const RULE: &str = RULES[10].name;
+    let toks = &lexed.toks;
+    for k in 0..toks.len() {
+        if mask[k] {
+            continue;
+        }
+        let Some(kw @ ("loop" | "while")) = toks[k].ident() else {
+            continue;
+        };
+        // `.loop`/`::loop` etc. can't occur; but skip `while` arms of
+        // macro fragments like `$( … )while` defensively: require the
+        // keyword position to start a statement-ish context (previous
+        // token is not `.` or `::`-colon).
+        if k > 0 && (toks[k - 1].is_punct('.') || toks[k - 1].is_punct(':')) {
+            continue;
+        }
+        // Find the body opener: for `loop` the next token; for `while`
+        // the first `{` outside parens/brackets (struct literals are
+        // not legal in a `while` condition without parens).
+        let mut open = None;
+        let mut depth = 0i32;
+        let mut j = k + 1;
+        while let Some(t) = toks.get(j) {
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct('{') && depth == 0 {
+                open = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        // Walk the balanced body; the `while` condition tokens
+        // (k+1..open) participate in the bound scan — `while
+        // !stop.load(..)` is the canonical bound.
+        let mut end = open;
+        let mut brace = 0i32;
+        while let Some(t) = toks.get(end) {
+            if t.is_punct('{') {
+                brace += 1;
+            } else if t.is_punct('}') {
+                brace -= 1;
+                if brace == 0 {
+                    break;
+                }
+            }
+            end += 1;
+        }
+        let body = &toks[k + 1..end.min(toks.len())];
+        let sleeps = body.iter().any(|t| {
+            t.ident()
+                .is_some_and(|id| id.to_ascii_lowercase().contains("sleep"))
+        });
+        if !sleeps {
+            continue;
+        }
+        let bounded = body.iter().any(|t| {
+            t.ident().is_some_and(|id| {
+                let lower = id.to_ascii_lowercase();
+                RETRY_BOUND_MARKERS.iter().any(|m| lower.contains(m))
+            })
+        });
+        if bounded {
+            continue;
+        }
+        out.push(finding(
+            RULE,
+            file,
+            lexed,
+            &toks[k],
+            format!(
+                "`{kw}` loop sleeps with no visible bound on a service/soak path — consult a stop flag, compare a deadline or timeout, or count an attempt budget, or justify with `// lint: allow(bounded-retry, reason)`"
             ),
         ));
     }

@@ -1,0 +1,21 @@
+pub fn poll_forever(client: &mut Client) {
+    loop {
+        if client.ready() {
+            return;
+        }
+        std::thread::sleep(POLL);
+    }
+}
+
+pub fn reconnect(addr: Addr) -> Conn {
+    while !addr.reachable() {
+        std::thread::sleep(BACKOFF);
+    }
+    Conn::open(addr)
+}
+
+pub fn wait_for_journal(dir: &Path) {
+    while !Journal::file_path(dir).exists() {
+        std::thread::sleep(POLL);
+    }
+}

@@ -1,0 +1,46 @@
+pub fn drain(stop: &AtomicBool) {
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(POLL);
+    }
+}
+
+pub fn await_ready(client: &Client, timeout: Duration) -> bool {
+    let t0 = Instant::now();
+    while !client.ready() {
+        if t0.elapsed() > timeout {
+            return false;
+        }
+        std::thread::sleep(POLL);
+    }
+    true
+}
+
+pub fn reconnect(addr: Addr) -> Option<Conn> {
+    let mut attempts = 0u32;
+    while attempts < MAX_ATTEMPTS {
+        if let Ok(c) = Conn::open(addr) {
+            return Some(c);
+        }
+        attempts += 1;
+        std::thread::sleep(BACKOFF);
+    }
+    None
+}
+
+pub fn warm_cache(paths: &[PathBuf]) {
+    // The iterator is the bound: for-loops are out of scope.
+    for p in paths {
+        std::thread::sleep(IO_PACE);
+        touch(p);
+    }
+}
+
+pub fn spin(door: &Door) {
+    // lint: allow(bounded-retry, the supervisor SIGKILLs this helper at its own deadline; a local bound would mask real wedges)
+    loop {
+        std::thread::sleep(POLL);
+        if door.open() {
+            return;
+        }
+    }
+}

@@ -314,6 +314,40 @@ fn bounded_ingest_scoped_to_ingest_paths() {
 }
 
 #[test]
+fn bounded_retry_fires_with_positions() {
+    // `server` lands at crates/serve/src/server.rs, inside the
+    // configured retry paths.
+    let src = include_str!("fixtures/bounded_retry_bad.rs");
+    let got = lint_one(fixture("server", "serve", src));
+    assert_eq!(
+        got,
+        vec![
+            ("bounded-retry", 2, 5),
+            ("bounded-retry", 11, 5),
+            ("bounded-retry", 18, 5),
+        ]
+    );
+}
+
+#[test]
+fn bounded_retry_silent_on_clean_counterpart() {
+    // Stop flag, deadline, and attempt budget each count as the bound;
+    // for-loops are exempt (the iterator bounds them); the supervised
+    // spin helper carries the reasoned allow.
+    let src = include_str!("fixtures/bounded_retry_ok.rs");
+    assert_eq!(lint_one(fixture("harness", "stress", src)), vec![]);
+}
+
+#[test]
+fn bounded_retry_scoped_to_service_paths() {
+    // The same sleepy loops outside the serve/stress paths (here, a
+    // core helper) are out of scope — batch code may pace itself
+    // however it likes.
+    let src = include_str!("fixtures/bounded_retry_bad.rs");
+    assert_eq!(lint_one(fixture("pacing", "core", src)), vec![]);
+}
+
+#[test]
 fn atomic_persistence_covers_binaries() {
     // Binaries are exempt from most rules but their output writers are
     // exactly where torn files hurt, so this rule reaches into src/bin.

@@ -1,0 +1,188 @@
+//! Property tests for the shared metrics layer.
+//!
+//! These pin the three contracts the rest of the workspace leans on:
+//!
+//! - **Merge is a commutative monoid** on snapshots (associative,
+//!   commutative, `Snapshot::empty` the identity) — the stress load
+//!   generator folds per-thread snapshots in whatever order threads
+//!   join, and the fold must not care.
+//! - **Snapshots are monotone**: a histogram only grows, so a later
+//!   snapshot dominates every earlier one, and a merged snapshot
+//!   dominates both parts.
+//! - **Quantile bounds are log₂-tight**: for any sample set the bound
+//!   at rank `q` is above the true rank-`q` sample and within a factor
+//!   of two of it — the precision the soak report's p50/p90/p99
+//!   columns actually promise.
+
+use proptest::prelude::*;
+use wheels_metrics::{Histogram, Snapshot, BUCKETS};
+
+/// Build a snapshot by recording every value into a fresh histogram.
+fn snap(values: &[u64]) -> Snapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// The true rank-`q` sample (the one `quantile_bound` brackets).
+fn true_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((sorted.len() as f64) * q).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    // ---------- merge: commutative monoid ----------
+
+    #[test]
+    fn merge_commutes(
+        a in prop::collection::vec(0u64..2_000_000, 0..60),
+        b in prop::collection::vec(0u64..2_000_000, 0..60),
+    ) {
+        let (sa, sb) = (snap(&a), snap(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_associates(
+        a in prop::collection::vec(0u64..2_000_000, 0..40),
+        b in prop::collection::vec(0u64..2_000_000, 0..40),
+        c in prop::collection::vec(0u64..2_000_000, 0..40),
+    ) {
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn empty_is_the_identity(a in prop::collection::vec(0u64..2_000_000, 0..60)) {
+        let sa = snap(&a);
+        let mut merged = sa.clone();
+        merged.merge(&Snapshot::empty());
+        prop_assert_eq!(&merged, &sa);
+        let mut other_way = Snapshot::empty();
+        other_way.merge(&sa);
+        prop_assert_eq!(&other_way, &sa);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one_histogram(
+        a in prop::collection::vec(0u64..2_000_000, 0..60),
+        b in prop::collection::vec(0u64..2_000_000, 0..60),
+    ) {
+        let mut merged = snap(&a);
+        merged.merge(&snap(&b));
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(merged, snap(&both));
+    }
+
+    // ---------- snapshots: monotone ----------
+
+    #[test]
+    fn later_snapshots_dominate_earlier_ones(
+        values in prop::collection::vec(0u64..2_000_000, 1..80),
+        cut in 0usize..80,
+    ) {
+        let cut = cut.min(values.len());
+        let h = Histogram::new();
+        for &v in &values[..cut] {
+            h.record(v);
+        }
+        let early = h.snapshot();
+        for &v in &values[cut..] {
+            h.record(v);
+        }
+        let late = h.snapshot();
+        prop_assert!(late.dominates(&early));
+        prop_assert!(late.dominates(&late), "dominance is reflexive");
+        // Strictly-later snapshots never dominate backwards unless the
+        // suffix was empty.
+        if cut < values.len() {
+            prop_assert!(!early.dominates(&late));
+        }
+    }
+
+    #[test]
+    fn merged_snapshots_dominate_both_parts(
+        a in prop::collection::vec(0u64..2_000_000, 0..60),
+        b in prop::collection::vec(0u64..2_000_000, 0..60),
+    ) {
+        let (sa, sb) = (snap(&a), snap(&b));
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        prop_assert!(merged.dominates(&sa));
+        prop_assert!(merged.dominates(&sb));
+    }
+
+    // ---------- quantiles: factor-of-two bounds ----------
+
+    #[test]
+    fn quantile_bound_brackets_the_true_sample(
+        // Below 2^31 every value gets its own power-of-two bucket; the
+        // clamped overflow bucket is pinned separately below.
+        values in prop::collection::vec(0u64..(1u64 << 31), 1..100),
+        q in 0.0f64..=1.0,
+    ) {
+        let s = snap(&values);
+        let bound = s.quantile_bound(q);
+        let truth = true_quantile(&values, q);
+        prop_assert!(
+            bound > truth,
+            "bound {bound} not above true rank-{q} sample {truth}"
+        );
+        prop_assert!(
+            bound <= 2 * truth.max(1),
+            "bound {bound} more than 2x true rank-{q} sample {truth}"
+        );
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        values in prop::collection::vec(0u64..(1u64 << 31), 1..100),
+        qa in 0.0f64..=1.0,
+        qb in 0.0f64..=1.0,
+    ) {
+        let s = snap(&values);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(s.quantile_bound(lo) <= s.quantile_bound(hi));
+    }
+
+    #[test]
+    fn count_sum_max_are_exact(values in prop::collection::vec(0u64..2_000_000, 0..100)) {
+        let s = snap(&values);
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(s.max, values.iter().copied().max().unwrap_or(0));
+        let total: u64 = s.buckets.iter().sum();
+        prop_assert_eq!(total, s.count, "every observation lands in exactly one bucket");
+    }
+}
+
+/// The overflow bucket clamps: values at or above `2^31` all share the
+/// last bucket, whose bound saturates rather than bracketing.
+#[test]
+fn overflow_bucket_saturates_instead_of_bracketing() {
+    let s = snap(&[u64::MAX, 1u64 << 40]);
+    assert_eq!(s.buckets[BUCKETS - 1], 2);
+    // The bound is the clamped bucket's upper edge — below the true
+    // samples, which is exactly why the factor-two contract is scoped
+    // to values under 2^31.
+    assert_eq!(s.quantile_bound(1.0), 1u64 << 32);
+    assert_eq!(s.max, u64::MAX, "max stays exact even when buckets clamp");
+}

@@ -1,130 +1,46 @@
-//! Lock-free serving counters and latency histograms.
+//! Serving counters and latency histograms.
 //!
-//! Everything here is written on hot paths (per request, per ingested
-//! shard), so it is all relaxed atomics — no locks, no allocation. The
-//! histograms are power-of-two µs buckets: coarse, but enough to read
-//! p50/p90/p99 off a `status` response or the shutdown dump without a
-//! dependency on a metrics crate.
-
-use std::sync::atomic::{AtomicU64, Ordering};
+//! The primitives live in the shared [`wheels_metrics`] layer (lock-free
+//! counters + log₂-bucket histograms with mergeable snapshots — the same
+//! types the campaign engine, the checkpoint journal, and the
+//! `wheels-stress` soak harness record into); this module just names the
+//! set the server keeps and renders it in the wire format. Everything
+//! here is written on hot paths (per request, per ingested shard), so it
+//! is all relaxed atomics — no locks, no allocation.
 
 use serde::Value;
+pub use wheels_metrics::{Counter, Histogram, Snapshot};
 
 use crate::protocol::obj;
-
-const BUCKETS: usize = 32;
-
-/// A log₂-bucketed histogram of microsecond durations.
-pub struct Histogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_us: AtomicU64,
-    max_us: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-            max_us: AtomicU64::new(0),
-        }
-    }
-}
-
-impl Histogram {
-    /// Record one duration.
-    pub fn record_us(&self, us: u64) {
-        let bucket = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    /// Observations recorded so far.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Upper bound (µs) of the bucket holding quantile `q` — a
-    /// factor-of-two estimate, which is what a log histogram buys.
-    fn quantile_bound_us(&self, q: f64) -> u64 {
-        let count = self.count();
-        if count == 0 {
-            return 0;
-        }
-        let rank = ((count as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return 1u64 << (i + 1).min(63);
-            }
-        }
-        self.max_us.load(Ordering::Relaxed)
-    }
-
-    /// Snapshot as a JSON value: count, mean, max, p50/p90/p99 bounds.
-    pub fn to_value(&self) -> Value {
-        let count = self.count();
-        let sum = self.sum_us.load(Ordering::Relaxed);
-        let mean = if count == 0 {
-            0.0
-        } else {
-            sum as f64 / count as f64
-        };
-        obj(vec![
-            ("count", Value::U64(count)),
-            ("mean_us", Value::F64(mean)),
-            ("max_us", Value::U64(self.max_us.load(Ordering::Relaxed))),
-            ("p50_us", Value::U64(self.quantile_bound_us(0.50))),
-            ("p90_us", Value::U64(self.quantile_bound_us(0.90))),
-            ("p99_us", Value::U64(self.quantile_bound_us(0.99))),
-        ])
-    }
-}
 
 /// Every counter the server keeps: dumped on shutdown and embedded in
 /// each `status` response.
 #[derive(Default)]
 pub struct Metrics {
     /// Connections accepted (including shed ones).
-    pub connections: AtomicU64,
+    pub connections: Counter,
     /// Requests answered (any outcome).
-    pub requests: AtomicU64,
+    pub requests: Counter,
     /// Requests answered with an error line.
-    pub errors: AtomicU64,
+    pub errors: Counter,
     /// Connections shed with a `busy` line at the in-flight cap.
-    pub busy: AtomicU64,
-    /// Per-request latency (parse + evaluate + write).
+    pub busy: Counter,
+    /// Per-request latency (parse + evaluate + write), µs.
     pub query_us: Histogram,
-    /// Per-shard splice time under the write lock.
+    /// Per-shard splice time under the write lock, µs.
     pub ingest_us: Histogram,
-    /// Per-shard visibility lag: poll wake-up to queryable.
+    /// Per-shard visibility lag: poll wake-up to queryable, µs.
     pub ingest_lag_us: Histogram,
 }
 
 impl Metrics {
-    /// Bump a counter.
-    pub fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
-    }
-
     /// Snapshot as a JSON value.
     pub fn to_value(&self) -> Value {
         obj(vec![
-            (
-                "connections",
-                Value::U64(self.connections.load(Ordering::Relaxed)),
-            ),
-            (
-                "requests",
-                Value::U64(self.requests.load(Ordering::Relaxed)),
-            ),
-            ("errors", Value::U64(self.errors.load(Ordering::Relaxed))),
-            ("busy", Value::U64(self.busy.load(Ordering::Relaxed))),
+            ("connections", Value::U64(self.connections.get())),
+            ("requests", Value::U64(self.requests.get())),
+            ("errors", Value::U64(self.errors.get())),
+            ("busy", Value::U64(self.busy.get())),
             ("query", self.query_us.to_value()),
             ("ingest", self.ingest_us.to_value()),
             ("ingest_lag", self.ingest_lag_us.to_value()),
@@ -137,26 +53,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_cover_the_range_and_quantiles_bound() {
-        let h = Histogram::default();
-        for us in [1u64, 2, 3, 100, 1000, 10_000, 1_000_000] {
-            h.record_us(us);
-        }
-        assert_eq!(h.count(), 7);
-        let p50 = h.quantile_bound_us(0.5);
-        assert!((3..=256).contains(&p50), "p50 bound {p50}");
-        let p99 = h.quantile_bound_us(0.99);
-        assert!(p99 >= 1_000_000, "p99 bound {p99}");
-        // Zero durations land in the first bucket instead of panicking.
-        h.record_us(0);
-        assert_eq!(h.count(), 8);
-    }
-
-    #[test]
     fn snapshot_is_a_json_object() {
         let m = Metrics::default();
-        Metrics::add(&m.requests, 3);
-        m.query_us.record_us(250);
+        m.requests.add(3);
+        m.query_us.record(250);
         let line = crate::protocol::render(&m.to_value());
         assert!(line.contains(r#""requests":3"#), "{line}");
         assert!(line.contains(r#""query":{"count":1"#), "{line}");

@@ -4,6 +4,7 @@
 //! wheels-serve --journal DIR [--quick|--standard|--full] [--seed N]
 //!              [--faults] [--addr HOST:PORT] [--workers N]
 //!              [--poll-ms N] [--io-timeout-ms N] [--max-inflight N]
+//!              [--drain-secs N]
 //! ```
 //!
 //! Follows the same parsing discipline as the `repro`/`dataset` CLI:
@@ -34,7 +35,7 @@ pub struct Options {
     /// port 0 picks a free port).
     pub addr: String,
     /// Server tuning (`--workers`/`--poll-ms`/`--io-timeout-ms`/
-    /// `--max-inflight`).
+    /// `--max-inflight`/`--drain-secs`).
     pub serve: ServeOptions,
 }
 
@@ -107,6 +108,10 @@ pub fn parse(argv: impl IntoIterator<Item = String>) -> Result<Options, String> 
                     return Err("--max-inflight must be at least 1".to_string());
                 }
             }
+            "--drain-secs" => {
+                reject_duplicate(&arg, &mut seen)?;
+                opts.serve.drain_secs = parse_num(&arg, it.next())?;
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other} (see wheels-serve docs)"));
             }
@@ -139,7 +144,8 @@ mod tests {
 
         let o = parse(args(
             "--quick --seed 7 --faults --journal /tmp/j --addr 0.0.0.0:9000 \
-             --workers 8 --poll-ms 50 --io-timeout-ms 500 --max-inflight 16",
+             --workers 8 --poll-ms 50 --io-timeout-ms 500 --max-inflight 16 \
+             --drain-secs 3",
         ))
         .expect("full invocation parses");
         assert_eq!(o.scale, Scale::Quick);
@@ -151,9 +157,10 @@ mod tests {
                 o.serve.workers,
                 o.serve.poll_ms,
                 o.serve.io_timeout_ms,
-                o.serve.max_inflight
+                o.serve.max_inflight,
+                o.serve.drain_secs
             ),
-            (8, 50, 500, 16)
+            (8, 50, 500, 16, 3)
         );
     }
 

@@ -21,7 +21,7 @@
 //!   poll, and the final metrics snapshot is returned to the caller.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -51,6 +51,11 @@ pub struct ServeOptions {
     /// In-flight connection cap; beyond it new connections are shed
     /// with a `busy` response.
     pub max_inflight: usize,
+    /// Shutdown drain deadline in seconds: once a stop is requested,
+    /// in-flight connections get this long to finish before they are
+    /// force-closed, so a stalled or trickling client can never hold
+    /// SIGTERM (or a `shutdown` command) forever.
+    pub drain_secs: u64,
 }
 
 impl Default for ServeOptions {
@@ -60,6 +65,7 @@ impl Default for ServeOptions {
             poll_ms: 200,
             io_timeout_ms: 10_000,
             max_inflight: 64,
+            drain_secs: 10,
         }
     }
 }
@@ -85,14 +91,76 @@ struct Shared {
     fatal: Mutex<Option<String>>,
     started: Instant,
     inflight: AtomicUsize,
+    /// Drain deadline, µs since `started` (`u64::MAX` = no stop yet).
+    /// Set once by the first [`Shared::begin_stop`]; the shutdown
+    /// reaper force-closes every registered connection at this point.
+    deadline_us: AtomicU64,
+    /// Live connections by id: a second handle on each accepted socket
+    /// so the reaper can `Shutdown::Both` the ones still open when the
+    /// drain deadline passes.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    next_conn: AtomicU64,
     opts: ServeOptions,
 }
 
 const UNATTACHED: u64 = u64::MAX;
+const NO_DEADLINE: u64 = u64::MAX;
 
 impl Shared {
     fn stopping(&self) -> bool {
         self.stop.load(Ordering::Acquire)
+    }
+
+    /// Request a stop and pin the drain deadline. The first caller wins
+    /// the deadline, so a `shutdown` command followed by the process
+    /// joining the threads drains one bounded window, not two.
+    fn begin_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        let now = us(self.started.elapsed());
+        let deadline = now.saturating_add(self.opts.drain_secs.saturating_mul(1_000_000));
+        let _ = self.deadline_us.compare_exchange(
+            NO_DEADLINE,
+            deadline,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// True once the drain deadline has passed.
+    fn past_deadline(&self) -> bool {
+        us(self.started.elapsed()) >= self.deadline_us.load(Ordering::Acquire)
+    }
+
+    /// Track a live connection for the drain reaper.
+    fn register_conn(&self, sock: &TcpStream) -> Option<u64> {
+        let clone = sock.try_clone().ok()?;
+        let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        self.conns
+            .lock()
+            .expect("connection registry lock poisoned")
+            .push((id, clone));
+        Some(id)
+    }
+
+    /// Drop a finished connection from the registry.
+    fn deregister_conn(&self, id: u64) {
+        let mut conns = self
+            .conns
+            .lock()
+            .expect("connection registry lock poisoned");
+        conns.retain(|(i, _)| *i != id);
+    }
+
+    /// Force-close every connection still registered — the drain
+    /// deadline has passed and blocked reads must return now.
+    fn close_all_conns(&self) {
+        let conns = self
+            .conns
+            .lock()
+            .expect("connection registry lock poisoned");
+        for (_, sock) in conns.iter() {
+            let _ = sock.shutdown(Shutdown::Both);
+        }
     }
 
     fn status_line(&self) -> String {
@@ -122,12 +190,12 @@ impl Shared {
     fn handle_line(&self, line: &str) -> (String, bool) {
         match parse_request(line) {
             Err(msg) => {
-                Metrics::add(&self.metrics.errors, 1);
+                self.metrics.errors.inc();
                 (protocol::error_line(&msg), false)
             }
             Ok(Request::Status) => (self.status_line(), false),
             Ok(Request::Shutdown) => {
-                self.stop.store(true, Ordering::Release);
+                self.begin_stop();
                 (
                     protocol::render(&obj(vec![
                         ("ok", Value::Bool(true)),
@@ -140,7 +208,7 @@ impl Shared {
                 let world = self.world.read().expect("world lock poisoned");
                 let resp = query::respond(&world, &req);
                 if resp.starts_with(r#"{"ok":false"#) {
-                    Metrics::add(&self.metrics.errors, 1);
+                    self.metrics.errors.inc();
                 }
                 (resp, false)
             }
@@ -181,8 +249,8 @@ fn ingest_loop(shared: &Shared, journal: &JournalSpec) {
                 let mut world = shared.world.write().expect("world lock poisoned");
                 world.ingest_shard(rec);
             }
-            shared.metrics.ingest_us.record_us(us(splice.elapsed()));
-            shared.metrics.ingest_lag_us.record_us(us(woke.elapsed()));
+            shared.metrics.ingest_us.record(us(splice.elapsed()));
+            shared.metrics.ingest_lag_us.record(us(woke.elapsed()));
             shared.shards.fetch_add(1, Ordering::AcqRel);
             Ok(())
         });
@@ -198,7 +266,7 @@ fn ingest_loop(shared: &Shared, journal: &JournalSpec) {
             Err(e) => {
                 *shared.fatal.lock().expect("fatal flag lock poisoned") =
                     Some(format!("journal tail failed: {e}"));
-                shared.stop.store(true, Ordering::Release);
+                shared.begin_stop();
                 return;
             }
         }
@@ -213,11 +281,11 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &mpsc::Sender<TcpStr
     while !shared.stopping() {
         match listener.accept() {
             Ok((sock, _peer)) => {
-                Metrics::add(&shared.metrics.connections, 1);
+                shared.metrics.connections.inc();
                 let inflight = shared.inflight.fetch_add(1, Ordering::AcqRel);
                 if inflight >= shared.opts.max_inflight {
                     // Load-shed: tell the client explicitly, never queue.
-                    Metrics::add(&shared.metrics.busy, 1);
+                    shared.metrics.busy.inc();
                     shed(shared, sock);
                     shared.inflight.fetch_sub(1, Ordering::AcqRel);
                     continue;
@@ -266,6 +334,16 @@ fn worker_loop(shared: &Shared, rx: &Mutex<mpsc::Receiver<TcpStream>>) {
 }
 
 fn handle_conn(shared: &Shared, sock: TcpStream) {
+    // Register before serving so the drain reaper can force-close this
+    // socket if the client is still holding it at the drain deadline.
+    let conn_id = shared.register_conn(&sock);
+    serve_conn(shared, sock);
+    if let Some(id) = conn_id {
+        shared.deregister_conn(id);
+    }
+}
+
+fn serve_conn(shared: &Shared, sock: TcpStream) {
     let timeout = Duration::from_millis(shared.opts.io_timeout_ms.max(1));
     if sock.set_read_timeout(Some(timeout)).is_err()
         || sock.set_write_timeout(Some(timeout)).is_err()
@@ -298,12 +376,12 @@ fn handle_conn(shared: &Shared, sock: TcpStream) {
                     continue;
                 }
                 let (mut resp, close) = shared.handle_line(trimmed);
-                Metrics::add(&shared.metrics.requests, 1);
+                shared.metrics.requests.inc();
                 resp.push('\n');
                 let sent = writer
                     .write_all(resp.as_bytes())
                     .and_then(|()| writer.flush());
-                shared.metrics.query_us.record_us(us(t0.elapsed()));
+                shared.metrics.query_us.record(us(t0.elapsed()));
                 if sent.is_err() || close {
                     return;
                 }
@@ -348,19 +426,40 @@ impl ServerHandle {
         self.shared.stopping()
     }
 
-    /// Ask the server to stop without blocking.
+    /// Ask the server to stop without blocking. Starts the drain
+    /// window; [`ServerHandle::shutdown`] enforces its deadline.
     pub fn request_stop(&self) {
-        self.shared.stop.store(true, Ordering::Release);
+        self.shared.begin_stop();
     }
 
-    /// Stop (if not already stopping), drain, join every thread, and
-    /// return the final metrics dump line. A fatal ingest error is
-    /// returned as `Err` with the same dump appended.
+    /// Stop (if not already stopping), drain for at most
+    /// [`ServeOptions::drain_secs`], join every thread, and return the
+    /// final metrics dump line. Connections still open at the drain
+    /// deadline are force-closed, so a stalled client bounds shutdown
+    /// instead of wedging it. A fatal ingest error is returned as `Err`
+    /// with the same dump appended.
     pub fn shutdown(self) -> Result<String, String> {
-        self.shared.stop.store(true, Ordering::Release);
+        self.shared.begin_stop();
+        let done = Arc::new(AtomicBool::new(false));
+        let reaper = {
+            let shared = Arc::clone(&self.shared);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    if shared.past_deadline() {
+                        // Idempotent, and repeated so a connection that
+                        // registers after this pass still gets closed.
+                        shared.close_all_conns();
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            })
+        };
         for t in self.threads {
             let _ = t.join();
         }
+        done.store(true, Ordering::Release);
+        let _ = reaper.join();
         let dump = protocol::render(&obj(vec![
             ("event", Value::String("shutdown".to_string())),
             (
@@ -415,6 +514,9 @@ pub fn start(
         fatal: Mutex::new(None),
         started: Instant::now(),
         inflight: AtomicUsize::new(0),
+        deadline_us: AtomicU64::new(NO_DEADLINE),
+        conns: Mutex::new(Vec::new()),
+        next_conn: AtomicU64::new(0),
         opts,
     });
     let (tx, rx) = mpsc::channel::<TcpStream>();

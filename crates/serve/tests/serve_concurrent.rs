@@ -72,6 +72,7 @@ fn live_tail_matches_offline_replay_across_threads_and_faults() {
                     poll_ms: 1,
                     io_timeout_ms: 60_000,
                     max_inflight: 8,
+                    ..ServeOptions::default()
                 },
             )
             .expect("server starts");

@@ -1,0 +1,70 @@
+//! Shutdown drain deadline: a stalled client — connected, mid-request,
+//! never sending the newline — must not hold `shutdown()` for the full
+//! per-connection io timeout. The drain reaper force-closes whatever is
+//! still open once `drain_secs` elapses, so shutdown latency is bounded
+//! by the drain window, not by the slowest client.
+
+mod util;
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use wheels_core::analysis::view::DatasetView;
+use wheels_core::campaign::Campaign;
+use wheels_core::records::Dataset;
+use wheels_experiments::world::{Scale, World};
+use wheels_serve::server::{self, JournalSpec, ServeOptions};
+
+#[test]
+fn stalled_client_cannot_hold_shutdown_past_the_drain_deadline() {
+    let dir = util::tmpdir("drain");
+    let campaign = Campaign::standard(2022);
+    let mut cfg = Scale::Quick.config();
+    cfg.seed = 2022;
+    let fp = campaign.fingerprint(&cfg);
+    let base = World::from_view(Scale::Quick, 2022, DatasetView::new(Dataset::default()));
+    let handle = server::start(
+        base,
+        JournalSpec {
+            dir,
+            fingerprint: fp,
+        },
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 1,
+            poll_ms: 50,
+            // Long enough that an unbounded drain would blow the test's
+            // own budget: only the reaper can finish in time.
+            io_timeout_ms: 120_000,
+            max_inflight: 4,
+            drain_secs: 1,
+        },
+    )
+    .expect("server starts");
+
+    // A healthy round-trip proves the single worker holds this
+    // connection before we stall it.
+    let mut stalled = TcpStream::connect(handle.addr()).expect("connect");
+    stalled.set_nodelay(true).expect("nodelay");
+    stalled
+        .write_all(b"{\"cmd\":\"status\"}\n")
+        .expect("send status");
+    {
+        use std::io::Read;
+        let mut byte = [0u8; 1];
+        stalled.read_exact(&mut byte).expect("server answers");
+    }
+    // Half a request, no newline: the worker is now blocked in
+    // read_line waiting on bytes that will never come.
+    stalled.write_all(b"{\"cmd\":\"sta").expect("send partial");
+
+    let t0 = Instant::now();
+    handle.shutdown().expect("clean shutdown");
+    let took = t0.elapsed();
+    assert!(
+        took < Duration::from_secs(30),
+        "shutdown took {took:?}; the drain deadline (1s) did not bound it"
+    );
+    drop(stalled);
+}

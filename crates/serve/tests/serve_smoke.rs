@@ -60,6 +60,7 @@ fn served_answers_match_offline_view_and_shutdown_is_clean() {
             poll_ms: 10,
             io_timeout_ms: 60_000,
             max_inflight: 8,
+            ..ServeOptions::default()
         },
     )
     .expect("server starts");
@@ -127,6 +128,7 @@ fn connections_beyond_the_inflight_cap_are_shed_with_busy() {
             // Cap of zero: every connection is load-shed — the
             // deterministic way to exercise the busy path end-to-end.
             max_inflight: 0,
+            ..ServeOptions::default()
         },
     )
     .expect("server starts");

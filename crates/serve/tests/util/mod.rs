@@ -1,6 +1,10 @@
 //! Shared harness for the serve integration tests: tmp dirs, a tiny
 //! scripted TCP client, and ingest-completion waits.
 
+// Each integration test binary compiles its own copy of this module and
+// uses a different subset of the helpers.
+#![allow(dead_code)]
+
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
